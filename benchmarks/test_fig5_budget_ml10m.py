@@ -1,0 +1,64 @@
+"""Figure 5 — effect of the profile budget Δ (ML10M-FX pair).
+
+Paper shapes asserted:
+
+* RandomAttack stays flat across budgets (injecting more random profiles
+  still never touches the target item);
+* TargetAttack variants improve as the budget grows from small values;
+* CopyAttack at full budget beats every TargetAttack at full budget, and
+  CopyAttack improves with budget (more injections = more query feedback
+  to learn from).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_method
+from repro.experiments.reporting import format_table
+
+BUDGETS = (5, 10, 20, 30)
+METHODS = ("RandomAttack", "TargetAttack40", "TargetAttack70", "TargetAttack100", "CopyAttack")
+
+
+def _sweep(prep, items, n_episodes):
+    results = {}
+    for method in METHODS:
+        results[method] = {
+            budget: run_method(
+                prep, method, target_items=items, budget=budget,
+                n_episodes=n_episodes if method == "CopyAttack" else None,
+            )
+            for budget in BUDGETS
+        }
+    results["WithoutAttack"] = run_method(prep, "WithoutAttack", target_items=items)
+    return results
+
+
+def test_fig5_budget_ml10m(benchmark, prep_ml10m, report):
+    items = prep_ml10m.target_items[:4]
+    results = benchmark.pedantic(
+        lambda: _sweep(prep_ml10m, items, n_episodes=16), rounds=1, iterations=1
+    )
+    rows = [
+        [method] + [results[method][b].metrics["hr@20"] for b in BUDGETS]
+        for method in METHODS
+    ]
+    rows.append(["WithoutAttack"] + [results["WithoutAttack"].metrics["hr@20"]] * len(BUDGETS))
+    report(
+        format_table(
+            ["method"] + [f"Δ={b}" for b in BUDGETS],
+            rows,
+            title="Figure 5 — HR@20 vs profile budget (ml10m_fx)",
+        )
+    )
+    base = results["WithoutAttack"].metrics["hr@20"]
+    random_curve = [results["RandomAttack"][b].metrics["hr@20"] for b in BUDGETS]
+    assert max(random_curve) - min(random_curve) < 0.05, "RandomAttack should stay flat"
+    assert abs(np.mean(random_curve) - base) < 0.05
+    for method in ("TargetAttack40", "CopyAttack"):
+        curve = [results[method][b].metrics["hr@20"] for b in BUDGETS]
+        assert curve[-1] > curve[0], f"{method} should improve with budget"
+    copy_full = results["CopyAttack"][30].metrics["hr@20"]
+    for method in ("TargetAttack40", "TargetAttack70", "TargetAttack100"):
+        assert copy_full >= results[method][30].metrics["hr@20"] - 0.02

@@ -1,0 +1,55 @@
+"""Figure 6 (appendix) — budget sweep on the ML20M-NF pair.
+
+Same driver as Figure 5, second dataset, with the paper's extra note
+reproduced: the flat PolicyNetwork baseline is absent here because its
+action space (the full Netflix-scale user base) made it time out — our
+benchmark X2 quantifies that scaling argument.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_method
+from repro.experiments.reporting import format_table
+
+BUDGETS = (5, 15, 30)
+METHODS = ("RandomAttack", "TargetAttack40", "TargetAttack100", "CopyAttack")
+
+
+def test_fig6_budget_ml20m(benchmark, prep_ml20m, report):
+    items = prep_ml20m.target_items[:3]
+
+    def sweep():
+        results = {}
+        for method in METHODS:
+            results[method] = {
+                budget: run_method(
+                    prep_ml20m, method, target_items=items, budget=budget,
+                    n_episodes=12 if method == "CopyAttack" else None,
+                )
+                for budget in BUDGETS
+            }
+        results["WithoutAttack"] = run_method(prep_ml20m, "WithoutAttack", target_items=items)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [
+        [method] + [results[method][b].metrics["hr@20"] for b in BUDGETS]
+        for method in METHODS
+    ]
+    rows.append(["WithoutAttack"] + [results["WithoutAttack"].metrics["hr@20"]] * len(BUDGETS))
+    report(
+        format_table(
+            ["method"] + [f"Δ={b}" for b in BUDGETS],
+            rows,
+            title="Figure 6 — HR@20 vs profile budget (ml20m_nf)",
+        )
+    )
+    base = results["WithoutAttack"].metrics["hr@20"]
+    random_curve = [results["RandomAttack"][b].metrics["hr@20"] for b in BUDGETS]
+    assert max(random_curve) - min(random_curve) < 0.05
+    assert abs(np.mean(random_curve) - base) < 0.05
+    copy_curve = [results["CopyAttack"][b].metrics["hr@20"] for b in BUDGETS]
+    assert copy_curve[-1] > copy_curve[0]
+    assert copy_curve[-1] > results["TargetAttack100"][30].metrics["hr@20"]

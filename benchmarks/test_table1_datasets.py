@@ -1,0 +1,65 @@
+"""Table 1 — statistics of the two cross-domain dataset pairs.
+
+Paper values (for shape reference; ours are a documented scale-down):
+
+    (target, source)       (ML10M, Flixster)   (ML20M, Netflix)
+    target users           19,267              38,087
+    target items           6,984               8,325
+    target interactions    437,746             838,491
+    source users           93,702              478,471
+    overlapping items      5,815               5,193
+    source interactions    4,680,700           62,937,958
+
+The shape assertions: the source domain has several times more users than
+the target, most of the target catalog overlaps, and the ML20M-NF pair's
+source is much larger than the ML10M-FX pair's (the reason its clustering
+tree is deeper).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import format_table
+
+
+def _stats_rows(prep):
+    stats = prep.cross.statistics()
+    return [
+        prep.config.name,
+        int(stats["target"]["n_users"]),
+        int(stats["target"]["n_items"]),
+        int(stats["target"]["n_interactions"]),
+        int(stats["source"]["n_users"]),
+        int(stats["source"]["n_overlapping_items"]),
+        int(stats["source"]["n_interactions"]),
+    ]
+
+
+def test_table1_dataset_statistics(benchmark, prep_ml10m, prep_ml20m, report):
+    rows = benchmark.pedantic(
+        lambda: [_stats_rows(prep_ml10m), _stats_rows(prep_ml20m)],
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        format_table(
+            [
+                "pair", "tgt users", "tgt items", "tgt inter",
+                "src users", "overlap items", "src inter",
+            ],
+            rows,
+            title="Table 1 — dataset statistics (scaled analogues)",
+        )
+    )
+    ml10m, ml20m = rows
+    # Shape: source user base dwarfs the target's, as in both paper pairs.
+    assert ml10m[4] >= 1.5 * ml10m[1]
+    assert ml20m[4] >= 3.0 * ml20m[1]
+    # Shape: the ML20M-NF source is much larger than the ML10M-FX source.
+    assert ml20m[4] >= 2.0 * ml10m[4]
+    # Shape: most of the target catalog exists in the source domain.
+    assert ml10m[5] >= 0.5 * ml10m[2]
+    assert ml20m[5] >= 0.5 * ml20m[2]
+    # The source keeps only overlapping items (paper Table 1 note).
+    assert set().union(
+        *(set(p) for _, p in prep_ml10m.cross.source.iter_profiles())
+    ) <= set(prep_ml10m.cross.overlap_items)

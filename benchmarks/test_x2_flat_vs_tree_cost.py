@@ -1,0 +1,78 @@
+"""X2 — per-step cost: flat PolicyNetwork vs hierarchical tree policy.
+
+The paper reports that the flat PolicyNetwork baseline could not finish
+ML20M-Netflix (478k source users) within 48 hours while CopyAttack took a
+few hours; the asymptotic reason is that a flat policy's decision+update
+cost is linear in the user count while the tree's is O(branching · depth).
+
+This benchmark measures one REINFORCE step (state encode, select,
+backward through the chosen log-probability) for both policies as the
+source population grows, and asserts the two scaling regimes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.attack.policies import FlatPolicy, HierarchicalTreePolicy, PolicyStateEncoder
+from repro.attack.tree import HierarchicalClusterTree, TargetItemMask
+from repro.data import InteractionDataset
+from repro.experiments.reporting import format_table
+
+POPULATIONS = (1_000, 8_000, 32_000)
+N_TRIALS = 12
+
+
+def _step_cost_ms(policy, encoder, mask, target):
+    policy.zero_grad()  # once per episode, as in the trainer
+    start = time.perf_counter()
+    for trial in range(N_TRIALS):
+        state = encoder.encode(target, [])
+        result = policy.select(state, mask, seed=trial)
+        result.log_prob.backward()
+    return (time.perf_counter() - start) / N_TRIALS * 1e3
+
+
+def _measure():
+    rows = []
+    item_emb = np.random.default_rng(0).normal(size=(50, 8))
+    # A dummy source so the mask machinery has something to bind to; the
+    # mask itself is disabled (cost is measured on the unmasked walk).
+    dummy = InteractionDataset([[0, 1]], n_items=50)
+    target = 0
+    for n_users in POPULATIONS:
+        emb = np.random.default_rng(1).normal(size=(n_users, 8))
+        tree = HierarchicalClusterTree.from_depth(emb, depth=3, seed=1)
+        encoder = PolicyStateEncoder(emb, item_emb, np.random.default_rng(2))
+        tree_policy = HierarchicalTreePolicy(tree, encoder.state_dim, 16, np.random.default_rng(3))
+        flat_policy = FlatPolicy(n_users, encoder.state_dim, 16, np.random.default_rng(4))
+        mask = TargetItemMask(dummy, target, enabled=False)
+        mask._static_allowed = np.ones(n_users, dtype=bool)
+        mask._build_node_cache(tree)
+        tree_ms = _step_cost_ms(tree_policy, encoder, mask, target)
+        flat_ms = _step_cost_ms(flat_policy, encoder, mask, target)
+        rows.append([n_users, tree_ms, flat_ms, flat_ms / tree_ms])
+    return rows
+
+
+def test_x2_flat_vs_tree_step_cost(benchmark, report):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    report(
+        format_table(
+            ["source users", "tree ms/step", "flat ms/step", "flat/tree"],
+            rows,
+            title="X2 — REINFORCE step cost, tree vs flat policy "
+            "(paper: PolicyNetwork timed out on 478k Netflix users)",
+        )
+    )
+    tree_costs = [r[1] for r in rows]
+    flat_costs = [r[2] for r in rows]
+    population_growth = POPULATIONS[-1] / POPULATIONS[0]
+    # Tree cost is near-constant: grows far slower than the population.
+    assert tree_costs[-1] < tree_costs[0] * population_growth / 4
+    # Flat cost clearly grows with the population.
+    assert flat_costs[-1] > flat_costs[0] * 2
+    # At the largest population the tree policy is the cheaper one.
+    assert flat_costs[-1] > tree_costs[-1]

@@ -1,0 +1,68 @@
+"""Why copy instead of generate? Detection evasion (paper Section 1).
+
+The paper motivates CopyAttack with the observation that generated fake
+profiles are easy to detect.  This example fits an unsupervised shilling
+detector on the clean target domain and compares its detection rate on
+
+* classic generated profiles (random / average / bandwagon shilling), vs
+* profiles copied from real source-domain users (CopyAttack's supply).
+
+Run:  python examples/defense_evasion.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attack import ShillingAttack
+from repro.data import SyntheticConfig, generate_cross_domain, sample_target_items
+from repro.defense import ShillingDetector
+
+
+def main() -> None:
+    config = SyntheticConfig(
+        n_universe_items=200, n_target_items=150, n_source_items=160,
+        n_overlap_items=120, n_target_users=200, n_source_users=400,
+        target_profile_mean=18.0, source_profile_mean=22.0,
+        softmax_temperature=0.55, popularity_weight=0.35,
+        popularity_exponent=0.8, rating_keep_probability_scale=4.0,
+        name="evasion",
+    )
+    cross = generate_cross_domain(config, seed=21)
+    target_item = int(sample_target_items(cross, n=1, min_source_supporters=10, seed=22)[0])
+
+    detector = ShillingDetector(target_false_positive_rate=0.05).fit(cross.target)
+    popularity = cross.target.popularity()
+
+    print(f"Detector calibrated at 5% false-positive rate on "
+          f"{cross.target.n_users} organic profiles.")
+    print(f"Target item: {target_item}\n")
+    print(f"{'profile source':24s} {'n':>4s} {'flagged':>8s} {'rate':>7s}")
+
+    n_profiles = 30
+    for strategy in ("random", "average", "bandwagon"):
+        attack = ShillingAttack(popularity, strategy=strategy,
+                                profile_length=20, seed=23)
+        profiles = [attack.make_profile(target_item) for _ in range(n_profiles)]
+        report = detector.inspect(profiles)
+        print(f"{attack.name:24s} {report.n_profiles:4d} {report.n_flagged:8d} "
+              f"{report.detection_rate:7.2%}")
+
+    supporters = cross.source.users_with_item(target_item)
+    rng = np.random.default_rng(24)
+    chosen = rng.choice(supporters, size=min(n_profiles, supporters.size), replace=False)
+    copied = [cross.source.user_profile(int(u)) for u in chosen]
+    report = detector.inspect(copied)
+    print(f"{'Copied (CopyAttack)':24s} {report.n_profiles:4d} {report.n_flagged:8d} "
+          f"{report.detection_rate:7.2%}")
+
+    organic = [cross.target.user_profile(u) for u in range(n_profiles)]
+    report = detector.inspect(organic)
+    print(f"{'Organic (reference)':24s} {report.n_profiles:4d} {report.n_flagged:8d} "
+          f"{report.detection_rate:7.2%}")
+    print("\nCopied cross-domain profiles look statistically organic — the "
+          "paper's core motivation for copying rather than generating.")
+
+
+if __name__ == "__main__":
+    main()

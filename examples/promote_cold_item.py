@@ -1,0 +1,49 @@
+"""Method shoot-out: every attack from the paper's Table 2 on one dataset.
+
+Uses the experiment harness to prepare a scaled ML10M-Flixster analogue
+and run WithoutAttack, RandomAttack, the TargetAttack family, the
+CopyAttack ablations, and full CopyAttack — printing a paper-style table.
+
+This is the long-form example (a few minutes); see quickstart.py for the
+minimal path.
+
+Run:  python examples/promote_cold_item.py [--fast]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    SMALL,
+    ML10M_FX,
+    format_table2,
+    prepare_experiment,
+    run_table2,
+)
+from repro.utils import enable_console_logging
+
+
+def main() -> None:
+    enable_console_logging()
+    fast = "--fast" in sys.argv
+    config = SMALL if fast else ML10M_FX
+    print(f"Preparing the {config.name} experiment "
+          f"({config.synthetic.n_target_users} target users, "
+          f"{config.synthetic.n_source_users} source users)...")
+    prep = prepare_experiment(config)
+    print(f"Target model test HR@10 = {prep.trained.test_metrics['hr@10']:.4f}")
+    print(f"Target items: {prep.target_items.tolist()}\n")
+
+    results = run_table2(prep)
+    print()
+    print(format_table2(results, config.name))
+    print(
+        "\nExpected shape (paper Table 2): CopyAttack best on every metric;\n"
+        "RandomAttack and CopyAttack-Masking indistinguishable from\n"
+        "WithoutAttack; crafting (vs CopyAttack-Length) cuts the item budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Anatomy of the hierarchical-structure policy (paper Section 4.3).
+
+Shows the machinery that makes CopyAttack scale to large source domains:
+
+* the balanced k-means clustering tree over MF user embeddings,
+* the per-target-item masking mechanism pruning useless subtrees,
+* a sampled root-to-leaf walk with its factored log-probability,
+* the per-decision cost of the tree policy vs the flat PolicyNetwork
+  baseline as the source domain grows (the paper's 48-hour anecdote).
+
+Run:  python examples/tree_policy_anatomy.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.attack import HierarchicalClusterTree, TargetItemMask
+from repro.attack.policies import FlatPolicy, HierarchicalTreePolicy, PolicyStateEncoder
+from repro.data import SyntheticConfig, generate_cross_domain
+from repro.recsys import MatrixFactorization
+
+
+def main() -> None:
+    config = SyntheticConfig(
+        n_universe_items=160, n_target_items=120, n_source_items=130,
+        n_overlap_items=100, n_target_users=100, n_source_users=300,
+        target_profile_mean=14.0, source_profile_mean=18.0, name="anatomy",
+    )
+    cross = generate_cross_domain(config, seed=5)
+    mf = MatrixFactorization(n_epochs=20, seed=6).fit(cross.source)
+
+    # -- the clustering tree --------------------------------------------------
+    rng = np.random.default_rng(7)
+    tree = HierarchicalClusterTree.from_depth(mf.user_factors, depth=3, seed=rng)
+    print(f"Source users: {tree.n_users}")
+    print(f"Tree: branching={tree.branching}, depth={tree.depth}, "
+          f"policy networks={tree.n_policy_nodes}")
+    print(f"Balance (max sibling size gap): {tree.validate_balance()}")
+    print(f"Paper relation c^(d-1) < n <= c^d: "
+          f"{tree.branching ** (tree.depth - 1)} < {tree.n_users} "
+          f"<= {tree.branching ** tree.depth}")
+
+    # -- masking --------------------------------------------------------------
+    pop = cross.target.popularity()
+    target = next(int(v) for v in cross.overlap_items
+                  if pop[v] < 8 and cross.source.users_with_item(int(v)).size >= 5)
+    mask = TargetItemMask(cross.source, target)
+    n_supporters = int(mask.allowed_users().sum())
+    print(f"\nTarget item {target}: {n_supporters}/{tree.n_users} source "
+          f"profiles contain it; the rest of the tree is masked.")
+
+    # -- one policy walk --------------------------------------------------------
+    encoder = PolicyStateEncoder(mf.user_factors, mf.item_factors, rng)
+    policy = HierarchicalTreePolicy(tree, encoder.state_dim, 16, rng)
+    state = encoder.encode(target, selected_users=[])
+    result = policy.select(state, mask, seed=rng)
+    print(f"\nSampled walk: path through policy nodes {result.path_node_ids} "
+          f"-> source user {result.user_id}")
+    print(f"Path log-probability: {result.log_prob.item():.4f} "
+          f"({result.n_decisions} decisions)")
+    print(f"Selected profile: {cross.source.user_profile(result.user_id)}")
+
+    # -- decision + update cost: tree vs flat ----------------------------------
+    # REINFORCE needs select() AND the backward pass through the chosen
+    # log-probability; the flat policy's backward touches an n_users-wide
+    # weight matrix, the tree's only d small ones.
+    print("\nPer select+backward wall time (tree vs flat policy):")
+    print(f"{'users':>8s} {'tree ms':>9s} {'flat ms':>9s} {'flat/tree':>10s}")
+    for n_users in (1000, 8000, 32000):
+        emb = np.random.default_rng(1).normal(size=(n_users, 8))
+        t = HierarchicalClusterTree.from_depth(emb, depth=3, seed=1)
+        enc = PolicyStateEncoder(emb, mf.item_factors, np.random.default_rng(2))
+        tree_policy = HierarchicalTreePolicy(t, enc.state_dim, 16, np.random.default_rng(3))
+        flat_policy = FlatPolicy(n_users, enc.state_dim, 16, np.random.default_rng(4))
+        free = TargetItemMask(cross.source, target, enabled=False)
+        # Pad the mask to this synthetic population size and cache per-node
+        # admissibility over the tree (what CopyAttackAgent does internally).
+        free._static_allowed = np.ones(n_users, dtype=bool)
+        free._build_node_cache(t)
+
+        def timed(policy):
+            policy.zero_grad()  # once per episode, like the REINFORCE trainer
+            start = time.perf_counter()
+            for trial in range(15):
+                s = enc.encode(target, [])
+                result = policy.select(s, free, seed=trial)
+                result.log_prob.backward()
+            return (time.perf_counter() - start) / 15 * 1e3
+
+        tree_ms = timed(tree_policy)
+        flat_ms = timed(flat_policy)
+        print(f"{n_users:8d} {tree_ms:9.3f} {flat_ms:9.3f} {flat_ms / tree_ms:10.2f}")
+    print("\nThe flat policy's per-step cost grows linearly with the source "
+          "population; the tree policy's stays near-constant — the reason "
+          "the paper's PolicyNetwork baseline timed out on the Netflix-scale "
+          "source domain.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim enabling legacy editable installs (`pip install -e . --no-use-pep517`).
+
+The execution environment has no `wheel` package and no network access, so
+the PEP 517 editable path (which builds a wheel) is unavailable.  All
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""CopyAttack reproduction: black-box recommender attacks via cross-domain profile copying.
+
+Reproduces Fan et al., "Attacking Black-box Recommendations via Copying
+Cross-domain User Profiles" (ICDE 2021) from scratch: a numpy autograd
+substrate, MF and PinSage-style recommenders, the hierarchical-policy
+CopyAttack framework with masking and profile crafting, every baseline from
+the paper, and a benchmark harness regenerating each table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    BudgetExhaustedError,
+    ConfigurationError,
+    DataError,
+    GradientError,
+    MaskedTreeError,
+    NotFittedError,
+    ReproError,
+    ShapeError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ConfigurationError",
+    "DataError",
+    "ShapeError",
+    "GradientError",
+    "BudgetExhaustedError",
+    "MaskedTreeError",
+    "NotFittedError",
+]

@@ -1,0 +1,70 @@
+"""CopyAttack core: environment, tree, policies, crafting, baselines."""
+
+from repro.attack.baselines import RandomAttack, ShillingAttack, TargetAttack
+from repro.attack.budget import AttackBudget
+from repro.attack.copyattack import AttackRunResult, CopyAttackAgent, CopyAttackConfig
+from repro.attack.crafting import (
+    WINDOW_LEVELS,
+    clip_profile,
+    random_subset,
+    similarity_subset,
+)
+from repro.attack.environment import AttackEnvironment, EpisodeTrace, StepOutcome
+from repro.attack.policies import (
+    CraftingPolicy,
+    CraftResult,
+    FlatPolicy,
+    HierarchicalTreePolicy,
+    PolicyStateEncoder,
+    SelectionResult,
+)
+from repro.attack.pretend_users import create_pretend_users
+from repro.attack.recording import AttackRunRecord, load_records, save_records
+from repro.attack.reinforce import EpisodeBuffer, ReinforceTrainer, discounted_returns
+from repro.attack.rewards import DemotionReward, HitRatioReward
+from repro.attack.tree import (
+    HierarchicalClusterTree,
+    TargetItemMask,
+    TreeNode,
+    balanced_kmeans,
+    nearest_source_items,
+    surrogate_mask,
+)
+
+__all__ = [
+    "AttackBudget",
+    "AttackEnvironment",
+    "StepOutcome",
+    "EpisodeTrace",
+    "HitRatioReward",
+    "DemotionReward",
+    "create_pretend_users",
+    "WINDOW_LEVELS",
+    "clip_profile",
+    "random_subset",
+    "similarity_subset",
+    "balanced_kmeans",
+    "HierarchicalClusterTree",
+    "TreeNode",
+    "TargetItemMask",
+    "PolicyStateEncoder",
+    "HierarchicalTreePolicy",
+    "FlatPolicy",
+    "CraftingPolicy",
+    "SelectionResult",
+    "CraftResult",
+    "EpisodeBuffer",
+    "ReinforceTrainer",
+    "discounted_returns",
+    "CopyAttackConfig",
+    "CopyAttackAgent",
+    "AttackRunResult",
+    "RandomAttack",
+    "TargetAttack",
+    "ShillingAttack",
+    "AttackRunRecord",
+    "save_records",
+    "load_records",
+    "nearest_source_items",
+    "surrogate_mask",
+]

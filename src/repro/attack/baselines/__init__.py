@@ -1,0 +1,7 @@
+"""Attack baselines: random/target-constrained copying and classic shilling."""
+
+from repro.attack.baselines.random_attack import RandomAttack
+from repro.attack.baselines.shilling import ShillingAttack
+from repro.attack.baselines.target_attack import TargetAttack
+
+__all__ = ["RandomAttack", "TargetAttack", "ShillingAttack"]

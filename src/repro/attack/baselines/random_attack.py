@@ -1,0 +1,42 @@
+"""RandomAttack baseline (paper Section 5.1.4).
+
+Samples source-domain user profiles uniformly at random — no target-item
+constraint, no crafting.  Table 2 shows it barely moves the target item
+(most random profiles do not even contain it), which is the control that
+separates "injecting traffic" from "injecting the *right* traffic".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attack.environment import AttackEnvironment, EpisodeTrace
+from repro.data.interactions import InteractionDataset
+from repro.utils.rng import make_rng
+
+__all__ = ["RandomAttack"]
+
+
+class RandomAttack:
+    """Uniformly random cross-domain profile copying."""
+
+    name = "RandomAttack"
+
+    def __init__(
+        self,
+        source: InteractionDataset,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.source = source
+        self._rng = make_rng(seed)
+
+    def attack(self, env: AttackEnvironment) -> EpisodeTrace:
+        """Inject random source profiles until the budget is spent."""
+        env.reset()
+        candidates = self._rng.permutation(self.source.n_users)
+        cursor = 0
+        while not env.done:
+            user_id = int(candidates[cursor % candidates.size])
+            cursor += 1
+            env.step(self.source.user_profile(user_id), selected_user=user_id)
+        return env.trace

@@ -1,0 +1,84 @@
+"""Classic shilling (fake-profile) attacks.
+
+These are the *generated-profile* attacks the paper's introduction argues
+against: defenses detect them because their profiles "present very
+different patterns from real profiles".  We implement the three standard
+variants so the defense extension (benchmark X3) can quantify exactly
+that: a detector flags these profiles at a far higher rate than the
+profiles CopyAttack copies from real source-domain users.
+
+* **RandomShilling** — filler items sampled uniformly, plus the target;
+* **AverageShilling** — filler items sampled by popularity (mimicking the
+  average user), plus the target;
+* **BandwagonShilling** — filler drawn from the most popular ("bandwagon")
+  items only, plus the target.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attack.environment import AttackEnvironment, EpisodeTrace
+from repro.errors import ConfigurationError
+from repro.utils.rng import make_rng
+
+__all__ = ["ShillingAttack"]
+
+_STRATEGIES = ("random", "average", "bandwagon")
+
+
+class ShillingAttack:
+    """Fake-profile injection with a configurable filler strategy."""
+
+    def __init__(
+        self,
+        popularity: np.ndarray,
+        strategy: str = "random",
+        profile_length: int = 10,
+        bandwagon_fraction: float = 0.1,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if strategy not in _STRATEGIES:
+            raise ConfigurationError(f"strategy must be one of {_STRATEGIES}")
+        if profile_length < 2:
+            raise ConfigurationError("profile_length must be at least 2")
+        self.popularity = np.asarray(popularity, dtype=np.float64)
+        self.strategy = strategy
+        self.profile_length = profile_length
+        self.bandwagon_fraction = bandwagon_fraction
+        self._rng = make_rng(seed)
+
+    @property
+    def name(self) -> str:
+        return f"{self.strategy.capitalize()}Shilling"
+
+    def make_profile(self, target_item: int) -> tuple[int, ...]:
+        """Generate one fake profile containing the target item."""
+        n_items = self.popularity.size
+        n_filler = self.profile_length - 1
+        rng = self._rng
+        if self.strategy == "random":
+            weights = np.ones(n_items)
+        elif self.strategy == "average":
+            weights = self.popularity + 1e-9
+        else:  # bandwagon
+            weights = np.zeros(n_items)
+            # The bandwagon pool must be large enough to fill the profile
+            # (+1 spare in case the target item sits inside the pool).
+            n_top = max(1, int(n_items * self.bandwagon_fraction), n_filler + 1)
+            top = np.argsort(-self.popularity, kind="stable")[:n_top]
+            weights[top] = 1.0
+        weights[target_item] = 0.0
+        weights = weights / weights.sum()
+        filler = rng.choice(n_items, size=n_filler, replace=False, p=weights)
+        # The target sits at a random position, like an organic interaction.
+        profile = filler.tolist()
+        profile.insert(int(rng.integers(0, n_filler + 1)), int(target_item))
+        return tuple(int(v) for v in profile)
+
+    def attack(self, env: AttackEnvironment) -> EpisodeTrace:
+        """Inject generated fake profiles until the budget is spent."""
+        env.reset()
+        while not env.done:
+            env.step(self.make_profile(env.target_item))
+        return env.trace

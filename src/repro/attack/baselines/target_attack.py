@@ -1,0 +1,68 @@
+"""TargetAttack baselines (paper Section 5.1.4).
+
+Samples source profiles *that contain the target item* and clips each to a
+fixed keep-fraction with the same window operation CopyAttack's crafting
+policy uses:
+
+* ``TargetAttack40``  — keep 40% around the target item;
+* ``TargetAttack70``  — keep 70%;
+* ``TargetAttack100`` — inject the raw profile unchanged.
+
+These isolate how much of CopyAttack's edge comes from learning *which*
+supporters to copy and *how much* of each profile to keep, versus the
+simple heuristic of "any supporter, fixed clip".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attack.crafting import clip_profile
+from repro.attack.environment import AttackEnvironment, EpisodeTrace
+from repro.data.interactions import InteractionDataset
+from repro.errors import ConfigurationError
+from repro.utils.rng import make_rng
+
+__all__ = ["TargetAttack"]
+
+
+class TargetAttack:
+    """Random supporters of the target item, fixed-fraction clipping."""
+
+    def __init__(
+        self,
+        source: InteractionDataset,
+        keep_fraction: float,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if not 0.0 < keep_fraction <= 1.0:
+            raise ConfigurationError("keep_fraction must be in (0, 1]")
+        self.source = source
+        self.keep_fraction = keep_fraction
+        self._rng = make_rng(seed)
+
+    @property
+    def name(self) -> str:
+        return f"TargetAttack{int(round(self.keep_fraction * 100))}"
+
+    def attack(self, env: AttackEnvironment) -> EpisodeTrace:
+        """Inject clipped supporter profiles until the budget is spent."""
+        env.reset()
+        supporters = self.source.users_with_item(env.target_item)
+        if supporters.size == 0:
+            raise ConfigurationError(
+                f"no source profile contains target item {env.target_item}"
+            )
+        order = self._rng.permutation(supporters)
+        cursor = 0
+        while not env.done:
+            user_id = int(order[cursor % order.size])
+            cursor += 1
+            profile = self.source.user_profile(user_id)
+            crafted = (
+                profile
+                if self.keep_fraction >= 1.0
+                else clip_profile(profile, env.target_item, self.keep_fraction)
+            )
+            env.step(crafted, selected_user=user_id)
+        return env.trace

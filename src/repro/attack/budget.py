@@ -1,0 +1,79 @@
+"""Attack budget accounting.
+
+Section 3 defines the budget ``Δ`` as the number of profiles the attacker
+may copy; Section 5.2 additionally reports the *item budget* (interactions
+per injected profile) that profile crafting reduces.  :class:`AttackBudget`
+tracks both plus the query count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BudgetExhaustedError, ConfigurationError
+
+__all__ = ["AttackBudget"]
+
+
+@dataclass
+class AttackBudget:
+    """Mutable budget state for one attack run.
+
+    Parameters
+    ----------
+    max_profiles:
+        Maximum number of user profiles to inject (paper default: 30).
+    max_queries:
+        Optional hard cap on queries to the target system.
+    """
+
+    max_profiles: int = 30
+    max_queries: int | None = None
+    profiles_used: int = 0
+    interactions_used: int = 0
+    queries_used: int = 0
+    _profile_lengths: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.max_profiles <= 0:
+            raise ConfigurationError("max_profiles must be positive")
+        if self.max_queries is not None and self.max_queries <= 0:
+            raise ConfigurationError("max_queries must be positive when set")
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the profile budget is spent."""
+        return self.profiles_used >= self.max_profiles
+
+    @property
+    def remaining_profiles(self) -> int:
+        return self.max_profiles - self.profiles_used
+
+    def spend_profile(self, n_interactions: int) -> None:
+        """Record one injected profile of ``n_interactions`` items."""
+        if self.exhausted:
+            raise BudgetExhaustedError(
+                f"profile budget of {self.max_profiles} already spent"
+            )
+        self.profiles_used += 1
+        self.interactions_used += int(n_interactions)
+        self._profile_lengths.append(int(n_interactions))
+
+    def spend_query(self) -> None:
+        """Record one query round against the target system."""
+        if self.max_queries is not None and self.queries_used >= self.max_queries:
+            raise BudgetExhaustedError(f"query budget of {self.max_queries} already spent")
+        self.queries_used += 1
+
+    def mean_profile_length(self) -> float:
+        """Average items per injected profile (Table 2's last column)."""
+        if not self._profile_lengths:
+            return 0.0
+        return sum(self._profile_lengths) / len(self._profile_lengths)
+
+    def reset(self) -> None:
+        """Clear all counters (new episode)."""
+        self.profiles_used = 0
+        self.interactions_used = 0
+        self.queries_used = 0
+        self._profile_lengths = []

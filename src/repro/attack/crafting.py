@@ -1,0 +1,94 @@
+"""Profile crafting: the clipping operation of Section 4.4.
+
+The crafting policy chooses a window size ``w`` from ten discrete levels
+(10% .. 100% of the profile length); the profile is clipped *around the
+target item* so both forward and backward temporally-related items are
+kept.  The paper's worked example: a 10-item profile with the target at
+position 5 clipped at 50% keeps ``v3 -> v4 -> v5* -> v6 -> v7``.
+
+Alternatives the paper argues against — and which we implement anyway so
+the ablation bench can measure the argument — are random subset selection
+(loses temporal locality) and most-similar-item selection (produces
+unnaturally focused profiles that detectors flag).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import make_rng
+
+__all__ = ["WINDOW_LEVELS", "clip_profile", "random_subset", "similarity_subset"]
+
+#: The action set W of the crafting policy: ten discrete keep-fractions.
+WINDOW_LEVELS: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+def _window_size(profile_length: int, fraction: float) -> int:
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigurationError(f"fraction must be in (0, 1], got {fraction}")
+    return max(1, round(profile_length * fraction))
+
+
+def clip_profile(
+    profile: tuple[int, ...] | list[int],
+    target_item: int,
+    fraction: float,
+) -> tuple[int, ...]:
+    """Keep ``fraction`` of ``profile`` as a contiguous window around the target.
+
+    The window is centred on the target item's position, shifted inward at
+    profile boundaries so the kept length is always ``round(len * fraction)``
+    (minimum 1).  The target item is always retained.
+
+    Raises
+    ------
+    ConfigurationError
+        If the target item is not in the profile (crafting only applies to
+        profiles that contain the item being promoted).
+    """
+    profile = tuple(profile)
+    if target_item not in profile:
+        raise ConfigurationError("clip_profile requires the target item in the profile")
+    w = _window_size(len(profile), fraction)
+    pos = profile.index(target_item)
+    start = pos - (w - 1) // 2
+    start = max(0, min(start, len(profile) - w))
+    return profile[start : start + w]
+
+
+def random_subset(
+    profile: tuple[int, ...] | list[int],
+    target_item: int,
+    fraction: float,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[int, ...]:
+    """Ablation strategy: keep a random subset (plus the target), order preserved."""
+    profile = tuple(profile)
+    if target_item not in profile:
+        raise ConfigurationError("random_subset requires the target item in the profile")
+    rng = make_rng(seed)
+    w = _window_size(len(profile), fraction)
+    others = [i for i, v in enumerate(profile) if v != target_item]
+    keep = set(rng.choice(others, size=min(w - 1, len(others)), replace=False).tolist())
+    keep.add(profile.index(target_item))
+    return tuple(profile[i] for i in sorted(keep))
+
+
+def similarity_subset(
+    profile: tuple[int, ...] | list[int],
+    target_item: int,
+    fraction: float,
+    item_embeddings: np.ndarray,
+) -> tuple[int, ...]:
+    """Ablation strategy: keep the items most similar to the target, order preserved."""
+    profile = tuple(profile)
+    if target_item not in profile:
+        raise ConfigurationError("similarity_subset requires the target item in the profile")
+    w = _window_size(len(profile), fraction)
+    target_vec = item_embeddings[target_item]
+    sims = np.array([float(item_embeddings[v] @ target_vec) for v in profile])
+    sims[profile.index(target_item)] = np.inf  # always keep the target
+    keep = np.argsort(-sims, kind="stable")[:w]
+    return tuple(profile[i] for i in sorted(keep))

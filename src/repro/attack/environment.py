@@ -1,0 +1,165 @@
+"""The attack MDP (paper Section 4.2).
+
+State
+    The injected-so-far user profiles (exposed as the list of selected
+    source users plus injection count).
+Action
+    A crafted profile to inject (the composition of the selection action
+    ``a^u`` and the crafting action ``a^l`` happens in the agent).
+Transition
+    Deterministic injection into the black-box system.
+Reward
+    Hit ratio of the target item over the pretend users' top-k lists,
+    observed only on *query rounds* — the paper queries the target system
+    after every 3 injections, so intermediate steps yield ``None``.
+Terminal
+    Profile budget Δ exhausted, or the promotion goal reached early
+    (``success_threshold``).
+
+The environment owns a snapshot of the platform taken at construction
+time (after pretend users were established); :meth:`AttackEnvironment.reset`
+rolls the platform back to it, which is what makes multi-episode REINFORCE
+training possible against a stateful system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.attack.budget import AttackBudget
+from repro.attack.rewards import HitRatioReward
+from repro.errors import BudgetExhaustedError, ConfigurationError
+from repro.recsys.blackbox import BlackBoxRecommender
+
+__all__ = ["AttackEnvironment", "StepOutcome", "EpisodeTrace"]
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """Result of injecting one crafted profile."""
+
+    reward: float | None
+    done: bool
+    queried: bool
+    hit_ratio: float | None
+
+
+@dataclass
+class EpisodeTrace:
+    """Everything that happened in one episode (for analysis and tests)."""
+
+    injected_profiles: list[tuple[int, ...]] = field(default_factory=list)
+    selected_users: list[int] = field(default_factory=list)
+    rewards: list[float] = field(default_factory=list)
+    final_hit_ratio: float = 0.0
+
+    @property
+    def n_injected(self) -> int:
+        return len(self.injected_profiles)
+
+    def mean_profile_length(self) -> float:
+        if not self.injected_profiles:
+            return 0.0
+        return sum(len(p) for p in self.injected_profiles) / len(self.injected_profiles)
+
+
+class AttackEnvironment:
+    """Black-box promotion-attack environment for one target item."""
+
+    def __init__(
+        self,
+        blackbox: BlackBoxRecommender,
+        target_item: int,
+        pretend_user_ids: Sequence[int],
+        budget: int = 30,
+        query_interval: int = 3,
+        reward_k: int = 20,
+        success_threshold: float | None = 1.0,
+        reward_fn: HitRatioReward | None = None,
+    ) -> None:
+        if not pretend_user_ids:
+            raise ConfigurationError("environment requires at least one pretend user")
+        if query_interval <= 0:
+            raise ConfigurationError("query_interval must be positive")
+        if success_threshold is not None and not 0.0 < success_threshold <= 1.0:
+            raise ConfigurationError("success_threshold must be in (0, 1] or None")
+        if not 0 <= target_item < blackbox.n_items:
+            raise ConfigurationError(f"target item {target_item} outside catalog")
+        self.blackbox = blackbox
+        self.target_item = int(target_item)
+        self.pretend_user_ids = list(pretend_user_ids)
+        self.max_profiles = budget
+        self.query_interval = query_interval
+        # Pluggable reward: pass DemotionReward for the paper's future-work
+        # demotion attack; the default is the promotion HR of Eq. (1).
+        self.reward_fn = reward_fn if reward_fn is not None else HitRatioReward(k=reward_k)
+        self.success_threshold = success_threshold
+        self._base_snapshot = blackbox.snapshot()
+        self.budget = AttackBudget(max_profiles=budget)
+        self.trace = EpisodeTrace()
+        self._done = False
+
+    # -- episode control ----------------------------------------------------
+    def reset(self) -> None:
+        """Roll the platform back to its pre-attack state and clear counters."""
+        self.blackbox.restore(self._base_snapshot)
+        self.budget = AttackBudget(max_profiles=self.max_profiles)
+        self.trace = EpisodeTrace()
+        self._done = False
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def steps_taken(self) -> int:
+        return self.budget.profiles_used
+
+    # -- the transition -------------------------------------------------------
+    def step(self, profile: Sequence[int], selected_user: int | None = None) -> StepOutcome:
+        """Inject ``profile``; query for reward on query-round boundaries.
+
+        Parameters
+        ----------
+        profile:
+            The crafted item sequence to inject as a new user.
+        selected_user:
+            Source-domain user id the profile came from (trace bookkeeping;
+            optional for baselines that synthesise profiles).
+        """
+        if self._done:
+            raise BudgetExhaustedError("episode is over; call reset()")
+        self.budget.spend_profile(len(profile))
+        self.blackbox.inject(profile)
+        self.trace.injected_profiles.append(tuple(int(v) for v in profile))
+        if selected_user is not None:
+            self.trace.selected_users.append(int(selected_user))
+
+        at_budget = self.budget.exhausted
+        on_query_round = self.budget.profiles_used % self.query_interval == 0
+        reward: float | None = None
+        hit_ratio: float | None = None
+        if on_query_round or at_budget:
+            hit_ratio = self._query_hit_ratio()
+            reward = hit_ratio
+            self.trace.rewards.append(reward)
+            self.trace.final_hit_ratio = hit_ratio
+        succeeded = (
+            self.success_threshold is not None
+            and hit_ratio is not None
+            and hit_ratio >= self.success_threshold
+        )
+        self._done = at_budget or succeeded
+        return StepOutcome(reward=reward, done=self._done, queried=reward is not None, hit_ratio=hit_ratio)
+
+    def _query_hit_ratio(self) -> float:
+        self.budget.spend_query()
+        lists = self.blackbox.query(self.pretend_user_ids, k=self.reward_fn.k)
+        return self.reward_fn(self.target_item, lists)
+
+    def measure(self) -> float:
+        """Out-of-band hit-ratio measurement (not counted as an RL reward)."""
+        return self._query_hit_ratio()

@@ -1,0 +1,33 @@
+"""Shared types for the attack policies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["SelectionResult", "CraftResult"]
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of one user-selection decision.
+
+    ``log_prob`` is an autograd tensor: the sum of the log-probabilities of
+    every branching decision on the sampled root-to-leaf path, so REINFORCE
+    can backpropagate through all the policy networks that acted.
+    """
+
+    user_id: int
+    log_prob: Tensor
+    path_node_ids: tuple[int, ...]
+    n_decisions: int
+
+
+@dataclass
+class CraftResult:
+    """Outcome of one crafting decision (window-size choice)."""
+
+    fraction: float
+    level_index: int
+    log_prob: Tensor

@@ -1,0 +1,54 @@
+"""Crafting policy (paper Section 4.4).
+
+A single policy network chooses a window level ``w`` from
+``W = {10%, ..., 100%}`` given the state ``[p^B_i ⊕ q^B_{v*}]`` — the
+pre-trained MF embeddings of the selected user and the target item.  The
+chosen fraction parameterises :func:`repro.attack.crafting.clip_profile`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attack.crafting import WINDOW_LEVELS
+from repro.attack.policies.base import CraftResult
+from repro.errors import ConfigurationError
+from repro.nn import MLP, Module, Tensor
+from repro.nn import functional as F
+from repro.utils.rng import make_rng
+
+__all__ = ["CraftingPolicy"]
+
+
+class CraftingPolicy(Module):
+    """Picks the keep-fraction for a selected profile."""
+
+    def __init__(self, embedding_dim: int, hidden_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        if embedding_dim <= 0 or hidden_dim <= 0:
+            raise ConfigurationError("embedding_dim and hidden_dim must be positive")
+        self.embedding_dim = embedding_dim
+        self.mlp = MLP([2 * embedding_dim, hidden_dim, len(WINDOW_LEVELS)], rng)
+
+    def select(
+        self,
+        user_embedding: np.ndarray,
+        item_embedding: np.ndarray,
+        seed: int | np.random.Generator | None = None,
+        greedy: bool = False,
+    ) -> CraftResult:
+        """Choose a window level for the (user, target item) pair."""
+        rng = make_rng(seed)
+        state = Tensor(np.concatenate([user_embedding, item_embedding]))
+        log_probs = F.log_softmax(self.mlp(state))
+        probs = np.exp(log_probs.data)
+        probs = probs / probs.sum()
+        if greedy:
+            choice = int(np.argmax(probs))
+        else:
+            choice = int(rng.choice(probs.size, p=probs))
+        return CraftResult(
+            fraction=WINDOW_LEVELS[choice],
+            level_index=choice,
+            log_prob=log_probs[choice],
+        )

@@ -1,0 +1,66 @@
+"""Flat policy over the whole source-user action space (baseline).
+
+The paper's *PolicyNetwork* baseline "directly uses the policy gradient on
+the action space, without considering the hierarchical clustering tree."
+Its per-decision cost is linear in the number of source users — on the
+ML20M-Netflix pair the authors could not finish a run within 48 hours.
+Benchmark X2 reproduces that scaling argument by timing decisions of this
+policy against the tree policy as the user count grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attack.policies.base import SelectionResult
+from repro.attack.tree.masking import TargetItemMask
+from repro.errors import ConfigurationError, MaskedTreeError
+from repro.nn import MLP, Module, Tensor
+from repro.nn import functional as F
+from repro.utils.rng import make_rng
+
+__all__ = ["FlatPolicy"]
+
+
+class FlatPolicy(Module):
+    """Single softmax policy over all source users."""
+
+    def __init__(
+        self,
+        n_users: int,
+        state_dim: int,
+        hidden_dim: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        if n_users <= 0 or state_dim <= 0 or hidden_dim <= 0:
+            raise ConfigurationError("n_users, state_dim, hidden_dim must be positive")
+        self.n_users = n_users
+        self.mlp = MLP([state_dim, hidden_dim, n_users], rng)
+
+    def select(
+        self,
+        state: Tensor,
+        mask: TargetItemMask,
+        seed: int | np.random.Generator | None = None,
+        greedy: bool = False,
+    ) -> SelectionResult:
+        """Sample a user directly from the masked softmax over all users."""
+        rng = make_rng(seed)
+        allowed = mask.allowed_users()
+        if not allowed.any():
+            raise MaskedTreeError("every source user is masked or already copied")
+        logits = self.mlp(state)
+        log_probs = F.masked_log_softmax(logits, allowed)
+        probs = np.exp(log_probs.data)
+        probs = probs / probs.sum()
+        if greedy:
+            choice = int(np.argmax(probs))
+        else:
+            choice = int(rng.choice(probs.size, p=probs))
+        return SelectionResult(
+            user_id=choice,
+            log_prob=log_probs[choice],
+            path_node_ids=(),
+            n_decisions=1,
+        )

@@ -1,0 +1,53 @@
+"""Pretend users: the attacker's measurement accounts.
+
+Section 4.2: *"the set of users U^A* is a set of pretend users that the
+attacker had already established in the target domain before the injection
+attacks ... a proxy for determining how effective their copied user
+profiles are at promoting the target items to all users"*.
+
+We model them as accounts created with organic-looking profiles sampled
+from the target domain's popularity distribution (an attacker can observe
+popular items without any privileged access).  They are injected through
+the same black-box interface as any new user.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.recsys.blackbox import BlackBoxRecommender
+from repro.utils.rng import make_rng
+
+__all__ = ["create_pretend_users"]
+
+
+def create_pretend_users(
+    blackbox: BlackBoxRecommender,
+    popularity: np.ndarray,
+    n_users: int = 50,
+    profile_length: int = 10,
+    popularity_power: float = 0.75,
+    seed: int | np.random.Generator | None = None,
+) -> list[int]:
+    """Register ``n_users`` pretend accounts; returns their platform user ids.
+
+    Each account interacts with ``profile_length`` distinct items sampled
+    proportionally to ``popularity ** popularity_power`` (sub-linear so the
+    accounts are not pure chart-followers).
+    """
+    if n_users <= 0 or profile_length <= 0:
+        raise ConfigurationError("n_users and profile_length must be positive")
+    popularity = np.asarray(popularity, dtype=np.float64)
+    if popularity.ndim != 1 or popularity.size != blackbox.n_items:
+        raise ConfigurationError("popularity must have one weight per catalog item")
+    if profile_length >= popularity.size:
+        raise ConfigurationError("profile_length must be below the catalog size")
+    rng = make_rng(seed)
+    weights = np.power(np.maximum(popularity, 0.0), popularity_power) + 1e-9
+    weights /= weights.sum()
+    user_ids = []
+    for _ in range(n_users):
+        profile = rng.choice(popularity.size, size=profile_length, replace=False, p=weights)
+        user_ids.append(blackbox.inject([int(v) for v in profile]))
+    return user_ids

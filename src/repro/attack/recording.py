@@ -1,0 +1,127 @@
+"""Attack-run records: structured, serialisable experiment artifacts.
+
+Research code that only prints numbers loses them; this module captures an
+attack run — configuration, per-episode rewards, the executed trace, the
+evaluation metrics — as a plain-dict record that round-trips through JSON.
+The CLI and notebooks can then aggregate runs across seeds without
+re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.attack.copyattack import AttackRunResult, CopyAttackConfig
+from repro.attack.environment import EpisodeTrace
+from repro.errors import DataError
+
+__all__ = ["AttackRunRecord", "save_records", "load_records"]
+
+_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class AttackRunRecord:
+    """One attack run against one target item, flattened for storage."""
+
+    method: str
+    dataset: str
+    target_item: int
+    budget: int
+    episode_hit_ratios: tuple[float, ...]
+    final_hit_ratio: float
+    injected_profiles: tuple[tuple[int, ...], ...]
+    selected_users: tuple[int, ...]
+    mean_profile_length: float
+    metrics: dict[str, float] = field(default_factory=dict)
+    config: dict = field(default_factory=dict)
+    schema_version: int = _SCHEMA_VERSION
+
+    @classmethod
+    def from_run(
+        cls,
+        method: str,
+        dataset: str,
+        target_item: int,
+        budget: int,
+        result: AttackRunResult,
+        metrics: dict[str, float] | None = None,
+    ) -> "AttackRunRecord":
+        """Build a record from a :class:`CopyAttackAgent` run."""
+        return cls._from_trace(
+            method, dataset, target_item, budget, result.trace,
+            tuple(result.episode_hit_ratios), metrics,
+        )
+
+    @classmethod
+    def from_trace(
+        cls,
+        method: str,
+        dataset: str,
+        target_item: int,
+        budget: int,
+        trace: EpisodeTrace,
+        metrics: dict[str, float] | None = None,
+    ) -> "AttackRunRecord":
+        """Build a record from a baseline's episode trace."""
+        return cls._from_trace(method, dataset, target_item, budget, trace, (), metrics)
+
+    @classmethod
+    def _from_trace(cls, method, dataset, target_item, budget, trace, episodes, metrics):
+        return cls(
+            method=method,
+            dataset=dataset,
+            target_item=int(target_item),
+            budget=int(budget),
+            episode_hit_ratios=tuple(float(h) for h in episodes),
+            final_hit_ratio=float(trace.final_hit_ratio),
+            injected_profiles=tuple(tuple(int(v) for v in p) for p in trace.injected_profiles),
+            selected_users=tuple(int(u) for u in trace.selected_users),
+            mean_profile_length=float(trace.mean_profile_length()),
+            metrics=dict(metrics or {}),
+        )
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-safe)."""
+        payload = asdict(self)
+        payload["injected_profiles"] = [list(p) for p in self.injected_profiles]
+        payload["episode_hit_ratios"] = list(self.episode_hit_ratios)
+        payload["selected_users"] = list(self.selected_users)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AttackRunRecord":
+        """Inverse of :meth:`to_dict` (schema-checked)."""
+        if payload.get("schema_version") != _SCHEMA_VERSION:
+            raise DataError(
+                f"unsupported record schema {payload.get('schema_version')!r}"
+            )
+        return cls(
+            method=payload["method"],
+            dataset=payload["dataset"],
+            target_item=int(payload["target_item"]),
+            budget=int(payload["budget"]),
+            episode_hit_ratios=tuple(float(h) for h in payload["episode_hit_ratios"]),
+            final_hit_ratio=float(payload["final_hit_ratio"]),
+            injected_profiles=tuple(
+                tuple(int(v) for v in p) for p in payload["injected_profiles"]
+            ),
+            selected_users=tuple(int(u) for u in payload["selected_users"]),
+            mean_profile_length=float(payload["mean_profile_length"]),
+            metrics=dict(payload["metrics"]),
+        )
+
+
+def save_records(records: list[AttackRunRecord], path: str | Path) -> None:
+    """Write records to ``path`` as a JSON array."""
+    Path(path).write_text(json.dumps([r.to_dict() for r in records], indent=1))
+
+
+def load_records(path: str | Path) -> list[AttackRunRecord]:
+    """Load records written by :func:`save_records`."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"no record file at {path}")
+    return [AttackRunRecord.from_dict(p) for p in json.loads(path.read_text())]

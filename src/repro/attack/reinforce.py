@@ -1,0 +1,121 @@
+"""REINFORCE with discounted returns and a moving baseline.
+
+The paper optimises the hierarchical selection networks and the crafting
+network jointly with policy gradients [Williams, 1992] using discount
+factor γ = 0.6 (Section 5.1.3).  Rewards arrive only on query rounds
+(every ``query_interval`` injections); intermediate steps receive zero,
+and the discounted return
+
+    G_t = sum_{t' >= t} γ^(t'-t) · r_{t'}
+
+propagates query feedback back to the injections that caused it.  A
+running-average baseline reduces the (considerable) variance of the
+single-trajectory estimate, and global-norm gradient clipping keeps deep
+tree-path updates stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn import Adam, Tensor, clip_grad_norm
+from repro.nn.module import Module
+
+__all__ = ["discounted_returns", "ReinforceTrainer", "EpisodeBuffer"]
+
+
+def discounted_returns(rewards: list[float], gamma: float) -> np.ndarray:
+    """Per-step discounted returns for a reward sequence (zeros allowed)."""
+    if not 0.0 <= gamma <= 1.0:
+        raise ConfigurationError("gamma must be in [0, 1]")
+    returns = np.zeros(len(rewards))
+    running = 0.0
+    for t in range(len(rewards) - 1, -1, -1):
+        running = rewards[t] + gamma * running
+        returns[t] = running
+    return returns
+
+
+@dataclass
+class EpisodeBuffer:
+    """Per-step log-probs and rewards collected during one episode."""
+
+    log_probs: list[Tensor] = field(default_factory=list)
+    rewards: list[float] = field(default_factory=list)
+
+    def record(self, log_prob: Tensor, reward: float | None) -> None:
+        """Append one step (``reward`` may be None between query rounds)."""
+        self.log_probs.append(log_prob)
+        self.rewards.append(0.0 if reward is None else float(reward))
+
+    def __len__(self) -> int:
+        return len(self.log_probs)
+
+
+class ReinforceTrainer:
+    """Policy-gradient updates over one or more policy modules."""
+
+    def __init__(
+        self,
+        modules: list[Module],
+        lr: float = 0.001,
+        gamma: float = 0.6,
+        baseline_momentum: float = 0.8,
+        grad_clip: float = 5.0,
+    ) -> None:
+        if not modules:
+            raise ConfigurationError("ReinforceTrainer needs at least one module")
+        if not 0.0 <= baseline_momentum < 1.0:
+            raise ConfigurationError("baseline_momentum must be in [0, 1)")
+        self.modules = modules
+        params = [p for m in modules for p in m.parameters()]
+        self.optimizer = Adam(params, lr=lr)
+        self.gamma = gamma
+        self.baseline_momentum = baseline_momentum
+        self.grad_clip = grad_clip
+        self._baseline = 0.0
+        self._baseline_initialised = False
+
+    @property
+    def baseline(self) -> float:
+        """Current running-average return baseline."""
+        return self._baseline
+
+    def update(self, episode: EpisodeBuffer) -> dict[str, float]:
+        """One REINFORCE step from a completed episode.
+
+        Returns diagnostics: surrogate loss, mean return, baseline.
+        """
+        if len(episode) == 0:
+            raise ConfigurationError("cannot update from an empty episode")
+        returns = discounted_returns(episode.rewards, self.gamma)
+        mean_return = float(returns.mean())
+        if not self._baseline_initialised:
+            self._baseline = mean_return
+            self._baseline_initialised = True
+        advantages = returns - self._baseline
+        self._baseline = (
+            self.baseline_momentum * self._baseline
+            + (1.0 - self.baseline_momentum) * mean_return
+        )
+
+        loss: Tensor | None = None
+        for log_prob, advantage in zip(episode.log_probs, advantages):
+            term = log_prob * (-float(advantage))
+            loss = term if loss is None else loss + term
+        loss = loss * (1.0 / len(episode))
+
+        for module in self.modules:
+            module.zero_grad()
+        loss.backward()
+        grad_norm = clip_grad_norm(self.optimizer.params, self.grad_clip)
+        self.optimizer.step()
+        return {
+            "loss": float(loss.item()),
+            "mean_return": mean_return,
+            "baseline": self._baseline,
+            "grad_norm": grad_norm,
+        }

@@ -1,0 +1,45 @@
+"""Reward functions over query feedback (paper Eq. 1).
+
+The attacker's reward after a query round is the hit ratio of the target
+item in the top-k lists of the *pretend users* — attacker-controlled
+accounts whose recommendations proxy the whole user population:
+
+    r(s_t, a_t) = (1/|U*|) * sum_i HR(u*_i, v*, k)
+
+The class is deliberately generic over the hit test so a demotion variant
+(penalising presence instead of rewarding it) is a two-line subclass; the
+paper notes the ranking-based reward covers both directions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["HitRatioReward", "DemotionReward"]
+
+
+class HitRatioReward:
+    """Mean hit ratio of the target item over pretend users' top-k lists."""
+
+    def __init__(self, k: int = 20) -> None:
+        if k <= 0:
+            raise ConfigurationError("k must be positive")
+        self.k = k
+
+    def __call__(self, target_item: int, top_k_lists: Sequence[np.ndarray]) -> float:
+        """Compute the reward from one query round's feedback."""
+        if not top_k_lists:
+            raise ConfigurationError("reward requires at least one top-k list")
+        hits = sum(1.0 for items in top_k_lists if target_item in items[: self.k])
+        return hits / len(top_k_lists)
+
+
+class DemotionReward(HitRatioReward):
+    """Demotion variant: reward absence of the target item from top-k lists."""
+
+    def __call__(self, target_item: int, top_k_lists: Sequence[np.ndarray]) -> float:
+        return 1.0 - super().__call__(target_item, top_k_lists)

@@ -1,0 +1,21 @@
+"""Hierarchical clustering tree: balanced k-means, tree structure, masking."""
+
+from repro.attack.tree.balanced_kmeans import (
+    balanced_assignment,
+    balanced_kmeans,
+    kmeans,
+)
+from repro.attack.tree.hierarchy import HierarchicalClusterTree, TreeNode
+from repro.attack.tree.masking import TargetItemMask
+from repro.attack.tree.surrogate import nearest_source_items, surrogate_mask
+
+__all__ = [
+    "kmeans",
+    "balanced_assignment",
+    "balanced_kmeans",
+    "HierarchicalClusterTree",
+    "TreeNode",
+    "TargetItemMask",
+    "nearest_source_items",
+    "surrogate_mask",
+]

@@ -1,0 +1,180 @@
+"""The hierarchical clustering tree over source-user profiles.
+
+Paper Section 4.3.1: leaves are cross-domain user profiles, each non-leaf
+node hosts a policy network, and selecting a user means walking root-to-
+leaf.  The tree is built top-down with balanced k-means on the MF user
+embeddings; with branching factor ``c`` and ``n`` users the depth ``d``
+satisfies ``c^(d-1) < n <= c^d``, and there are ``(c^d - 1)/(c - 1)``
+non-leaf slots in a complete tree (ours is as compact as the data allows).
+
+:meth:`HierarchicalClusterTree.from_depth` mirrors the paper's tuning knob
+(Figure 3 sweeps the depth; the branching factor follows from it).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.attack.tree.balanced_kmeans import balanced_kmeans
+from repro.errors import ConfigurationError
+from repro.utils.rng import make_rng
+
+__all__ = ["TreeNode", "HierarchicalClusterTree"]
+
+
+@dataclass(eq=False)
+class TreeNode:
+    """One node of the clustering tree.
+
+    Non-leaf nodes carry ``node_id`` (the index of their policy network)
+    and children; leaves carry the source ``user_id`` they represent.
+    Every node knows its member users, which is what masking tests.
+    Identity comparison only (``eq=False``): nodes are graph vertices, and
+    field-wise equality over numpy members is both meaningless and broken.
+    """
+
+    members: np.ndarray
+    node_id: int | None = None
+    user_id: int | None = None
+    children: list["TreeNode"] = field(default_factory=list)
+    index: int = -1  # dense serial over ALL nodes (internal and leaves)
+    parent_index: int = -1
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.user_id is not None
+
+    def subtree_size(self) -> int:
+        if self.is_leaf:
+            return 1
+        return 1 + sum(child.subtree_size() for child in self.children)
+
+
+class HierarchicalClusterTree:
+    """Balanced policy tree over source users.
+
+    Parameters
+    ----------
+    embeddings:
+        ``(n_source_users, dim)`` MF user representations.
+    branching:
+        Children per non-leaf node (``c`` in the paper).
+    seed:
+        RNG for the k-means splits.
+    """
+
+    def __init__(
+        self,
+        embeddings: np.ndarray,
+        branching: int,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        if embeddings.ndim != 2 or embeddings.shape[0] == 0:
+            raise ConfigurationError("embeddings must be a non-empty 2-D array")
+        if branching < 2:
+            raise ConfigurationError("branching factor must be at least 2")
+        self.embeddings = embeddings
+        self.branching = branching
+        self._rng = make_rng(seed)
+        self.n_users = embeddings.shape[0]
+        self._next_node_id = 0
+        self.root = self._build(np.arange(self.n_users, dtype=np.int64))
+        self.n_policy_nodes = self._next_node_id
+        self.depth = self._measure_depth(self.root)
+        # Dense node indexing + parent pointers + user->leaf map; these make
+        # per-target masking O(nodes) to build and O(depth) to update when a
+        # user is excluded (see TargetItemMask).
+        self.nodes: list[TreeNode] = []
+        self.leaf_index_of_user = np.full(self.n_users, -1, dtype=np.int64)
+        stack = [(self.root, -1)]
+        while stack:
+            node, parent_index = stack.pop()
+            node.index = len(self.nodes)
+            node.parent_index = parent_index
+            self.nodes.append(node)
+            if node.is_leaf:
+                self.leaf_index_of_user[node.user_id] = node.index
+            else:
+                for child in node.children:
+                    stack.append((child, node.index))
+
+    # -- construction ----------------------------------------------------------
+    @classmethod
+    def from_depth(
+        cls,
+        embeddings: np.ndarray,
+        depth: int,
+        seed: int | np.random.Generator | None = None,
+    ) -> "HierarchicalClusterTree":
+        """Build a tree of (at most) ``depth`` levels of decisions.
+
+        The branching factor is the smallest ``c`` with ``c^depth >= n``,
+        i.e. ``ceil(n ** (1/depth))``, following the paper's relation
+        ``c^(d-1) < n <= c^d``.
+        """
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        n = embeddings.shape[0]
+        if depth < 1:
+            raise ConfigurationError("depth must be at least 1")
+        branching = max(2, math.ceil(n ** (1.0 / depth)))
+        while branching**depth < n:  # guard against float rounding
+            branching += 1
+        return cls(embeddings, branching=branching, seed=seed)
+
+    def _build(self, members: np.ndarray) -> TreeNode:
+        if members.size == 1:
+            return TreeNode(members=members, user_id=int(members[0]))
+        node = TreeNode(members=members, node_id=self._next_node_id)
+        self._next_node_id += 1
+        n_children = min(self.branching, members.size)
+        labels = balanced_kmeans(self.embeddings[members], n_children, seed=self._rng)
+        for c in range(n_children):
+            child_members = members[labels == c]
+            node.children.append(self._build(child_members))
+        return node
+
+    def _measure_depth(self, node: TreeNode) -> int:
+        if node.is_leaf:
+            return 0
+        return 1 + max(self._measure_depth(child) for child in node.children)
+
+    # -- queries ------------------------------------------------------------------
+    def leaves(self) -> list[TreeNode]:
+        """All leaf nodes in left-to-right order."""
+        out: list[TreeNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                out.append(node)
+            else:
+                stack.extend(reversed(node.children))
+        return out
+
+    def path_to_user(self, user_id: int) -> list[TreeNode]:
+        """Root-to-leaf node path for ``user_id`` (for tests/analysis)."""
+        if not 0 <= user_id < self.n_users:
+            raise ConfigurationError(f"user {user_id} outside [0, {self.n_users})")
+        path = [self.root]
+        node = self.root
+        while not node.is_leaf:
+            node = next(c for c in node.children if user_id in c.members)
+            path.append(node)
+        return path
+
+    def validate_balance(self) -> int:
+        """Max sibling size difference across all splits (0 or 1 when balanced)."""
+        worst = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                continue
+            sizes = [child.members.size for child in node.children]
+            worst = max(worst, max(sizes) - min(sizes))
+            stack.extend(node.children)
+        return worst

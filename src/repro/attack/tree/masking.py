@@ -1,0 +1,143 @@
+"""Masking mechanism (paper Section 4.3.2).
+
+For a given target item only the source users whose profile *contains*
+that item are useful; all other leaves — and every subtree containing
+none of them — are masked so the RL agent cannot waste queries exploring
+them.  Because the target item is drawn from the overlap, the mask never
+removes the whole tree (the paper makes the same observation).
+
+:class:`TargetItemMask` additionally supports *dynamic* exclusions: users
+already copied in the current episode are masked out so the agent does
+not inject the same profile twice.
+
+Complexity note.  When constructed with the clustering ``tree``, the mask
+precomputes per-node admissibility bottom-up (O(#nodes) once per target
+item) and updates only the excluded user's root path afterwards
+(O(depth) per exclusion).  Without a tree it falls back to scanning node
+member lists, which is O(subtree size) per query — fine for tests, too
+slow inside the RL loop on large source domains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attack.tree.hierarchy import HierarchicalClusterTree, TreeNode
+from repro.data.interactions import InteractionDataset
+from repro.errors import MaskedTreeError
+
+__all__ = ["TargetItemMask"]
+
+
+class TargetItemMask:
+    """Per-target-item admissibility of source users and tree nodes."""
+
+    def __init__(
+        self,
+        source: InteractionDataset,
+        target_item: int,
+        enabled: bool = True,
+        tree: HierarchicalClusterTree | None = None,
+    ) -> None:
+        self.target_item = int(target_item)
+        self.enabled = enabled
+        if enabled:
+            allowed = np.zeros(source.n_users, dtype=bool)
+            supporters = source.users_with_item(self.target_item)
+            allowed[supporters] = True
+        else:
+            allowed = np.ones(source.n_users, dtype=bool)
+        self._static_allowed = allowed
+        self._excluded: set[int] = set()
+        if enabled and not allowed.any():
+            raise MaskedTreeError(
+                f"no source profile contains item {target_item}; "
+                "target items must come from the cross-domain overlap"
+            )
+        self._tree = tree
+        self._static_ok: np.ndarray | None = None
+        self._ok: np.ndarray | None = None
+        if tree is not None:
+            self._build_node_cache(tree)
+
+    def _build_node_cache(self, tree: HierarchicalClusterTree) -> None:
+        ok = np.zeros(len(tree.nodes), dtype=bool)
+        # Children always carry larger indices than their parent, so a
+        # reverse sweep is a bottom-up evaluation.
+        for node in reversed(tree.nodes):
+            if node.is_leaf:
+                ok[node.index] = bool(self._static_allowed[node.user_id])
+            else:
+                ok[node.index] = any(ok[child.index] for child in node.children)
+        self._static_ok = ok
+        self._ok = ok.copy()
+
+    # -- dynamic exclusions ---------------------------------------------------
+    def exclude_user(self, user_id: int) -> None:
+        """Remove an already-copied user from the admissible set."""
+        user_id = int(user_id)
+        self._excluded.add(user_id)
+        if self._tree is not None:
+            index = int(self._tree.leaf_index_of_user[user_id])
+            self._ok[index] = False
+            index = self._tree.nodes[index].parent_index
+            while index >= 0:
+                node = self._tree.nodes[index]
+                new_value = any(self._ok[child.index] for child in node.children)
+                if new_value == self._ok[index]:
+                    break
+                self._ok[index] = new_value
+                index = node.parent_index
+
+    def reset_exclusions(self) -> None:
+        """Clear per-episode exclusions."""
+        self._excluded.clear()
+        if self._static_ok is not None:
+            self._ok = self._static_ok.copy()
+
+    # -- queries -----------------------------------------------------------------
+    def user_allowed(self, user_id: int) -> bool:
+        """Whether a single user is currently admissible."""
+        return bool(self._static_allowed[user_id]) and user_id not in self._excluded
+
+    def allowed_users(self) -> np.ndarray:
+        """Boolean vector over all source users (static minus excluded)."""
+        allowed = self._static_allowed.copy()
+        if self._excluded:
+            allowed[np.fromiter(self._excluded, dtype=np.int64)] = False
+        return allowed
+
+    def node_allowed(self, node: TreeNode) -> bool:
+        """Whether any member of ``node`` is admissible."""
+        if self._ok is not None and node.index >= 0:
+            return bool(self._ok[node.index])
+        members = node.members
+        allowed = self._static_allowed[members]
+        if self._excluded:
+            allowed = allowed & np.fromiter(
+                (int(u) not in self._excluded for u in members), dtype=bool, count=members.size
+            )
+        return bool(allowed.any())
+
+    def children_mask(self, node: TreeNode) -> np.ndarray:
+        """Boolean mask over a node's children (the policy's action mask).
+
+        Raises
+        ------
+        MaskedTreeError
+            If every child is masked; callers may then relax exclusions.
+        """
+        mask = np.fromiter(
+            (self.node_allowed(child) for child in node.children),
+            dtype=bool,
+            count=len(node.children),
+        )
+        if not mask.any():
+            raise MaskedTreeError(
+                f"all children masked at node {node.node_id} for item {self.target_item}"
+            )
+        return mask
+
+    def any_admissible(self, tree: HierarchicalClusterTree) -> bool:
+        """Whether the tree still contains an admissible leaf."""
+        return self.node_allowed(tree.root)

@@ -1,0 +1,77 @@
+"""Surrogate masking for out-of-source target items (paper future work).
+
+The paper's conclusion lists *"targeted attacks on items that need not be
+in the source domain"* as future work.  The obstacle is the masking
+mechanism: with no source profile containing the target item, the whole
+tree is masked and crafting has no anchor.
+
+:func:`surrogate_mask` implements the natural extension: find the target
+item's nearest neighbours in the source domain's (MF) item-embedding space
+and admit the users who interacted with any of them.  Crafting then clips
+around the *surrogate* item occupying the most similar role in the copied
+profile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attack.tree.hierarchy import HierarchicalClusterTree
+from repro.attack.tree.masking import TargetItemMask
+from repro.data.interactions import InteractionDataset
+from repro.errors import ConfigurationError, MaskedTreeError
+
+__all__ = ["nearest_source_items", "surrogate_mask"]
+
+
+def nearest_source_items(
+    target_item: int,
+    item_embeddings: np.ndarray,
+    source: InteractionDataset,
+    n_items: int = 5,
+) -> np.ndarray:
+    """Source-supported items most similar to ``target_item`` (cosine, MF space).
+
+    Only items that at least one source profile contains qualify — a
+    surrogate nobody interacted with is no anchor at all.
+    """
+    if n_items <= 0:
+        raise ConfigurationError("n_items must be positive")
+    embeddings = np.asarray(item_embeddings, dtype=np.float64)
+    norms = np.linalg.norm(embeddings, axis=1) + 1e-12
+    sims = (embeddings @ embeddings[target_item]) / (norms * norms[target_item])
+    sims[target_item] = -np.inf
+    supported = source.popularity() > 0
+    sims[~supported] = -np.inf
+    if not np.isfinite(sims).any():
+        raise MaskedTreeError("no source-supported surrogate items exist")
+    order = np.argsort(-sims, kind="stable")
+    order = order[np.isfinite(sims[order])]
+    return order[:n_items]
+
+
+def surrogate_mask(
+    source: InteractionDataset,
+    target_item: int,
+    item_embeddings: np.ndarray,
+    n_surrogates: int = 5,
+    tree: HierarchicalClusterTree | None = None,
+) -> tuple[TargetItemMask, np.ndarray]:
+    """Build a mask admitting users who interacted with surrogate items.
+
+    Returns the mask plus the surrogate item ids (callers anchor profile
+    crafting on whichever surrogate the selected profile contains).
+
+    The returned mask reports ``target_item`` as its target but its
+    admissible set is the union of the surrogates' supporters.
+    """
+    surrogates = nearest_source_items(target_item, item_embeddings, source, n_surrogates)
+    mask = TargetItemMask(source, int(surrogates[0]), enabled=True, tree=tree)
+    allowed = np.zeros(source.n_users, dtype=bool)
+    for item in surrogates:
+        allowed[source.users_with_item(int(item))] = True
+    mask.target_item = int(target_item)
+    mask._static_allowed = allowed
+    if tree is not None:
+        mask._build_node_cache(tree)
+    return mask, surrogates

@@ -1,0 +1,199 @@
+"""Command-line interface for the experiment harness.
+
+Usage (after ``pip install -e .``)::
+
+    repro-bench table1  --config ml10m_fx
+    repro-bench table2  --config small --episodes 8
+    repro-bench fig3    --config ml10m_fx --items 4 --episodes 16
+    repro-bench fig4    --config ml10m_fx --per-group 2
+    repro-bench budget  --config ml10m_fx          # figures 5/6
+    repro-bench quality --config ml20m_nf          # X1 gate
+    repro-bench method  --config small --method TargetAttack40
+
+or ``python -m repro.cli <subcommand> ...``.  Every run is deterministic
+given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments import (
+    METHOD_NAMES,
+    ML10M_FX,
+    ML20M_NF,
+    SMALL,
+    format_table,
+    format_table2,
+    prepare_experiment,
+    run_budget_sweep,
+    run_depth_sweep,
+    run_method,
+    run_popularity_sweep,
+    run_table2,
+    scaled_copy,
+)
+from repro.utils import enable_console_logging
+
+__all__ = ["main", "build_parser"]
+
+_CONFIGS = {"ml10m_fx": ML10M_FX, "ml20m_nf": ML20M_NF, "small": SMALL}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests and docs generation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="CopyAttack reproduction experiment runner",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override the config seed")
+    parser.add_argument(
+        "--config", choices=sorted(_CONFIGS), default="small",
+        help="dataset-pair configuration (default: small)",
+    )
+    parser.add_argument("--quiet", action="store_true", help="suppress progress logging")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="dataset statistics (paper Table 1)")
+
+    table2 = sub.add_parser("table2", help="full method comparison (paper Table 2)")
+    table2.add_argument("--episodes", type=int, default=None, help="RL episodes per item")
+
+    fig3 = sub.add_parser("fig3", help="tree-depth sweep (paper Figure 3)")
+    fig3.add_argument("--depths", type=int, nargs="+", default=[1, 2, 3, 4, 6])
+    fig3.add_argument("--items", type=int, default=None, help="number of target items")
+    fig3.add_argument("--episodes", type=int, default=16)
+
+    fig4 = sub.add_parser("fig4", help="popularity-decile sweep (paper Figure 4)")
+    fig4.add_argument("--groups", type=int, default=10)
+    fig4.add_argument("--per-group", type=int, default=2)
+    fig4.add_argument("--episodes", type=int, default=12)
+
+    budget = sub.add_parser("budget", help="budget sweep (paper Figures 5/6)")
+    budget.add_argument("--budgets", type=int, nargs="+", default=[5, 10, 20, 30])
+    budget.add_argument("--items", type=int, default=None)
+    budget.add_argument("--episodes", type=int, default=16)
+
+    sub.add_parser("quality", help="target-model quality gate (X1)")
+
+    method = sub.add_parser("method", help="run one named attack method")
+    method.add_argument("--method", choices=METHOD_NAMES, required=True)
+    method.add_argument("--budget", type=int, default=None)
+    method.add_argument("--episodes", type=int, default=None)
+
+    return parser
+
+
+def _metrics_row(label: str, outcome) -> list:
+    return [
+        label,
+        outcome.metrics.get("hr@20", float("nan")),
+        outcome.metrics.get("ndcg@20", float("nan")),
+        outcome.mean_profile_length,
+    ]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if not args.quiet:
+        enable_console_logging()
+    config = _CONFIGS[args.config]
+    if args.seed is not None:
+        config = scaled_copy(config, seed=args.seed)
+
+    if args.command == "table1":
+        # Statistics need only the generated data, not a trained model.
+        from repro.data import generate_cross_domain
+
+        cross = generate_cross_domain(config.synthetic, seed=config.seed)
+        stats = cross.statistics()
+        rows = [
+            ["target", int(stats["target"]["n_users"]), int(stats["target"]["n_items"]),
+             int(stats["target"]["n_interactions"])],
+            ["source", int(stats["source"]["n_users"]),
+             int(stats["source"]["n_overlapping_items"]),
+             int(stats["source"]["n_interactions"])],
+        ]
+        print(format_table(
+            ["domain", "users", "items/overlap", "interactions"], rows,
+            title=f"Table 1 — {config.name}",
+        ))
+        return 0
+
+    prep = prepare_experiment(config)
+    print(f"target model test HR@10 = {prep.trained.test_metrics['hr@10']:.4f}")
+
+    if args.command == "quality":
+        rows = [[k, v] for k, v in sorted(prep.trained.test_metrics.items())]
+        print(format_table(["metric", "value"], rows, title=f"X1 — {config.name}"))
+        return 0
+
+    if args.command == "table2":
+        if args.episodes is not None:
+            prep.config = scaled_copy(prep.config, n_episodes=args.episodes)
+        results = run_table2(prep)
+        print(format_table2(results, config.name))
+        return 0
+
+    if args.command == "fig3":
+        items = prep.target_items[: args.items] if args.items else prep.target_items
+        rows = []
+        for depth in args.depths:
+            outcome = run_method(
+                prep, "CopyAttack", target_items=items,
+                tree_depth=depth, n_episodes=args.episodes,
+            )
+            rows.append(_metrics_row(f"d={depth}", outcome))
+        print(format_table(
+            ["depth", "HR@20", "NDCG@20", "avg items/profile"], rows,
+            title=f"Figure 3 — {config.name}",
+        ))
+        return 0
+
+    if args.command == "fig4":
+        results = run_popularity_sweep(
+            prep, n_groups=args.groups, items_per_group=args.per_group,
+            n_episodes=args.episodes, seed=config.seed,
+        )
+        rows = [_metrics_row(f"decile {g}", out) for g, out in sorted(results.items())]
+        print(format_table(
+            ["popularity group", "HR@20", "NDCG@20", "avg items/profile"], rows,
+            title=f"Figure 4 — {config.name}",
+        ))
+        return 0
+
+    if args.command == "budget":
+        items = prep.target_items[: args.items] if args.items else prep.target_items
+        header = ["method"] + [f"Δ={b}" for b in args.budgets]
+        rows = []
+        for method in ("RandomAttack", "TargetAttack40", "TargetAttack70",
+                       "TargetAttack100", "CopyAttack"):
+            row: list = [method]
+            for budget in args.budgets:
+                outcome = run_method(
+                    prep, method, target_items=items, budget=budget,
+                    n_episodes=args.episodes if method == "CopyAttack" else None,
+                )
+                row.append(outcome.metrics["hr@20"])
+            rows.append(row)
+        print(format_table(header, rows, title=f"Figures 5/6 — HR@20, {config.name}"))
+        return 0
+
+    if args.command == "method":
+        outcome = run_method(
+            prep, args.method, budget=args.budget, n_episodes=args.episodes
+        )
+        rows = [[k, v] for k, v in sorted(outcome.metrics.items())]
+        rows.append(["avg items/profile", outcome.mean_profile_length])
+        rows.append(["wall time (s)", outcome.wall_time])
+        print(format_table(["metric", "value"], rows, title=f"{args.method} — {config.name}"))
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

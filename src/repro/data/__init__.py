@@ -1,0 +1,48 @@
+"""Data substrate: interactions, catalogs, alignment, synthesis, splits."""
+
+from repro.data.catalogs import ItemCatalog, make_shared_universe
+from repro.data.cross_domain import (
+    CrossDomainDataset,
+    align_catalogs,
+    reindex_source_to_target,
+)
+from repro.data.interactions import InteractionDataset
+from repro.data.io import (
+    load_catalog,
+    load_interactions,
+    save_catalog,
+    save_interactions,
+)
+from repro.data.negative_sampling import build_eval_candidates, sample_unseen_items
+from repro.data.popularity import popularity_groups, sample_items_from_group
+from repro.data.splits import SplitResult, train_val_test_split
+from repro.data.synthetic import (
+    SyntheticConfig,
+    generate_cross_domain,
+    generate_domain_pair,
+)
+from repro.data.targets import eligible_target_items, sample_target_items
+
+__all__ = [
+    "InteractionDataset",
+    "ItemCatalog",
+    "make_shared_universe",
+    "CrossDomainDataset",
+    "align_catalogs",
+    "reindex_source_to_target",
+    "SyntheticConfig",
+    "generate_domain_pair",
+    "generate_cross_domain",
+    "SplitResult",
+    "train_val_test_split",
+    "sample_unseen_items",
+    "build_eval_candidates",
+    "popularity_groups",
+    "sample_items_from_group",
+    "eligible_target_items",
+    "sample_target_items",
+    "save_interactions",
+    "load_interactions",
+    "save_catalog",
+    "load_catalog",
+]

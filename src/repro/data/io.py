@@ -1,0 +1,79 @@
+"""Dataset (de)serialisation.
+
+Interaction datasets round-trip through a compact npz layout (flat arrays
+plus profile offsets) and catalogs through JSON; experiments cache their
+generated domains so repeated benchmark runs skip regeneration.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.catalogs import ItemCatalog
+from repro.data.interactions import InteractionDataset
+from repro.errors import DataError
+
+__all__ = [
+    "save_interactions",
+    "load_interactions",
+    "save_catalog",
+    "load_catalog",
+]
+
+
+def save_interactions(dataset: InteractionDataset, path: str | Path) -> None:
+    """Write a dataset to ``path`` (npz)."""
+    items: list[int] = []
+    offsets = [0]
+    for _, profile in dataset.iter_profiles():
+        items.extend(profile)
+        offsets.append(len(items))
+    np.savez_compressed(
+        Path(path),
+        items=np.asarray(items, dtype=np.int64),
+        offsets=np.asarray(offsets, dtype=np.int64),
+        n_items=np.asarray([dataset.n_items], dtype=np.int64),
+        name=np.asarray([dataset.name]),
+    )
+
+
+def load_interactions(path: str | Path) -> InteractionDataset:
+    """Load a dataset written by :func:`save_interactions`."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"no dataset at {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        items = archive["items"]
+        offsets = archive["offsets"]
+        n_items = int(archive["n_items"][0])
+        name = str(archive["name"][0])
+    profiles = [
+        items[start:stop].tolist() for start, stop in zip(offsets[:-1], offsets[1:])
+    ]
+    return InteractionDataset(profiles, n_items=n_items, name=name)
+
+
+def save_catalog(catalog: ItemCatalog, path: str | Path) -> None:
+    """Write a catalog to ``path`` (JSON)."""
+    payload = {
+        "names": list(catalog.names),
+        "years": list(catalog.years),
+        "universe_ids": list(catalog.universe_ids),
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_catalog(path: str | Path) -> ItemCatalog:
+    """Load a catalog written by :func:`save_catalog`."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"no catalog at {path}")
+    payload = json.loads(path.read_text())
+    return ItemCatalog(
+        names=tuple(payload["names"]),
+        years=tuple(int(y) for y in payload["years"]),
+        universe_ids=tuple(int(i) for i in payload["universe_ids"]),
+    )

@@ -1,0 +1,57 @@
+"""Negative sampling for the paper's ranking protocol.
+
+Section 5.1.2: *"we randomly sample 100 items that the user did not
+interact with and then rank the test item among them."*  The same
+protocol measures attack success: the target item is ranked against 100
+sampled negatives for each evaluation user.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.interactions import InteractionDataset
+from repro.errors import DataError
+from repro.utils.rng import make_rng
+
+__all__ = ["sample_unseen_items", "build_eval_candidates"]
+
+
+def sample_unseen_items(
+    dataset: InteractionDataset,
+    user_id: int,
+    n: int,
+    seed: int | np.random.Generator | None = None,
+    exclude: tuple[int, ...] = (),
+) -> np.ndarray:
+    """Sample ``n`` distinct items the user has not interacted with.
+
+    ``exclude`` removes extra ids (e.g. the held-out positive) from the pool.
+    """
+    rng = make_rng(seed)
+    seen = set(dataset.user_profile_set(user_id)) | set(exclude)
+    pool = np.array([v for v in range(dataset.n_items) if v not in seen], dtype=np.int64)
+    if pool.size < n:
+        raise DataError(
+            f"user {user_id} has only {pool.size} unseen items, cannot sample {n}"
+        )
+    return rng.choice(pool, size=n, replace=False)
+
+
+def build_eval_candidates(
+    dataset: InteractionDataset,
+    pairs: tuple[tuple[int, int], ...],
+    n_negatives: int = 100,
+    seed: int | np.random.Generator | None = None,
+) -> list[tuple[int, np.ndarray]]:
+    """For each held-out (user, positive) pair, build its candidate list.
+
+    Returns ``(user_id, candidates)`` tuples where ``candidates[0]`` is the
+    positive item followed by ``n_negatives`` sampled negatives.
+    """
+    rng = make_rng(seed)
+    result = []
+    for user_id, positive in pairs:
+        negatives = sample_unseen_items(dataset, user_id, n_negatives, rng, exclude=(positive,))
+        result.append((user_id, np.concatenate([[positive], negatives])))
+    return result

@@ -1,0 +1,55 @@
+"""Item popularity analysis (Figure 4 substrate).
+
+Section 5.3.2 groups target-domain items into 10 popularity deciles and
+samples target items per decile to test which items are vulnerable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.interactions import InteractionDataset
+from repro.errors import ConfigurationError, DataError
+from repro.utils.rng import make_rng
+
+__all__ = ["popularity_groups", "sample_items_from_group"]
+
+
+def popularity_groups(
+    dataset: InteractionDataset,
+    n_groups: int = 10,
+    restrict_to: tuple[int, ...] | None = None,
+) -> list[np.ndarray]:
+    """Partition items into ``n_groups`` equal-size groups by popularity.
+
+    Group 0 holds the most popular items.  ``restrict_to`` limits the
+    grouping to a subset (e.g. overlap items, since targets must exist in
+    the source domain).  Group sizes differ by at most one item.
+    """
+    if n_groups <= 0:
+        raise ConfigurationError("n_groups must be positive")
+    counts = dataset.popularity()
+    items = (
+        np.asarray(sorted(restrict_to), dtype=np.int64)
+        if restrict_to is not None
+        else np.arange(dataset.n_items, dtype=np.int64)
+    )
+    if items.size < n_groups:
+        raise DataError(f"cannot form {n_groups} groups from {items.size} items")
+    order = items[np.argsort(-counts[items], kind="stable")]
+    return [np.sort(chunk) for chunk in np.array_split(order, n_groups)]
+
+
+def sample_items_from_group(
+    groups: list[np.ndarray],
+    group_index: int,
+    n: int,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Sample up to ``n`` items from one popularity group (without replacement)."""
+    rng = make_rng(seed)
+    if not 0 <= group_index < len(groups):
+        raise ConfigurationError(f"group_index {group_index} out of range")
+    group = groups[group_index]
+    k = min(n, group.size)
+    return rng.choice(group, size=k, replace=False)

@@ -1,0 +1,85 @@
+"""Train/validation/test splitting.
+
+The paper (Section 5.1.3) randomly splits the target domain 80/10/10.  We
+split per interaction while guaranteeing that every user keeps at least one
+training interaction (a user with an empty training profile would have no
+representation in the inductive target model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.interactions import InteractionDataset
+from repro.errors import ConfigurationError
+from repro.utils.rng import make_rng
+
+__all__ = ["SplitResult", "train_val_test_split"]
+
+
+@dataclass(frozen=True)
+class SplitResult:
+    """Outcome of a dataset split.
+
+    ``train`` is a full dataset (profiles keep their original interaction
+    order minus held-out items); ``val`` and ``test`` are held-out
+    ``(user_id, item_id)`` pairs used with the sampled-negative ranking
+    protocol.
+    """
+
+    train: InteractionDataset
+    val: tuple[tuple[int, int], ...]
+    test: tuple[tuple[int, int], ...]
+
+
+def train_val_test_split(
+    dataset: InteractionDataset,
+    fractions: tuple[float, float, float] = (0.8, 0.1, 0.1),
+    seed: int | np.random.Generator | None = None,
+) -> SplitResult:
+    """Split interactions into train/val/test with per-user train guarantees.
+
+    Parameters
+    ----------
+    dataset:
+        The full interaction dataset.
+    fractions:
+        Train/val/test proportions; must sum to 1.
+    seed:
+        Seed or generator for the random assignment.
+    """
+    if abs(sum(fractions) - 1.0) > 1e-9:
+        raise ConfigurationError(f"fractions must sum to 1, got {fractions}")
+    if any(f < 0 for f in fractions):
+        raise ConfigurationError("fractions must be non-negative")
+    if fractions[0] <= 0:
+        raise ConfigurationError("train fraction must be positive")
+    rng = make_rng(seed)
+
+    train_profiles: list[list[int]] = []
+    val_pairs: list[tuple[int, int]] = []
+    test_pairs: list[tuple[int, int]] = []
+    train_hi = fractions[0]
+    val_hi = fractions[0] + fractions[1]
+    for user_id, profile in dataset.iter_profiles():
+        draws = rng.random(len(profile))
+        train_items = [v for v, u in zip(profile, draws) if u < train_hi]
+        if not train_items:
+            # Force the earliest interaction into train to keep the user alive.
+            train_items = [profile[0]]
+            remaining = list(zip(profile[1:], draws[1:]))
+        else:
+            remaining = [(v, u) for v, u in zip(profile, draws) if u >= train_hi]
+        for item_id, u in remaining:
+            if item_id in train_items:
+                continue
+            if u < val_hi:
+                val_pairs.append((user_id, item_id))
+            else:
+                test_pairs.append((user_id, item_id))
+        train_profiles.append(train_items)
+
+    train = InteractionDataset(train_profiles, n_items=dataset.n_items, name=f"{dataset.name}-train")
+    return SplitResult(train=train, val=tuple(val_pairs), test=tuple(test_pairs))

@@ -1,0 +1,56 @@
+"""Target-item selection for promotion attacks.
+
+Section 5.1.3: *"We randomly sample 50 target items with less than 10
+interactions"* — cold items in the target domain that nevertheless exist
+in the source domain (otherwise masking would prune the whole tree).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.cross_domain import CrossDomainDataset
+from repro.errors import DataError
+from repro.utils.rng import make_rng
+
+__all__ = ["eligible_target_items", "sample_target_items"]
+
+
+def eligible_target_items(
+    cross: CrossDomainDataset,
+    max_target_interactions: int = 10,
+    min_source_supporters: int = 1,
+) -> np.ndarray:
+    """Overlap items that are cold in the target domain but copied-from-able.
+
+    An item qualifies when its target-domain interaction count is strictly
+    below ``max_target_interactions`` and at least
+    ``min_source_supporters`` source users have it in their profile.
+    """
+    target_pop = cross.target.popularity()
+    eligible = [
+        v
+        for v in cross.overlap_items
+        if target_pop[v] < max_target_interactions
+        and cross.source.users_with_item(v).size >= min_source_supporters
+    ]
+    return np.asarray(sorted(eligible), dtype=np.int64)
+
+
+def sample_target_items(
+    cross: CrossDomainDataset,
+    n: int = 50,
+    max_target_interactions: int = 10,
+    min_source_supporters: int = 1,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Sample ``n`` attackable target items (paper default: 50 cold items)."""
+    rng = make_rng(seed)
+    pool = eligible_target_items(cross, max_target_interactions, min_source_supporters)
+    if pool.size == 0:
+        raise DataError(
+            "no eligible target items; relax max_target_interactions or "
+            "check the overlap"
+        )
+    k = min(n, pool.size)
+    return np.sort(rng.choice(pool, size=k, replace=False))

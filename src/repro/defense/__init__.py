@@ -1,0 +1,13 @@
+"""Defense extension: shilling-profile detection (paper §1 motivation)."""
+
+from repro.defense.detector import DetectionReport, ShillingDetector
+from repro.defense.features import ProfileFeatureExtractor
+from repro.defense.supervised import LogisticDetector, SupervisedReport
+
+__all__ = [
+    "ProfileFeatureExtractor",
+    "ShillingDetector",
+    "DetectionReport",
+    "LogisticDetector",
+    "SupervisedReport",
+]

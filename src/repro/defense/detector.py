@@ -1,0 +1,86 @@
+"""Unsupervised fake-profile detector.
+
+A deliberately simple but representative detector: fit the feature
+distribution of the real user population (robust location/scale per
+feature), score new profiles by their maximum absolute robust z-score,
+and flag profiles whose score exceeds a threshold calibrated to a target
+false-positive rate on the clean population.
+
+Benchmark X3 uses it to quantify the paper's motivating claim: profiles
+*generated* by classic shilling attacks are flagged at a high rate, while
+profiles *copied* from real cross-domain users look statistically like
+organic users and slip through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.interactions import InteractionDataset
+from repro.defense.features import ProfileFeatureExtractor
+from repro.errors import ConfigurationError, NotFittedError
+
+__all__ = ["ShillingDetector", "DetectionReport"]
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """Detection outcome over a batch of profiles."""
+
+    n_profiles: int
+    n_flagged: int
+    scores: tuple[float, ...]
+
+    @property
+    def detection_rate(self) -> float:
+        return self.n_flagged / self.n_profiles if self.n_profiles else 0.0
+
+
+class ShillingDetector:
+    """Robust z-score outlier detector over profile features."""
+
+    def __init__(self, target_false_positive_rate: float = 0.05) -> None:
+        if not 0.0 < target_false_positive_rate < 1.0:
+            raise ConfigurationError("target_false_positive_rate must be in (0, 1)")
+        self.target_fpr = target_false_positive_rate
+        self._extractor: ProfileFeatureExtractor | None = None
+        self._median: np.ndarray | None = None
+        self._mad: np.ndarray | None = None
+        self._threshold: float | None = None
+
+    def fit(self, clean: InteractionDataset) -> "ShillingDetector":
+        """Calibrate on the clean user population."""
+        self._extractor = ProfileFeatureExtractor(clean)
+        profiles = [profile for _, profile in clean.iter_profiles()]
+        feats = self._extractor.features_matrix(profiles)
+        self._median = np.median(feats, axis=0)
+        mad = np.median(np.abs(feats - self._median), axis=0)
+        self._mad = np.maximum(mad, 1e-9)
+        clean_scores = self._score_matrix(feats)
+        # Threshold at the (1 - fpr) quantile of the clean population.
+        self._threshold = float(np.quantile(clean_scores, 1.0 - self.target_fpr))
+        return self
+
+    def _score_matrix(self, feats: np.ndarray) -> np.ndarray:
+        z = np.abs(feats - self._median) / (1.4826 * self._mad)
+        # Mean rather than max over features: a single near-constant feature
+        # (tiny MAD) must not dominate, or every mildly out-of-distribution
+        # profile — including organic cross-domain ones — gets flagged.
+        return z.mean(axis=1)
+
+    def score(self, profile: tuple[int, ...] | list[int]) -> float:
+        """Anomaly score of one profile (higher = more suspicious)."""
+        if self._extractor is None:
+            raise NotFittedError("ShillingDetector.fit has not been called")
+        feats = self._extractor.features(profile)[None, :]
+        return float(self._score_matrix(feats)[0])
+
+    def inspect(self, profiles: list[tuple[int, ...]]) -> DetectionReport:
+        """Score a batch of injected profiles and count flags."""
+        if self._threshold is None:
+            raise NotFittedError("ShillingDetector.fit has not been called")
+        scores = tuple(self.score(p) for p in profiles)
+        flagged = sum(1 for s in scores if s > self._threshold)
+        return DetectionReport(n_profiles=len(profiles), n_flagged=flagged, scores=scores)

@@ -1,0 +1,84 @@
+"""Profile features used by shilling-attack detectors.
+
+The paper's motivation (Section 1) is that *generated* fake profiles "are
+easy to be detected since they present very different patterns from real
+profiles."  These are the classic per-profile statistics that detection
+literature (Chirita et al., Burke et al., and the defenses the paper
+cites) computes:
+
+* **RDMA** — Rating Deviation from Mean Agreement: how far the profile's
+  item choices deviate from each item's global interaction frequency,
+  inversely weighted by popularity (random filler scores high);
+* **profile length z-score** — relative to the population of real users;
+* **mean item popularity** — bandwagon filler skews this way up, random
+  filler way down;
+* **intra-profile coherence** — mean pairwise cosine similarity of the
+  profile's items in a latent space (truncated SVD of the clean
+  interaction matrix); organic profiles are coherent because tastes are,
+  generated fillers are not.  Latent rather than raw co-occurrence
+  coherence is deliberate: raw pair counts are noisy at small scale and
+  systematically differ across domains, which would flag *organic*
+  cross-domain users — exactly the false positive the paper's motivation
+  says real detectors avoid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse.linalg import svds
+
+from repro.data.interactions import InteractionDataset
+from repro.errors import DataError
+
+__all__ = ["ProfileFeatureExtractor"]
+
+
+class ProfileFeatureExtractor:
+    """Computes detection features against a reference (clean) dataset."""
+
+    def __init__(self, reference: InteractionDataset, latent_dim: int = 8) -> None:
+        self.reference = reference
+        counts = reference.popularity().astype(np.float64)
+        self._popularity = counts
+        self._pop_rate = counts / max(reference.n_users, 1)
+        lengths = reference.profile_lengths()
+        if lengths.size == 0:
+            raise DataError("reference dataset has no users")
+        self._length_mean = float(lengths.mean())
+        self._length_std = float(lengths.std() + 1e-9)
+        # Latent item space from a truncated SVD of the interaction matrix.
+        matrix = reference.to_csr()
+        k = min(latent_dim, min(matrix.shape) - 1)
+        _, _, vt = svds(matrix, k=max(k, 1))
+        factors = vt.T  # (n_items, k)
+        norms = np.linalg.norm(factors, axis=1, keepdims=True)
+        self._item_factors = factors / np.maximum(norms, 1e-12)
+
+    @property
+    def feature_names(self) -> tuple[str, ...]:
+        return ("rdma", "length_z", "mean_popularity", "coherence")
+
+    def features(self, profile: tuple[int, ...] | list[int]) -> np.ndarray:
+        """Feature vector for one profile."""
+        idx = np.asarray(list(profile), dtype=np.int64)
+        if idx.size == 0:
+            raise DataError("cannot featurise an empty profile")
+        rate = self._pop_rate[idx]
+        rdma = float(np.mean((1.0 - rate) / (self._popularity[idx] + 1.0)))
+        length_z = (idx.size - self._length_mean) / self._length_std
+        mean_pop = float(rate.mean())
+        if idx.size > 1:
+            vectors = self._item_factors[idx]
+            gram = vectors @ vectors.T
+            coherence = float(
+                (gram.sum() - np.trace(gram)) / (idx.size * (idx.size - 1))
+            )
+        else:
+            coherence = 0.0
+        return np.array([rdma, length_z, mean_pop, coherence])
+
+    def features_matrix(self, profiles: list[tuple[int, ...]]) -> np.ndarray:
+        """Feature matrix, one row per profile."""
+        if not profiles:
+            raise DataError("no profiles to featurise")
+        return np.stack([self.features(p) for p in profiles])

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch a single exception type at an application boundary while
+still being able to distinguish configuration mistakes, data problems, and
+budget exhaustion programmatically.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid combination of configuration values was supplied."""
+
+
+class DataError(ReproError):
+    """A dataset is malformed or inconsistent with what an API expects."""
+
+
+class ShapeError(ReproError):
+    """A tensor/array has an incompatible shape for the requested op."""
+
+
+class GradientError(ReproError):
+    """Backward pass invoked in an invalid state (e.g. no graph)."""
+
+
+class BudgetExhaustedError(ReproError):
+    """The attacker's profile or query budget has been spent."""
+
+
+class MaskedTreeError(ReproError):
+    """All children of a tree node are masked; no action is available."""
+
+
+class NotFittedError(ReproError):
+    """A model method requiring training was called before ``fit``."""

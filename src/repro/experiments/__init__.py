@@ -1,0 +1,47 @@
+"""Experiment harness: configs, runner, and per-table/figure drivers."""
+
+from repro.experiments.configs import ML10M_FX, ML20M_NF, SMALL, ExperimentConfig, scaled_copy
+from repro.experiments.fig3_depth import DEFAULT_DEPTHS, run_depth_sweep
+from repro.experiments.fig4_popularity import run_popularity_sweep
+from repro.experiments.fig5_budget import (
+    DEFAULT_BUDGET_METHODS,
+    DEFAULT_BUDGETS,
+    run_budget_sweep,
+)
+from repro.experiments.reporting import format_metric_rows, format_table
+from repro.experiments.runner import (
+    METHOD_NAMES,
+    MethodOutcome,
+    PreparedExperiment,
+    prepare_experiment,
+    run_method,
+)
+from repro.experiments.table2 import (
+    DEFAULT_FLAT_POLICY_USER_CAP,
+    format_table2,
+    run_table2,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ML10M_FX",
+    "ML20M_NF",
+    "SMALL",
+    "scaled_copy",
+    "prepare_experiment",
+    "run_method",
+    "METHOD_NAMES",
+    "MethodOutcome",
+    "PreparedExperiment",
+    "run_table2",
+    "format_table2",
+    "DEFAULT_FLAT_POLICY_USER_CAP",
+    "run_depth_sweep",
+    "DEFAULT_DEPTHS",
+    "run_popularity_sweep",
+    "run_budget_sweep",
+    "DEFAULT_BUDGETS",
+    "DEFAULT_BUDGET_METHODS",
+    "format_table",
+    "format_metric_rows",
+]

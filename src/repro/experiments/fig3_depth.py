@@ -1,0 +1,25 @@
+"""Figure 3 driver: effect of the hierarchical clustering tree's depth.
+
+Sweeps the tree depth ``d`` and reports HR@20 / NDCG@20 of the full
+CopyAttack.  The paper finds an interior optimum (d=3 on ML10M-Flixster,
+d=6 on ML20M-Netflix): shallow trees have huge per-node fan-out, deep
+trees have many policy networks to train under the same query budget.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import MethodOutcome, PreparedExperiment, run_method
+
+__all__ = ["run_depth_sweep", "DEFAULT_DEPTHS"]
+
+DEFAULT_DEPTHS: tuple[int, ...] = (1, 2, 3, 4, 6)
+
+
+def run_depth_sweep(
+    prep: PreparedExperiment,
+    depths: tuple[int, ...] = DEFAULT_DEPTHS,
+) -> dict[int, MethodOutcome]:
+    """CopyAttack results per tree depth."""
+    return {
+        depth: run_method(prep, "CopyAttack", tree_depth=depth) for depth in depths
+    }

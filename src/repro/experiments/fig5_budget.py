@@ -1,0 +1,39 @@
+"""Figures 5 & 6 driver: effect of the profile budget Δ.
+
+Sweeps the number of profiles the attacker may copy and compares
+RandomAttack, the TargetAttack family, and CopyAttack.  The paper's
+shape: RandomAttack stays flat; TargetAttack variants rise then saturate;
+CopyAttack keeps improving with budget because the extra injections come
+with extra query feedback to learn from.  Figure 5 is the ML10M-Flixster
+pair, Figure 6 (appendix) the ML20M-Netflix pair — same driver, different
+prepared experiment.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import MethodOutcome, PreparedExperiment, run_method
+
+__all__ = ["run_budget_sweep", "DEFAULT_BUDGETS", "DEFAULT_BUDGET_METHODS"]
+
+DEFAULT_BUDGETS: tuple[int, ...] = (5, 10, 15, 20, 25, 30)
+DEFAULT_BUDGET_METHODS: tuple[str, ...] = (
+    "RandomAttack",
+    "TargetAttack40",
+    "TargetAttack70",
+    "TargetAttack100",
+    "CopyAttack",
+)
+
+
+def run_budget_sweep(
+    prep: PreparedExperiment,
+    budgets: tuple[int, ...] = DEFAULT_BUDGETS,
+    methods: tuple[str, ...] = DEFAULT_BUDGET_METHODS,
+) -> dict[str, dict[int, MethodOutcome]]:
+    """``{method: {budget: outcome}}`` over the sweep grid."""
+    results: dict[str, dict[int, MethodOutcome]] = {}
+    for method in methods:
+        results[method] = {
+            budget: run_method(prep, method, budget=budget) for budget in budgets
+        }
+    return results

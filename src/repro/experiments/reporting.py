@@ -1,0 +1,61 @@
+"""Plain-text table formatting for benchmark output.
+
+Benchmarks print the same row/column structure as the paper's tables so a
+reader can compare shapes side by side (absolute values differ — our
+substrate is a scaled simulator, see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_metric_rows"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Align ``rows`` under ``headers`` with a separator line."""
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(value) for value in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_metric_rows(
+    results: Mapping[str, Mapping[str, float]],
+    metric_keys: Sequence[str],
+    extra: Mapping[str, float] | None = None,
+    title: str = "",
+) -> str:
+    """Format ``{row_label: {metric: value}}`` with one row per label.
+
+    ``extra`` appends one more column (e.g. mean profile length) keyed by
+    the same row labels.
+    """
+    headers = ["method", *metric_keys]
+    if extra is not None:
+        headers.append("avg items/profile")
+    rows = []
+    for label, metrics in results.items():
+        row: list[object] = [label] + [metrics.get(key, float("nan")) for key in metric_keys]
+        if extra is not None:
+            row.append(extra.get(label, float("nan")))
+        rows.append(row)
+    return format_table(headers, rows, title=title)

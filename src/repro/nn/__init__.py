@@ -1,0 +1,47 @@
+"""Minimal neural-network substrate (numpy reverse-mode autograd).
+
+Public surface::
+
+    from repro.nn import Tensor, Linear, Embedding, MLP, SequenceEncoder, Adam
+
+The engine exists because the paper's TensorFlow stack is unavailable here;
+see :mod:`repro.nn.tensor` for the design notes.
+"""
+
+from repro.nn import functional
+from repro.nn.init import PAPER_INIT_STD, gaussian, zeros
+from repro.nn.layers import MLP, Embedding, Linear
+from repro.nn.losses import bce_with_logits, bpr_loss, policy_nll
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm
+from repro.nn.rnn import GRUCell, LSTMCell, RNNCell, SequenceEncoder
+from repro.nn.tensor import Tensor, as_tensor, concat, is_grad_enabled, no_grad, stack
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "concat",
+    "stack",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "MLP",
+    "RNNCell",
+    "GRUCell",
+    "LSTMCell",
+    "SequenceEncoder",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "bpr_loss",
+    "bce_with_logits",
+    "policy_nll",
+    "gaussian",
+    "zeros",
+    "PAPER_INIT_STD",
+    "functional",
+]

@@ -1,0 +1,31 @@
+"""Parameter initialisers.
+
+The paper states (Section 5.1.3): *"we randomly initialized model parameters
+with a Gaussian distribution, where the mean and standard deviation is 0 and
+0.1"* — :func:`gaussian` is that default and is used everywhere unless a
+layer documents otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gaussian", "zeros", "PAPER_INIT_STD"]
+
+#: Standard deviation used by the paper for every parameter matrix.
+PAPER_INIT_STD = 0.1
+
+
+def gaussian(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    mean: float = 0.0,
+    std: float = PAPER_INIT_STD,
+) -> np.ndarray:
+    """Sample a parameter array from N(mean, std^2)."""
+    return rng.normal(loc=mean, scale=std, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """An all-zero parameter array (bias default)."""
+    return np.zeros(shape, dtype=np.float64)

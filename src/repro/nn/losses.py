@@ -1,0 +1,50 @@
+"""Loss functions: BPR for the recommenders, NLL for REINFORCE.
+
+BPR (Bayesian Personalised Ranking) is the standard implicit-feedback
+objective used to train both the MF pre-training model (Section 4.3.1) and
+our PinSage-style target model.  ``policy_nll`` is the building block of the
+REINFORCE update: ``-log pi(a|s) * advantage``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.tensor import Tensor, as_tensor
+
+__all__ = ["bpr_loss", "bce_with_logits", "policy_nll"]
+
+
+def bpr_loss(pos_scores: Tensor, neg_scores: Tensor) -> Tensor:
+    """Mean ``-log sigmoid(pos - neg)`` over paired positive/negative scores."""
+    pos, neg = as_tensor(pos_scores), as_tensor(neg_scores)
+    if pos.shape != neg.shape:
+        raise ShapeError(f"BPR score shapes differ: {pos.shape} vs {neg.shape}")
+    return -((pos - neg).sigmoid() + 1e-10).log().mean()
+
+
+def bce_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean binary cross-entropy on raw logits (stable formulation).
+
+    Uses ``max(x, 0) - x*y + log(1 + exp(-|x|))``.
+    """
+    x = as_tensor(logits)
+    y = np.asarray(targets, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ShapeError(f"logits shape {x.shape} vs targets shape {y.shape}")
+    relu_x = x.relu()
+    abs_x = x.relu() + (-x).relu()
+    softplus = ((-abs_x).exp() + 1.0).log()
+    return (relu_x - x * Tensor(y) + softplus).mean()
+
+
+def policy_nll(log_probs: Tensor, advantage: float) -> Tensor:
+    """REINFORCE surrogate ``-advantage * sum(log_probs)``.
+
+    ``log_probs`` holds the log-probability of each decision on the sampled
+    trajectory (tree-path steps plus the crafting choice); minimising the
+    returned scalar ascends the policy-gradient direction.
+    """
+    lp = as_tensor(log_probs)
+    return lp.sum() * (-float(advantage))

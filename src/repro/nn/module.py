@@ -1,0 +1,97 @@
+"""Module base class: parameter registration and traversal.
+
+A :class:`Module` owns named :class:`~repro.nn.tensor.Tensor` parameters and
+child modules; :meth:`Module.parameters` walks the tree so optimisers can be
+constructed from any composite network (the hierarchical policy holds one
+MLP per non-leaf tree node — hundreds of modules — and this traversal is how
+they are all updated by one optimiser).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["Module", "Parameter"]
+
+
+def Parameter(data: np.ndarray) -> Tensor:
+    """Wrap an array as a trainable tensor."""
+    return Tensor(np.asarray(data, dtype=np.float64), requires_grad=True)
+
+
+class Module:
+    """Base class for neural network components.
+
+    Subclasses assign :class:`Tensor` parameters and child modules as plain
+    attributes; registration happens automatically via ``__setattr__``.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_params", {})
+        object.__setattr__(self, "_children", {})
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Tensor) and value.requires_grad:
+            self._params[name] = value
+        elif isinstance(value, Module):
+            self._children[name] = value
+        elif isinstance(value, (list, tuple)) and value and all(isinstance(v, Module) for v in value):
+            for i, child in enumerate(value):
+                self._children[f"{name}.{i}"] = child
+        object.__setattr__(self, name, value)
+
+    def parameters(self) -> Iterator[Tensor]:
+        """Yield every trainable parameter in this module and its children."""
+        seen: set[int] = set()
+        for tensor in self._iter_params():
+            if id(tensor) not in seen:
+                seen.add(id(tensor))
+                yield tensor
+
+    def _iter_params(self) -> Iterator[Tensor]:
+        yield from self._params.values()
+        for child in self._children.values():
+            yield from child._iter_params()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth first."""
+        for name, tensor in self._params.items():
+            yield (f"{prefix}{name}", tensor)
+        for child_name, child in self._children.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def zero_grad(self) -> None:
+        """Clear the gradient of every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy every parameter into a plain ``{name: array}`` dict."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter values saved by :meth:`state_dict` (shape-checked)."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}")
+        for name, param in own.items():
+            incoming = np.asarray(state[name], dtype=np.float64)
+            if incoming.shape != param.data.shape:
+                raise ValueError(f"shape mismatch for {name}: {incoming.shape} vs {param.data.shape}")
+            param.data = incoming.copy()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError

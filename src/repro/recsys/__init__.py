@@ -1,0 +1,49 @@
+"""Recommender substrate: MF, PinSage target model, baselines, evaluation."""
+
+from repro.recsys.analysis import (
+    catalog_coverage,
+    exposure_shift,
+    gini_coefficient,
+    item_exposure,
+)
+from repro.recsys.base import Recommender
+from repro.recsys.blackbox import BlackBoxRecommender, QueryLog
+from repro.recsys.itemknn import ItemKNN
+from repro.recsys.metrics import (
+    PAPER_KS,
+    evaluate_candidate_lists,
+    hit_ratio_at_k,
+    ndcg_at_k,
+    rank_of_first_candidate,
+)
+from repro.recsys.mf import MatrixFactorization
+from repro.recsys.neural_cf import NeuralCF
+from repro.recsys.pinsage import PinSageRecommender, PinSageSnapshot
+from repro.recsys.popularity_rec import PopularityRecommender
+from repro.recsys.promotion import evaluate_promotion, promotion_candidates
+from repro.recsys.training import TrainedTarget, train_target_model
+
+__all__ = [
+    "Recommender",
+    "MatrixFactorization",
+    "NeuralCF",
+    "PinSageRecommender",
+    "PinSageSnapshot",
+    "ItemKNN",
+    "PopularityRecommender",
+    "BlackBoxRecommender",
+    "QueryLog",
+    "PAPER_KS",
+    "rank_of_first_candidate",
+    "hit_ratio_at_k",
+    "ndcg_at_k",
+    "evaluate_candidate_lists",
+    "evaluate_promotion",
+    "promotion_candidates",
+    "TrainedTarget",
+    "train_target_model",
+    "item_exposure",
+    "catalog_coverage",
+    "gini_coefficient",
+    "exposure_shift",
+]

@@ -1,0 +1,91 @@
+"""Recommendation-list analysis: exposure, coverage, concentration.
+
+Attack side-effect measurement beyond the paper: a promotion attack that
+noticeably distorts the *overall* recommendation distribution would be
+operationally visible even if individual profiles evade detection.  These
+utilities quantify that footprint:
+
+* :func:`item_exposure` — how often each item appears across users' top-k
+  lists;
+* :func:`catalog_coverage` — the fraction of the catalog reachable in
+  top-k lists;
+* :func:`gini_coefficient` — concentration of exposure (0 = uniform);
+* :func:`exposure_shift` — per-item exposure delta between two system
+  states (the attack's fingerprint; ideally a single spike at the target
+  item).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.recsys.base import Recommender
+
+__all__ = [
+    "item_exposure",
+    "catalog_coverage",
+    "gini_coefficient",
+    "exposure_shift",
+]
+
+
+def item_exposure(
+    model: Recommender,
+    user_ids: Sequence[int],
+    k: int = 20,
+    exclude_seen: bool = True,
+) -> np.ndarray:
+    """Count how many of the users' top-``k`` lists each item appears in."""
+    if k <= 0:
+        raise ConfigurationError("k must be positive")
+    counts = np.zeros(model.dataset.n_items, dtype=np.int64)
+    for user_id in user_ids:
+        counts[model.top_k(int(user_id), k, exclude_seen=exclude_seen)] += 1
+    return counts
+
+
+def catalog_coverage(exposure: np.ndarray) -> float:
+    """Fraction of items with non-zero exposure."""
+    exposure = np.asarray(exposure)
+    if exposure.size == 0:
+        raise ConfigurationError("exposure must be non-empty")
+    return float((exposure > 0).mean())
+
+
+def gini_coefficient(exposure: np.ndarray) -> float:
+    """Gini coefficient of the exposure distribution (0 uniform, →1 skewed)."""
+    values = np.sort(np.asarray(exposure, dtype=np.float64))
+    if values.size == 0:
+        raise ConfigurationError("exposure must be non-empty")
+    total = values.sum()
+    if total == 0:
+        return 0.0
+    n = values.size
+    ranks = np.arange(1, n + 1)
+    return float((2 * (ranks * values).sum()) / (n * total) - (n + 1) / n)
+
+
+def exposure_shift(before: np.ndarray, after: np.ndarray) -> dict[str, float]:
+    """Summarise the exposure change an intervention caused.
+
+    Returns the total displaced exposure, the id and share of the biggest
+    gainer, and the L1 shift excluding that item — a focused promotion
+    attack shows one dominant gainer and a small residual.
+    """
+    before = np.asarray(before, dtype=np.float64)
+    after = np.asarray(after, dtype=np.float64)
+    if before.shape != after.shape:
+        raise ConfigurationError("exposure arrays must have matching shapes")
+    delta = after - before
+    gains = np.maximum(delta, 0.0)
+    top = int(np.argmax(gains))
+    total_gain = float(gains.sum())
+    return {
+        "total_displaced": float(np.abs(delta).sum()) / 2.0,
+        "top_gainer": top,
+        "top_gainer_share": float(gains[top] / total_gain) if total_gain > 0 else 0.0,
+        "residual_l1": float(np.abs(np.delete(delta, top)).sum()),
+    }

@@ -1,0 +1,82 @@
+"""Recommender interface shared by every model in :mod:`repro.recsys`.
+
+The contract splits cleanly along the black-box boundary of the paper:
+
+* :meth:`Recommender.fit` and parameter access happen *before* the attack —
+  the attacker never sees them;
+* :meth:`Recommender.scores` / :meth:`Recommender.top_k` are the query
+  surface exposed (indirectly, via
+  :class:`~repro.recsys.blackbox.BlackBoxRecommender`) to the attacker;
+* :meth:`Recommender.add_user` is the injection pathway — a new user with a
+  fixed profile enters the system and the model's representations update
+  inductively (no retraining), mirroring how PinSage-style production
+  systems fold in new users.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.interactions import InteractionDataset
+from repro.errors import NotFittedError
+
+__all__ = ["Recommender"]
+
+
+class Recommender:
+    """Abstract top-k recommender over an :class:`InteractionDataset`."""
+
+    def __init__(self) -> None:
+        self._dataset: InteractionDataset | None = None
+
+    @property
+    def dataset(self) -> InteractionDataset:
+        """The (possibly polluted) interaction dataset the model serves."""
+        if self._dataset is None:
+            raise NotFittedError(f"{type(self).__name__} has not been fitted")
+        return self._dataset
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._dataset is not None
+
+    # -- training -----------------------------------------------------------
+    def fit(self, dataset: InteractionDataset, **kwargs) -> "Recommender":
+        """Train on ``dataset`` and return self."""
+        raise NotImplementedError
+
+    # -- scoring ------------------------------------------------------------
+    def scores(self, user_id: int, item_ids: np.ndarray | None = None) -> np.ndarray:
+        """Scores for ``item_ids`` (or all items) for one user."""
+        raise NotImplementedError
+
+    def top_k(self, user_id: int, k: int, exclude_seen: bool = True) -> np.ndarray:
+        """The user's top-``k`` item ids, best first.
+
+        ``exclude_seen`` removes items already in the user's profile, which
+        is how deployed recommenders behave and what the paper's query
+        feedback returns.
+        """
+        all_scores = self.scores(user_id).astype(np.float64, copy=True)
+        if exclude_seen:
+            seen = list(self.dataset.user_profile_set(user_id))
+            if seen:
+                all_scores[np.asarray(seen, dtype=np.int64)] = -np.inf
+        k = min(k, all_scores.size)
+        top = np.argpartition(-all_scores, k - 1)[:k]
+        return top[np.argsort(-all_scores[top], kind="stable")]
+
+    # -- mutation -----------------------------------------------------------
+    def add_user(self, profile: Sequence[int]) -> int:
+        """Add a user with ``profile``; update representations inductively."""
+        raise NotImplementedError
+
+    def snapshot(self):
+        """Opaque state capture used to reset between attack episodes."""
+        raise NotImplementedError
+
+    def restore(self, snapshot) -> None:
+        """Restore a state captured by :meth:`snapshot`."""
+        raise NotImplementedError

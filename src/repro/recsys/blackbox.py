@@ -1,0 +1,98 @@
+"""The black-box boundary: query access + injection, nothing else.
+
+Section 3 of the paper defines the attacker's capabilities: *"we only have
+the query access to the target model and each query feedback consists of
+Top-k recommended items for specific users."*  Plus, of course, the
+ability to register new users with chosen profiles (the injection).
+
+:class:`BlackBoxRecommender` enforces that boundary in code: it wraps a
+fitted :class:`~repro.recsys.base.Recommender` and exposes *only*
+
+* :meth:`query` — top-k lists for given user ids (counted), and
+* :meth:`inject` — add a new user profile (counted),
+
+with snapshot/restore for episode resets.  Attack code must never touch
+the wrapped model, so holding the attack to the black-box threat model is
+a type-discipline matter rather than a reviewer's trust exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.recsys.base import Recommender
+
+__all__ = ["BlackBoxRecommender", "QueryLog"]
+
+
+@dataclass
+class QueryLog:
+    """Counters for attacker-side resource accounting."""
+
+    n_queries: int = 0
+    n_users_queried: int = 0
+    n_injections: int = 0
+    n_injected_interactions: int = 0
+    injected_user_ids: list[int] = field(default_factory=list)
+
+    def reset(self) -> None:
+        self.n_queries = 0
+        self.n_users_queried = 0
+        self.n_injections = 0
+        self.n_injected_interactions = 0
+        self.injected_user_ids = []
+
+
+class BlackBoxRecommender:
+    """Query-only facade over a fitted recommender."""
+
+    def __init__(self, model: Recommender) -> None:
+        if not model.is_fitted:
+            raise ConfigurationError("black-box wrapper requires a fitted model")
+        self._model = model
+        self.log = QueryLog()
+
+    @property
+    def n_items(self) -> int:
+        """Catalog size (public knowledge on a real platform)."""
+        return self._model.dataset.n_items
+
+    @property
+    def n_users(self) -> int:
+        """Current user count, including injected users."""
+        return self._model.dataset.n_users
+
+    def query(self, user_ids: Sequence[int], k: int) -> list[np.ndarray]:
+        """Top-``k`` recommendation lists for ``user_ids`` (one query per batch)."""
+        if k <= 0:
+            raise ConfigurationError("k must be positive")
+        self.log.n_queries += 1
+        self.log.n_users_queried += len(user_ids)
+        return [self._model.top_k(int(u), k) for u in user_ids]
+
+    def inject(self, profile: Sequence[int]) -> int:
+        """Register a new user with ``profile``; returns the platform user id."""
+        user_id = self._model.add_user(profile)
+        self.log.n_injections += 1
+        self.log.n_injected_interactions += len(profile)
+        self.log.injected_user_ids.append(user_id)
+        return user_id
+
+    # -- episode management (attacker-side simulation control, not a platform API)
+    def snapshot(self):
+        """Capture model + dataset state for an episode reset."""
+        return (self._model.snapshot(), self.log.n_injections, self.log.n_injected_interactions)
+
+    def restore(self, snapshot) -> None:
+        """Roll the platform back to a snapshot (drops later injections)."""
+        model_snap, n_inj, n_int = snapshot
+        self._model.restore(model_snap)
+        self.log.n_injections = n_inj
+        self.log.n_injected_interactions = n_int
+        self.log.injected_user_ids = [
+            u for u in self.log.injected_user_ids if u < self._model.dataset.n_users
+        ]

@@ -1,0 +1,79 @@
+"""Item-based collaborative filtering (extension target model).
+
+The paper attacks only PinSage; we additionally expose a classic ItemKNN
+recommender so the attack's transferability across target-model families
+can be studied (a natural follow-up the paper lists as future work).
+
+ItemKNN is also *inductive* in the sense that matters here: injected users
+change the item-item co-occurrence counts, so poisoning takes effect
+without retraining via :meth:`ItemKNN.add_user`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.interactions import InteractionDataset
+from repro.errors import ConfigurationError, NotFittedError
+from repro.recsys.base import Recommender
+
+__all__ = ["ItemKNN"]
+
+
+class ItemKNN(Recommender):
+    """Cosine item-item collaborative filter.
+
+    Scores item ``v`` for user ``u`` as the summed cosine similarity
+    between ``v`` and the items in ``u``'s profile, computed from the
+    co-occurrence matrix ``C = Y^T Y``.
+    """
+
+    def __init__(self, shrinkage: float = 10.0) -> None:
+        super().__init__()
+        if shrinkage < 0:
+            raise ConfigurationError("shrinkage must be non-negative")
+        self.shrinkage = shrinkage
+        self._cooc: np.ndarray | None = None
+        self._item_counts: np.ndarray | None = None
+
+    def fit(self, dataset: InteractionDataset, **kwargs) -> "ItemKNN":
+        self._dataset = dataset
+        matrix = dataset.to_csr()
+        self._cooc = np.asarray((matrix.T @ matrix).todense(), dtype=np.float64)
+        self._item_counts = np.asarray(self._cooc.diagonal(), dtype=np.float64).copy()
+        return self
+
+    def _similarity_rows(self, item_ids: np.ndarray) -> np.ndarray:
+        if self._cooc is None:
+            raise NotFittedError("ItemKNN.fit has not been called")
+        counts = self._item_counts
+        denom = np.sqrt(np.outer(counts[item_ids], counts)) + self.shrinkage
+        sims = self._cooc[item_ids] / denom
+        for row, item_id in enumerate(item_ids):
+            sims[row, item_id] = 0.0
+        return sims
+
+    def scores(self, user_id: int, item_ids: np.ndarray | None = None) -> np.ndarray:
+        profile = np.asarray(self.dataset.user_profile(user_id), dtype=np.int64)
+        sims = self._similarity_rows(profile).sum(axis=0)
+        if item_ids is None:
+            return sims
+        return sims[np.asarray(item_ids, dtype=np.int64)]
+
+    def add_user(self, profile: Sequence[int]) -> int:
+        """Inject a user, updating co-occurrence counts in place."""
+        user_id = self.dataset.add_user(profile)
+        idx = np.asarray(list(profile), dtype=np.int64)
+        self._cooc[np.ix_(idx, idx)] += 1.0
+        self._item_counts[idx] += 1.0
+        return user_id
+
+    def snapshot(self):
+        return (self.dataset.copy(), self._cooc.copy(), self._item_counts.copy())
+
+    def restore(self, snapshot) -> None:
+        self._dataset = snapshot[0].copy()
+        self._cooc = snapshot[1].copy()
+        self._item_counts = snapshot[2].copy()

@@ -1,0 +1,96 @@
+"""Ranking metrics: HR@K and NDCG@K under the sampled-candidate protocol.
+
+Section 5.1.2 of the paper: quality is measured with HR@K and NDCG@K for
+K in {20, 10, 5}; because ranking the full catalog for every user is
+expensive, the test item is ranked among 100 sampled unseen items.  The
+same protocol measures promotion success, with the *target item* playing
+the role of the test item.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "rank_of_first_candidate",
+    "hit_ratio_at_k",
+    "ndcg_at_k",
+    "evaluate_candidate_lists",
+    "PAPER_KS",
+]
+
+#: The cutoffs reported throughout the paper's evaluation.
+PAPER_KS: tuple[int, ...] = (20, 10, 5)
+
+
+def rank_of_first_candidate(scores: np.ndarray) -> int:
+    """Zero-based rank of candidate 0 among all candidates.
+
+    Ties are broken pessimistically for the positive (ties rank above it),
+    making reported metrics conservative and deterministic.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 1 or scores.size == 0:
+        raise ConfigurationError("scores must be a non-empty 1-D array")
+    return int((scores[1:] >= scores[0]).sum())
+
+
+def hit_ratio_at_k(rank: int, k: int) -> float:
+    """1.0 if the item ranks inside the top ``k``, else 0.0."""
+    if k <= 0:
+        raise ConfigurationError("k must be positive")
+    return 1.0 if rank < k else 0.0
+
+
+def ndcg_at_k(rank: int, k: int) -> float:
+    """Single-relevant-item NDCG: ``1 / log2(rank + 2)`` inside the cutoff."""
+    if k <= 0:
+        raise ConfigurationError("k must be positive")
+    if rank >= k:
+        return 0.0
+    return float(1.0 / np.log2(rank + 2))
+
+
+def evaluate_candidate_lists(
+    score_fn: Callable[[int, np.ndarray], np.ndarray],
+    candidate_lists: Sequence[tuple[int, np.ndarray]],
+    ks: Sequence[int] = PAPER_KS,
+) -> dict[str, float]:
+    """Average HR@K / NDCG@K over ``(user, candidates)`` lists.
+
+    Parameters
+    ----------
+    score_fn:
+        Callable mapping ``(user_id, item_ids)`` to a score array; the first
+        candidate is the positive.
+    candidate_lists:
+        Output of :func:`repro.data.build_eval_candidates` (or the attack
+        evaluation equivalent).
+    ks:
+        Cutoffs to report.
+
+    Returns
+    -------
+    dict
+        ``{"hr@20": ..., "ndcg@20": ..., ...}`` averaged over users.
+    """
+    if not candidate_lists:
+        raise ConfigurationError("candidate_lists must not be empty")
+    hits = {k: 0.0 for k in ks}
+    gains = {k: 0.0 for k in ks}
+    for user_id, candidates in candidate_lists:
+        scores = score_fn(user_id, np.asarray(candidates, dtype=np.int64))
+        rank = rank_of_first_candidate(scores)
+        for k in ks:
+            hits[k] += hit_ratio_at_k(rank, k)
+            gains[k] += ndcg_at_k(rank, k)
+    n = len(candidate_lists)
+    result: dict[str, float] = {}
+    for k in ks:
+        result[f"hr@{k}"] = hits[k] / n
+        result[f"ndcg@{k}"] = gains[k] / n
+    return result

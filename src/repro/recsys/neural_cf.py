@@ -1,0 +1,193 @@
+"""Neural collaborative filtering (He et al., WWW'17 style), history-based.
+
+An extension target model that *isolates the vulnerability CopyAttack
+exploits*.  Unlike the PinSage-style GNN, this model has no user-to-item
+aggregation pathway: a user's representation is pooled from their own
+profile only, and an item's representation is its own embedding.  Scores
+for real users therefore do not change when new users are injected — the
+platform is immune to data poisoning *until it retrains*.
+
+:meth:`NeuralCF.refit` continues training on the (possibly polluted)
+current dataset, which is how the injected interactions eventually reach
+real users' recommendations on such a system.  The contrast —
+
+* PinSage: injections act instantly through inductive aggregation;
+* NeuralCF: injections act only after a retraining cycle —
+
+is the cleanest statement of why the paper's black-box, no-retraining
+attack targets GNN recommenders.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.interactions import InteractionDataset
+from repro.errors import ConfigurationError, NotFittedError
+from repro.nn import Embedding, Linear, Module, Tensor, bpr_loss, concat
+from repro.nn.optim import Adam
+from repro.recsys.base import Recommender
+from repro.utils.rng import make_rng
+
+__all__ = ["NeuralCF"]
+
+
+class _NCFNet(Module):
+    """Item embeddings + the GMF/MLP fusion head."""
+
+    def __init__(self, n_items: int, n_factors: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.item_emb = Embedding(n_items, n_factors, rng)
+        self.w1 = Linear(3 * n_factors, 2 * n_factors, rng)
+        self.w2 = Linear(2 * n_factors, 1, rng)
+
+    def score(self, pooled: Tensor, items: Tensor) -> Tensor:
+        """Score a batch: fused GMF (elementwise product) + raw features."""
+        fused = concat([pooled * items, pooled, items], axis=-1)
+        return self.w2(self.w1(fused).relu()).reshape(-1)
+
+
+class NeuralCF(Recommender):
+    """History-pooled NCF: inductive for the user, blind to other users."""
+
+    def __init__(
+        self,
+        n_factors: int = 16,
+        lr: float = 0.01,
+        n_epochs: int = 60,
+        batch_size: int = 256,
+        n_profile_samples: int = 8,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if min(n_factors, n_epochs, batch_size, n_profile_samples) <= 0:
+            raise ConfigurationError("NeuralCF size parameters must be positive")
+        self.n_factors = n_factors
+        self.lr = lr
+        self.n_epochs = n_epochs
+        self.batch_size = batch_size
+        self.n_profile_samples = n_profile_samples
+        self._rng = make_rng(seed)
+        self._net: _NCFNet | None = None
+        self._optimizer: Adam | None = None
+        self._pooled: np.ndarray | None = None  # per-user profile pool cache
+
+    # ------------------------------------------------------------------ training
+    def fit(self, dataset: InteractionDataset, **kwargs) -> "NeuralCF":
+        self._dataset = dataset
+        self._net = _NCFNet(dataset.n_items, self.n_factors, self._rng)
+        self._optimizer = Adam(self._net.parameters(), lr=self.lr)
+        self._train_epochs(self.n_epochs)
+        self._refresh_pool()
+        return self
+
+    def refit(self, n_epochs: int) -> "NeuralCF":
+        """Continue training on the *current* (possibly polluted) dataset.
+
+        This is the retraining cycle through which injected interactions
+        reach real users on an aggregation-free recommender.
+        """
+        if self._net is None:
+            raise NotFittedError("NeuralCF.fit has not been called")
+        self._train_epochs(n_epochs)
+        self._refresh_pool()
+        return self
+
+    def _train_epochs(self, n_epochs: int) -> None:
+        dataset = self.dataset
+        users_flat: list[int] = []
+        items_flat: list[int] = []
+        for user_id, profile in dataset.iter_profiles():
+            users_flat.extend([user_id] * len(profile))
+            items_flat.extend(profile)
+        users_arr = np.asarray(users_flat, dtype=np.int64)
+        items_arr = np.asarray(items_flat, dtype=np.int64)
+        if users_arr.size == 0:
+            raise ConfigurationError("cannot fit NeuralCF on an empty dataset")
+        rng = self._rng
+        for _ in range(n_epochs):
+            order = rng.permutation(users_arr.size)
+            for start in range(0, users_arr.size, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                self._train_step(users_arr[batch], items_arr[batch], rng)
+
+    def _pool_batch(self, user_ids: np.ndarray, rng: np.random.Generator) -> Tensor:
+        t = self.n_profile_samples
+        idx = np.empty((user_ids.size, t), dtype=np.int64)
+        for row, user_id in enumerate(user_ids):
+            profile = self.dataset.user_profile(int(user_id))
+            picks = rng.integers(0, len(profile), size=t)
+            idx[row] = [profile[i] for i in picks]
+        q = self._net.item_emb(idx.reshape(-1)).reshape(user_ids.size, t, self.n_factors)
+        return q.mean(axis=1)
+
+    def _train_step(self, users: np.ndarray, pos_items: np.ndarray, rng) -> None:
+        neg_items = rng.integers(0, self.dataset.n_items, size=users.size)
+        for _ in range(3):
+            clash = np.fromiter(
+                (self.dataset.has(int(u), int(v)) for u, v in zip(users, neg_items)),
+                dtype=bool,
+                count=users.size,
+            )
+            if not clash.any():
+                break
+            neg_items[clash] = rng.integers(0, self.dataset.n_items, size=int(clash.sum()))
+        pooled = self._pool_batch(users, rng)
+        pos = self._net.score(pooled, self._net.item_emb(pos_items))
+        neg = self._net.score(pooled, self._net.item_emb(neg_items))
+        loss = bpr_loss(pos, neg)
+        self._net.zero_grad()
+        loss.backward()
+        self._optimizer.step()
+
+    # ------------------------------------------------------------------ inference
+    def _refresh_pool(self) -> None:
+        q = self._net.item_emb.weight.data
+        self._pooled = np.stack([
+            q[np.asarray(profile, dtype=np.int64)].mean(axis=0)
+            for _, profile in self.dataset.iter_profiles()
+        ])
+
+    def scores(self, user_id: int, item_ids: np.ndarray | None = None) -> np.ndarray:
+        if self._net is None or self._pooled is None:
+            raise NotFittedError("NeuralCF.fit has not been called")
+        items = (
+            np.arange(self.dataset.n_items)
+            if item_ids is None
+            else np.asarray(item_ids, dtype=np.int64)
+        )
+        q = self._net.item_emb.weight.data[items]
+        pooled = np.broadcast_to(self._pooled[user_id], q.shape)
+        fused = np.concatenate([pooled * q, pooled, q], axis=1)
+        w1, b1 = self._net.w1.weight.data, self._net.w1.bias.data
+        w2, b2 = self._net.w2.weight.data, self._net.w2.bias.data
+        hidden = np.maximum(fused @ w1 + b1, 0.0)
+        return (hidden @ w2 + b2).reshape(-1)
+
+    def scores_for(self, user_id: int, item_ids: np.ndarray) -> np.ndarray:
+        """Alias with the (user, items) signature the metric helpers expect."""
+        return self.scores(user_id, item_ids)
+
+    # ------------------------------------------------------------------ injection
+    def add_user(self, profile: Sequence[int]) -> int:
+        """Register a new user.  Other users' scores are provably unchanged."""
+        user_id = self.dataset.add_user(profile)
+        q = self._net.item_emb.weight.data
+        pooled = q[np.asarray(list(profile), dtype=np.int64)].mean(axis=0)
+        self._pooled = np.vstack([self._pooled, pooled])
+        return user_id
+
+    def snapshot(self):
+        return (
+            self.dataset.copy(),
+            self._pooled.copy(),
+            self._net.state_dict(),
+        )
+
+    def restore(self, snapshot) -> None:
+        dataset, pooled, state = snapshot
+        self._dataset = dataset.copy()
+        self._pooled = pooled.copy()
+        self._net.load_state_dict(state)

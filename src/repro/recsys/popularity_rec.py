@@ -1,0 +1,51 @@
+"""Popularity recommender (non-personalised reference model).
+
+Included as a sanity baseline for target-model experiments: a promotion
+attack against pure popularity ranking succeeds exactly in proportion to
+the interactions injected, which calibrates how much of CopyAttack's gain
+comes from exploiting the GNN structure versus raw count inflation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.interactions import InteractionDataset
+from repro.errors import NotFittedError
+from repro.recsys.base import Recommender
+
+__all__ = ["PopularityRecommender"]
+
+
+class PopularityRecommender(Recommender):
+    """Rank items by global interaction count (identical for all users)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._counts: np.ndarray | None = None
+
+    def fit(self, dataset: InteractionDataset, **kwargs) -> "PopularityRecommender":
+        self._dataset = dataset
+        self._counts = dataset.popularity().astype(np.float64)
+        return self
+
+    def scores(self, user_id: int, item_ids: np.ndarray | None = None) -> np.ndarray:
+        if self._counts is None:
+            raise NotFittedError("PopularityRecommender.fit has not been called")
+        if item_ids is None:
+            return self._counts.copy()
+        return self._counts[np.asarray(item_ids, dtype=np.int64)]
+
+    def add_user(self, profile: Sequence[int]) -> int:
+        user_id = self.dataset.add_user(profile)
+        self._counts[np.asarray(list(profile), dtype=np.int64)] += 1.0
+        return user_id
+
+    def snapshot(self):
+        return (self.dataset.copy(), self._counts.copy())
+
+    def restore(self, snapshot) -> None:
+        self._dataset = snapshot[0].copy()
+        self._counts = snapshot[1].copy()

@@ -1,0 +1,70 @@
+"""Promotion-attack evaluation (the numbers in Table 2 and Figures 3-6).
+
+The target item plays the role of the held-out test item in the paper's
+sampled-candidate protocol: for each real target-domain user who has not
+interacted with the target item, rank it among 100 sampled unseen items
+and average HR@K / NDCG@K.  The "Without Attack" rows are the same
+computation before any injection.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.negative_sampling import sample_unseen_items
+from repro.errors import ConfigurationError
+from repro.recsys.base import Recommender
+from repro.recsys.metrics import PAPER_KS, evaluate_candidate_lists
+from repro.utils.rng import make_rng
+
+__all__ = ["promotion_candidates", "evaluate_promotion"]
+
+
+def promotion_candidates(
+    model: Recommender,
+    target_item: int,
+    eval_users: Sequence[int],
+    n_negatives: int = 100,
+    seed: int | np.random.Generator | None = None,
+) -> list[tuple[int, np.ndarray]]:
+    """Candidate lists (target item first) for each evaluation user.
+
+    Users who already interacted with the target item are skipped — they
+    cannot be "promoted to".
+    """
+    rng = make_rng(seed)
+    lists = []
+    for user_id in eval_users:
+        if model.dataset.has(int(user_id), int(target_item)):
+            continue
+        negatives = sample_unseen_items(
+            model.dataset, int(user_id), n_negatives, rng, exclude=(int(target_item),)
+        )
+        lists.append((int(user_id), np.concatenate([[int(target_item)], negatives])))
+    if not lists:
+        raise ConfigurationError("every evaluation user already has the target item")
+    return lists
+
+
+def evaluate_promotion(
+    model: Recommender,
+    target_item: int,
+    eval_users: Sequence[int],
+    ks: Sequence[int] = PAPER_KS,
+    n_negatives: int = 100,
+    seed: int | np.random.Generator | None = None,
+    candidate_lists: list[tuple[int, np.ndarray]] | None = None,
+) -> dict[str, float]:
+    """HR@K / NDCG@K of ``target_item`` over ``eval_users``.
+
+    Pass ``candidate_lists`` (from :func:`promotion_candidates`) to reuse
+    the same sampled negatives before and after an attack, which removes
+    sampling noise from before/after comparisons.
+    """
+    if candidate_lists is None:
+        candidate_lists = promotion_candidates(model, target_item, eval_users, n_negatives, seed)
+    return evaluate_candidate_lists(
+        lambda u, items: model.scores(u, items), candidate_lists, ks=ks
+    )

@@ -1,0 +1,74 @@
+"""End-to-end target-model training pipeline (paper Section 5.1.3).
+
+Splits the target domain 80/10/10, builds validation/test candidate lists
+under the 100-negative protocol, trains PinSage with HR@10 early stopping,
+and reports held-out quality.  The paper reports test HR@10 of 0.549
+(ML10M) and 0.5474 (ML20M); benchmark X1 checks our scaled analogue lands
+in a comparable quality regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.interactions import InteractionDataset
+from repro.data.negative_sampling import build_eval_candidates
+from repro.data.splits import train_val_test_split
+from repro.recsys.metrics import PAPER_KS, evaluate_candidate_lists
+from repro.recsys.pinsage import PinSageRecommender
+from repro.utils.logging import get_logger
+from repro.utils.rng import make_rng, spawn
+
+__all__ = ["TrainedTarget", "train_target_model"]
+
+_LOG = get_logger("recsys.training")
+
+
+@dataclass
+class TrainedTarget:
+    """A fitted target model plus the artifacts of its training run."""
+
+    model: PinSageRecommender
+    train_dataset: InteractionDataset
+    test_metrics: dict[str, float]
+    val_metrics: dict[str, float]
+    n_real_users: int
+
+
+def train_target_model(
+    dataset: InteractionDataset,
+    n_factors: int = 8,
+    lr: float = 0.001,
+    n_epochs: int = 40,
+    patience: int = 5,
+    n_negatives: int = 100,
+    seed: int | np.random.Generator | None = None,
+) -> TrainedTarget:
+    """Train the PinSage target model on ``dataset`` with the paper's recipe."""
+    rng = make_rng(seed)
+    split_rng, cand_rng, model_rng = spawn(rng, 3)
+    split = train_val_test_split(dataset, seed=split_rng)
+    val_candidates = build_eval_candidates(split.train, split.val, n_negatives, cand_rng)
+    test_candidates = build_eval_candidates(split.train, split.test, n_negatives, cand_rng)
+
+    model = PinSageRecommender(
+        n_factors=n_factors, lr=lr, n_epochs=n_epochs, patience=patience, seed=model_rng
+    )
+    model.fit(split.train, val_candidates=val_candidates)
+
+    val_metrics = evaluate_candidate_lists(model.scores_for, val_candidates, ks=PAPER_KS)
+    test_metrics = evaluate_candidate_lists(model.scores_for, test_candidates, ks=PAPER_KS)
+    _LOG.info(
+        "target model trained: val HR@10=%.4f test HR@10=%.4f",
+        val_metrics["hr@10"],
+        test_metrics["hr@10"],
+    )
+    return TrainedTarget(
+        model=model,
+        train_dataset=split.train,
+        test_metrics=test_metrics,
+        val_metrics=val_metrics,
+        n_real_users=split.train.n_users,
+    )

@@ -1,0 +1,24 @@
+"""Shared utilities: RNG discipline, validation, logging, timing."""
+
+from repro.utils.logging import enable_console_logging, get_logger
+from repro.utils.rng import DEFAULT_SEED, make_rng, spawn
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    require,
+    require_in_range,
+    require_nonempty,
+    require_positive,
+)
+
+__all__ = [
+    "make_rng",
+    "spawn",
+    "DEFAULT_SEED",
+    "get_logger",
+    "enable_console_logging",
+    "Timer",
+    "require",
+    "require_positive",
+    "require_in_range",
+    "require_nonempty",
+]

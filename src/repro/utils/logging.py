@@ -1,0 +1,30 @@
+"""Library logging setup.
+
+The library logs under the ``repro`` namespace and never configures the
+root logger; :func:`enable_console_logging` is a convenience for scripts.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger", "enable_console_logging"]
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under ``repro``."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a stderr handler to the ``repro`` logger (idempotent)."""
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        logger.addHandler(handler)

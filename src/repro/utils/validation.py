@@ -1,0 +1,33 @@
+"""Small argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+from typing import Sized
+
+from repro.errors import ConfigurationError
+
+__all__ = ["require", "require_positive", "require_in_range", "require_nonempty"]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def require_positive(value: float, name: str) -> None:
+    """Require ``value > 0``."""
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+
+
+def require_in_range(value: float, low: float, high: float, name: str) -> None:
+    """Require ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ConfigurationError(f"{name} must be in [{low}, {high}], got {value}")
+
+
+def require_nonempty(seq: Sized, name: str) -> None:
+    """Require a non-empty container."""
+    if len(seq) == 0:
+        raise ConfigurationError(f"{name} must not be empty")

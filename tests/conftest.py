@@ -1,0 +1,60 @@
+"""Shared fixtures: tiny datasets and a session-scoped prepared experiment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import InteractionDataset, SyntheticConfig, generate_cross_domain
+from repro.experiments import SMALL, prepare_experiment
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_dataset() -> InteractionDataset:
+    """Six users over ten items with hand-written sequential profiles."""
+    profiles = [
+        [0, 1, 2, 3],
+        [2, 3, 4],
+        [5, 6],
+        [0, 4, 7, 8, 9],
+        [1, 5, 9],
+        [3, 6, 8],
+    ]
+    return InteractionDataset(profiles, n_items=10, name="tiny")
+
+
+@pytest.fixture(scope="session")
+def small_cross():
+    """A seconds-scale cross-domain dataset shared across the session."""
+    config = SyntheticConfig(
+        n_universe_items=120,
+        n_target_items=80,
+        n_source_items=90,
+        n_overlap_items=60,
+        n_target_users=80,
+        n_source_users=150,
+        target_profile_mean=14.0,
+        source_profile_mean=18.0,
+        softmax_temperature=0.55,
+        popularity_weight=0.35,
+        popularity_exponent=0.8,
+        rating_keep_probability_scale=4.0,
+        interest_drift=0.2,
+        name="fixture",
+    )
+    return generate_cross_domain(config, seed=97)
+
+
+@pytest.fixture(scope="session")
+def small_prep():
+    """Fully prepared SMALL experiment (trained target model, pretend users).
+
+    Session-scoped because training takes a few seconds; tests must not
+    mutate it without restoring (use ``env.reset()`` / snapshots).
+    """
+    return prepare_experiment(SMALL)

@@ -1,0 +1,142 @@
+"""Attack baselines: RandomAttack, TargetAttack family, shilling attacks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attack import (
+    AttackEnvironment,
+    RandomAttack,
+    ShillingAttack,
+    TargetAttack,
+    create_pretend_users,
+)
+from repro.errors import ConfigurationError
+from repro.recsys import BlackBoxRecommender, PopularityRecommender
+
+
+@pytest.fixture
+def env_and_source(small_cross):
+    model = PopularityRecommender().fit(small_cross.target.copy())
+    bb = BlackBoxRecommender(model)
+    pretend = create_pretend_users(
+        bb, small_cross.target.popularity(), n_users=5, profile_length=5, seed=3
+    )
+    pop = small_cross.target.popularity()
+    target = next(
+        int(v)
+        for v in small_cross.overlap_items
+        if pop[v] < 6 and small_cross.source.users_with_item(int(v)).size >= 4
+    )
+    env = AttackEnvironment(bb, target, pretend, budget=8, query_interval=4,
+                            reward_k=10, success_threshold=None)
+    return env, small_cross.source
+
+
+class TestRandomAttack:
+    def test_spends_whole_budget(self, env_and_source):
+        env, source = env_and_source
+        RandomAttack(source, seed=1).attack(env)
+        assert env.trace.n_injected == 8
+        env.reset()
+
+    def test_profiles_copied_verbatim(self, env_and_source):
+        env, source = env_and_source
+        RandomAttack(source, seed=1).attack(env)
+        for profile, user in zip(env.trace.injected_profiles, env.trace.selected_users):
+            assert profile == source.user_profile(user)
+        env.reset()
+
+    def test_no_duplicate_users_until_pool_exhausted(self, env_and_source):
+        env, source = env_and_source
+        RandomAttack(source, seed=1).attack(env)
+        assert len(set(env.trace.selected_users)) == 8
+        env.reset()
+
+
+class TestTargetAttack:
+    def test_name_reflects_fraction(self, env_and_source):
+        _, source = env_and_source
+        assert TargetAttack(source, 0.4).name == "TargetAttack40"
+        assert TargetAttack(source, 1.0).name == "TargetAttack100"
+
+    def test_invalid_fraction_raises(self, env_and_source):
+        _, source = env_and_source
+        with pytest.raises(ConfigurationError):
+            TargetAttack(source, 0.0)
+
+    def test_all_profiles_contain_target(self, env_and_source):
+        env, source = env_and_source
+        TargetAttack(source, 0.4, seed=2).attack(env)
+        for profile in env.trace.injected_profiles:
+            assert env.target_item in profile
+        env.reset()
+
+    def test_clipping_shortens_profiles(self, env_and_source):
+        env, source = env_and_source
+        TargetAttack(source, 0.4, seed=2).attack(env)
+        len40 = env.trace.mean_profile_length()
+        env.reset()
+        TargetAttack(source, 1.0, seed=2).attack(env)
+        len100 = env.trace.mean_profile_length()
+        env.reset()
+        assert len40 < len100
+
+    def test_unsupported_target_raises(self, small_cross):
+        model = PopularityRecommender().fit(small_cross.target.copy())
+        bb = BlackBoxRecommender(model)
+        pretend = create_pretend_users(
+            bb, small_cross.target.popularity(), n_users=2, profile_length=3, seed=3
+        )
+        pop_source = small_cross.source.popularity()
+        unsupported = [v for v in range(small_cross.target.n_items) if pop_source[v] == 0]
+        env = AttackEnvironment(bb, unsupported[0], pretend, budget=3)
+        with pytest.raises(ConfigurationError):
+            TargetAttack(small_cross.source, 0.5, seed=1).attack(env)
+        env.reset()
+
+
+class TestShillingAttack:
+    def test_invalid_strategy_raises(self):
+        with pytest.raises(ConfigurationError):
+            ShillingAttack(np.ones(10), strategy="chaos")
+
+    def test_profiles_contain_target(self, env_and_source):
+        env, _ = env_and_source
+        pop = np.ones(env.blackbox.n_items)
+        ShillingAttack(pop, strategy="random", profile_length=6, seed=1).attack(env)
+        for profile in env.trace.injected_profiles:
+            assert env.target_item in profile
+            assert len(profile) == 6
+        env.reset()
+
+    def test_bandwagon_uses_popular_filler(self, env_and_source):
+        env, _ = env_and_source
+        rng = np.random.default_rng(0)
+        pop = rng.permutation(np.arange(env.blackbox.n_items, dtype=float))
+        attack = ShillingAttack(pop, strategy="bandwagon", profile_length=5,
+                                bandwagon_fraction=0.1, seed=1)
+        n_top = max(1, int(env.blackbox.n_items * 0.1))
+        top = set(np.argsort(-pop)[:n_top].tolist())
+        profile = attack.make_profile(target_item=env.target_item)
+        filler = [v for v in profile if v != env.target_item]
+        assert set(filler) <= top
+
+    def test_average_skews_popular(self, env_and_source):
+        env, _ = env_and_source
+        rng = np.random.default_rng(0)
+        pop = rng.permutation(np.arange(env.blackbox.n_items, dtype=float))
+        average = ShillingAttack(pop, strategy="average", profile_length=8, seed=1)
+        random_ = ShillingAttack(pop, strategy="random", profile_length=8, seed=1)
+        avg_pop = np.mean([
+            pop[list(average.make_profile(0))].mean() for _ in range(30)
+        ])
+        rnd_pop = np.mean([
+            pop[list(random_.make_profile(0))].mean() for _ in range(30)
+        ])
+        assert avg_pop > rnd_pop
+
+    def test_names(self):
+        assert ShillingAttack(np.ones(5), strategy="random").name == "RandomShilling"
+        assert ShillingAttack(np.ones(5), strategy="bandwagon").name == "BandwagonShilling"

@@ -1,0 +1,93 @@
+"""Attack budget accounting and reward functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attack import AttackBudget, DemotionReward, HitRatioReward
+from repro.errors import BudgetExhaustedError, ConfigurationError
+
+
+class TestAttackBudget:
+    def test_invalid_limits_raise(self):
+        with pytest.raises(ConfigurationError):
+            AttackBudget(max_profiles=0)
+        with pytest.raises(ConfigurationError):
+            AttackBudget(max_profiles=5, max_queries=0)
+
+    def test_spend_profile_tracks_interactions(self):
+        budget = AttackBudget(max_profiles=3)
+        budget.spend_profile(10)
+        budget.spend_profile(20)
+        assert budget.profiles_used == 2
+        assert budget.interactions_used == 30
+        assert budget.remaining_profiles == 1
+
+    def test_exhaustion_raises(self):
+        budget = AttackBudget(max_profiles=1)
+        budget.spend_profile(5)
+        assert budget.exhausted
+        with pytest.raises(BudgetExhaustedError):
+            budget.spend_profile(5)
+
+    def test_query_cap(self):
+        budget = AttackBudget(max_profiles=5, max_queries=2)
+        budget.spend_query()
+        budget.spend_query()
+        with pytest.raises(BudgetExhaustedError):
+            budget.spend_query()
+
+    def test_unbounded_queries_by_default(self):
+        budget = AttackBudget(max_profiles=5)
+        for _ in range(100):
+            budget.spend_query()
+        assert budget.queries_used == 100
+
+    def test_mean_profile_length(self):
+        budget = AttackBudget(max_profiles=5)
+        assert budget.mean_profile_length() == 0.0
+        budget.spend_profile(4)
+        budget.spend_profile(8)
+        assert budget.mean_profile_length() == 6.0
+
+    def test_reset_clears_everything(self):
+        budget = AttackBudget(max_profiles=2)
+        budget.spend_profile(3)
+        budget.spend_query()
+        budget.reset()
+        assert budget.profiles_used == 0
+        assert budget.queries_used == 0
+        assert budget.mean_profile_length() == 0.0
+
+
+class TestHitRatioReward:
+    def test_counts_hits_within_k(self):
+        reward = HitRatioReward(k=2)
+        lists = [np.array([5, 7, 9]), np.array([1, 2, 3]), np.array([7, 5, 1])]
+        assert reward(7, lists) == pytest.approx(2 / 3)
+
+    def test_k_cutoff_respected(self):
+        reward = HitRatioReward(k=1)
+        lists = [np.array([5, 7])]
+        assert reward(7, lists) == 0.0
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ConfigurationError):
+            HitRatioReward(k=0)
+
+    def test_empty_lists_raise(self):
+        with pytest.raises(ConfigurationError):
+            HitRatioReward()(0, [])
+
+    def test_full_hit(self):
+        reward = HitRatioReward(k=3)
+        assert reward(1, [np.array([1, 2, 3])] * 4) == 1.0
+
+
+class TestDemotionReward:
+    def test_complements_promotion(self):
+        lists = [np.array([5, 7]), np.array([1, 2])]
+        promo = HitRatioReward(k=2)(7, lists)
+        demo = DemotionReward(k=2)(7, lists)
+        assert promo + demo == pytest.approx(1.0)

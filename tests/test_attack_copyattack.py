@@ -1,0 +1,166 @@
+"""CopyAttack agent: rollouts, ablation flags, and training integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attack import (
+    AttackEnvironment,
+    CopyAttackAgent,
+    CopyAttackConfig,
+    create_pretend_users,
+)
+from repro.attack.policies import FlatPolicy, HierarchicalTreePolicy
+from repro.errors import ConfigurationError
+from repro.recsys import BlackBoxRecommender, PopularityRecommender
+
+
+@pytest.fixture
+def world(small_cross):
+    """A popularity target model (fast) + the generated source domain."""
+    model = PopularityRecommender().fit(small_cross.target.copy())
+    bb = BlackBoxRecommender(model)
+    pretend = create_pretend_users(
+        bb, small_cross.target.popularity(), n_users=6, profile_length=5, seed=3
+    )
+    rng = np.random.default_rng(11)
+    user_emb = rng.normal(size=(small_cross.source.n_users, 8))
+    item_emb = rng.normal(size=(small_cross.source.n_items, 8))
+    pop = small_cross.target.popularity()
+    target = next(
+        int(v)
+        for v in small_cross.overlap_items
+        if pop[v] < 6 and small_cross.source.users_with_item(int(v)).size >= 4
+    )
+    return small_cross, bb, pretend, user_emb, item_emb, target
+
+
+def make_env(world, budget=6):
+    _, bb, pretend, _, _, target = world
+    return AttackEnvironment(
+        bb, target, pretend, budget=budget, query_interval=3, reward_k=10,
+        success_threshold=None,
+    )
+
+
+class TestConfig:
+    def test_invalid_policy_raises(self):
+        with pytest.raises(ConfigurationError):
+            CopyAttackConfig(policy="transformer")
+
+    def test_invalid_depth_raises(self):
+        with pytest.raises(ConfigurationError):
+            CopyAttackConfig(tree_depth=0)
+
+    def test_invalid_episodes_raise(self):
+        with pytest.raises(ConfigurationError):
+            CopyAttackConfig(n_episodes=0)
+
+
+class TestConstruction:
+    def test_tree_policy_by_default(self, world):
+        cross, _, _, user_emb, item_emb, _ = world
+        agent = CopyAttackAgent(cross.source, user_emb, item_emb, seed=1)
+        assert isinstance(agent.selection_policy, HierarchicalTreePolicy)
+        assert agent.tree is not None
+
+    def test_flat_policy_option(self, world):
+        cross, _, _, user_emb, item_emb, _ = world
+        agent = CopyAttackAgent(
+            cross.source, user_emb, item_emb, CopyAttackConfig(policy="flat"), seed=1
+        )
+        assert isinstance(agent.selection_policy, FlatPolicy)
+        assert agent.tree is None
+
+    def test_crafting_excluded_from_trainer_when_disabled(self, world):
+        cross, _, _, user_emb, item_emb, _ = world
+        agent = CopyAttackAgent(
+            cross.source, user_emb, item_emb,
+            CopyAttackConfig(use_crafting=False), seed=1,
+        )
+        craft_params = {id(p) for p in agent.crafting_policy.parameters()}
+        trained_params = {id(p) for p in agent.trainer.optimizer.params}
+        assert craft_params.isdisjoint(trained_params)
+
+
+class TestRollout:
+    def test_rollout_spends_full_budget(self, world):
+        cross, _, _, user_emb, item_emb, target = world
+        env = make_env(world)
+        agent = CopyAttackAgent(cross.source, user_emb, item_emb,
+                                CopyAttackConfig(n_episodes=1), seed=1)
+        mask = agent._make_mask(env.target_item)
+        buffer = agent.rollout(env, mask)
+        assert len(buffer) == 6
+        assert env.done
+
+    def test_masked_rollout_only_injects_supporters(self, world):
+        cross, _, _, user_emb, item_emb, target = world
+        env = make_env(world, budget=3)
+        agent = CopyAttackAgent(cross.source, user_emb, item_emb,
+                                CopyAttackConfig(n_episodes=1), seed=1)
+        mask = agent._make_mask(env.target_item)
+        agent.rollout(env, mask)
+        for profile in env.trace.injected_profiles:
+            assert env.target_item in profile
+
+    def test_unmasked_rollout_ignores_target_constraint(self, world):
+        cross, _, _, user_emb, item_emb, target = world
+        env = make_env(world, budget=8)
+        agent = CopyAttackAgent(
+            cross.source, user_emb, item_emb,
+            CopyAttackConfig(n_episodes=1, use_masking=False, use_crafting=False),
+            seed=1,
+        )
+        mask = agent._make_mask(env.target_item)
+        agent.rollout(env, mask)
+        hits = sum(target in p for p in env.trace.injected_profiles)
+        assert hits < len(env.trace.injected_profiles)  # mostly non-supporters
+
+    def test_crafted_profiles_contain_target_and_are_windows(self, world):
+        cross, _, _, user_emb, item_emb, target = world
+        env = make_env(world)
+        agent = CopyAttackAgent(cross.source, user_emb, item_emb,
+                                CopyAttackConfig(n_episodes=1), seed=1)
+        mask = agent._make_mask(env.target_item)
+        agent.rollout(env, mask)
+        for profile, user in zip(env.trace.injected_profiles, env.trace.selected_users):
+            raw = cross.source.user_profile(user)
+            assert target in profile
+            assert set(profile) <= set(raw)
+
+    def test_exhausted_supporters_reuse_instead_of_crash(self, world):
+        """Budget greater than the supporter count forces mask relaxation."""
+        cross, _, _, user_emb, item_emb, target = world
+        supporters = cross.source.users_with_item(target).size
+        env = make_env(world, budget=supporters + 3)
+        agent = CopyAttackAgent(cross.source, user_emb, item_emb,
+                                CopyAttackConfig(n_episodes=1), seed=1)
+        mask = agent._make_mask(env.target_item)
+        agent.rollout(env, mask)
+        assert env.trace.n_injected == supporters + 3
+
+
+class TestAttack:
+    def test_attack_trains_and_executes(self, world):
+        cross, bb, pretend, user_emb, item_emb, target = world
+        env = make_env(world)
+        agent = CopyAttackAgent(cross.source, user_emb, item_emb,
+                                CopyAttackConfig(n_episodes=3), seed=1)
+        result = agent.attack(env)
+        assert len(result.episode_hit_ratios) == 3
+        assert len(result.train_diagnostics) == 3
+        assert result.trace.n_injected == 6  # final greedy rollout left in place
+        env.reset()
+
+    def test_attack_promotes_on_popularity_model(self, world):
+        """On a popularity target, injecting supporters must raise the reward."""
+        cross, bb, pretend, user_emb, item_emb, target = world
+        env = AttackEnvironment(bb, target, pretend, budget=20, query_interval=5,
+                                reward_k=15, success_threshold=None)
+        agent = CopyAttackAgent(cross.source, user_emb, item_emb,
+                                CopyAttackConfig(n_episodes=2), seed=1)
+        result = agent.attack(env)
+        assert result.final_hit_ratio > 0.0
+        env.reset()

@@ -1,0 +1,99 @@
+"""Profile crafting: the window-clipping operation and its ablation variants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attack import WINDOW_LEVELS, clip_profile, random_subset, similarity_subset
+from repro.errors import ConfigurationError
+
+
+class TestClipProfile:
+    def test_paper_worked_example(self):
+        """Section 4.4: 10 items, target at v5, 50% keeps v3..v7."""
+        profile = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+        clipped = clip_profile(profile, target_item=5, fraction=0.5)
+        assert clipped == (3, 4, 5, 6, 7)
+
+    def test_full_fraction_keeps_everything(self):
+        profile = [3, 1, 4, 1_5, 9]
+        assert clip_profile(profile, 4, 1.0) == tuple(profile)
+
+    def test_minimum_one_item(self):
+        assert clip_profile([7, 8], 7, 0.1) == (7,)
+
+    def test_target_at_left_boundary(self):
+        profile = list(range(10))
+        clipped = clip_profile(profile, 0, 0.5)
+        assert clipped == (0, 1, 2, 3, 4)
+
+    def test_target_at_right_boundary(self):
+        profile = list(range(10))
+        clipped = clip_profile(profile, 9, 0.5)
+        assert clipped == (5, 6, 7, 8, 9)
+
+    def test_missing_target_raises(self):
+        with pytest.raises(ConfigurationError):
+            clip_profile([1, 2, 3], 9, 0.5)
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ConfigurationError):
+            clip_profile([1, 2], 1, 0.0)
+        with pytest.raises(ConfigurationError):
+            clip_profile([1, 2], 1, 1.5)
+
+    def test_window_levels_are_ten_deciles(self):
+        assert len(WINDOW_LEVELS) == 10
+        assert WINDOW_LEVELS[0] == pytest.approx(0.1)
+        assert WINDOW_LEVELS[-1] == pytest.approx(1.0)
+
+    @given(
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=0, max_value=29),
+        st.sampled_from(WINDOW_LEVELS),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_clip_invariants(self, length, target_pos, fraction):
+        """Always contiguous, always contains the target, exact length."""
+        target_pos = target_pos % length
+        profile = list(range(100, 100 + length))
+        target = profile[target_pos]
+        clipped = clip_profile(profile, target, fraction)
+        assert target in clipped
+        assert len(clipped) == max(1, round(length * fraction))
+        start = profile.index(clipped[0])
+        assert tuple(profile[start : start + len(clipped)]) == clipped
+
+
+class TestAblationVariants:
+    def test_random_subset_keeps_target(self):
+        profile = list(range(20))
+        out = random_subset(profile, 7, 0.4, seed=3)
+        assert 7 in out
+        assert len(out) == 8
+
+    def test_random_subset_preserves_order(self):
+        profile = list(range(20))
+        out = random_subset(profile, 7, 0.5, seed=3)
+        assert list(out) == sorted(out)
+
+    def test_random_subset_missing_target_raises(self):
+        with pytest.raises(ConfigurationError):
+            random_subset([1, 2], 9, 0.5, seed=1)
+
+    def test_similarity_subset_prefers_similar_items(self):
+        emb = np.zeros((10, 2))
+        emb[0] = [1.0, 0.0]   # target
+        emb[1] = [0.99, 0.1]  # very similar
+        emb[2] = [-1.0, 0.0]  # opposite
+        profile = [0, 1, 2]
+        out = similarity_subset(profile, 0, 0.67, emb)
+        assert out == (0, 1)
+
+    def test_similarity_subset_always_keeps_target(self):
+        emb = np.random.default_rng(0).normal(size=(10, 4))
+        out = similarity_subset(list(range(10)), 5, 0.2, emb)
+        assert 5 in out

@@ -1,0 +1,121 @@
+"""Extensions beyond the paper's main experiments.
+
+Covers the future-work directions the paper lists in its conclusion:
+demotion attacks (pluggable reward) and targets absent from the source
+domain (surrogate masking), plus attack transferability to a non-GNN
+target model (ItemKNN).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attack import (
+    AttackEnvironment,
+    DemotionReward,
+    TargetAttack,
+    create_pretend_users,
+)
+from repro.attack.tree import (
+    HierarchicalClusterTree,
+    nearest_source_items,
+    surrogate_mask,
+)
+from repro.errors import ConfigurationError, MaskedTreeError
+from repro.recsys import BlackBoxRecommender, ItemKNN, PopularityRecommender
+
+
+class TestDemotionReward:
+    def test_environment_accepts_demotion_reward(self, tiny_dataset):
+        model = PopularityRecommender().fit(tiny_dataset.copy())
+        bb = BlackBoxRecommender(model)
+        pretend = create_pretend_users(bb, tiny_dataset.popularity(), n_users=3,
+                                       profile_length=3, seed=5)
+        # Demote the currently most popular item (item 3).
+        env = AttackEnvironment(bb, 3, pretend, budget=6, query_interval=2,
+                                reward_fn=DemotionReward(k=3), success_threshold=None)
+        # Promote competitors; item 3's relative rank falls.
+        first = None
+        last = None
+        while not env.done:
+            outcome = env.step([7, 8, 9])
+            if outcome.reward is not None:
+                last = outcome.reward
+                if first is None:
+                    first = outcome.reward
+        assert last >= first  # demotion reward does not decrease
+        env.reset()
+
+
+class TestSurrogateMasking:
+    @pytest.fixture
+    def setup(self, small_cross, rng):
+        from repro.recsys import MatrixFactorization
+
+        mf = MatrixFactorization(n_epochs=10, seed=3).fit(small_cross.source)
+        return small_cross, mf
+
+    def test_nearest_items_are_source_supported(self, setup):
+        cross, mf = setup
+        surrogates = nearest_source_items(0, mf.item_factors, cross.source, n_items=4)
+        pop = cross.source.popularity()
+        for item in surrogates:
+            assert pop[item] > 0
+            assert item != 0
+
+    def test_invalid_count_raises(self, setup):
+        cross, mf = setup
+        with pytest.raises(ConfigurationError):
+            nearest_source_items(0, mf.item_factors, cross.source, n_items=0)
+
+    def test_surrogate_mask_admits_surrogate_supporters(self, setup):
+        cross, mf = setup
+        # Choose a target with NO source supporters (out-of-source target).
+        pop_source = cross.source.popularity()
+        out_of_source = [v for v in range(cross.target.n_items) if pop_source[v] == 0]
+        if not out_of_source:
+            pytest.skip("fixture has full source coverage")
+        target = out_of_source[0]
+        mask, surrogates = surrogate_mask(cross.source, target, mf.item_factors)
+        allowed = mask.allowed_users()
+        assert allowed.any()
+        expected = set()
+        for item in surrogates:
+            expected.update(cross.source.users_with_item(int(item)).tolist())
+        assert set(np.where(allowed)[0].tolist()) == expected
+        assert mask.target_item == target
+
+    def test_surrogate_mask_with_tree_cache(self, setup, rng):
+        cross, mf = setup
+        tree = HierarchicalClusterTree.from_depth(mf.user_factors, depth=3, seed=1)
+        mask, _ = surrogate_mask(cross.source, 0, mf.item_factors, tree=tree)
+        children = mask.children_mask(tree.root)
+        assert children.any()
+
+
+class TestTransferToItemKNN:
+    def test_target_attack_transfers_to_itemknn(self, small_cross):
+        """The same copied profiles promote on a co-occurrence model too."""
+        model = ItemKNN(shrinkage=5.0).fit(small_cross.target.copy())
+        bb = BlackBoxRecommender(model)
+        pretend = create_pretend_users(bb, small_cross.target.popularity(),
+                                       n_users=8, profile_length=5, seed=5)
+        pop = small_cross.target.popularity()
+        target = next(
+            int(v) for v in small_cross.overlap_items
+            if pop[v] < 6 and small_cross.source.users_with_item(int(v)).size >= 4
+        )
+        env = AttackEnvironment(bb, target, pretend, budget=12, query_interval=4,
+                                reward_k=15, success_threshold=None)
+        from repro.recsys import evaluate_promotion, promotion_candidates
+
+        eval_users = list(range(small_cross.target.n_users))
+        cands = promotion_candidates(model, target, eval_users, n_negatives=40, seed=6)
+        before = evaluate_promotion(model, target, eval_users, ks=(20,),
+                                    candidate_lists=cands)["hr@20"]
+        TargetAttack(small_cross.source, 0.4, seed=7).attack(env)
+        after = evaluate_promotion(model, target, eval_users, ks=(20,),
+                                   candidate_lists=cands)["hr@20"]
+        env.reset()
+        assert after > before

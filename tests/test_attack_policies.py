@@ -1,0 +1,164 @@
+"""Policy networks: state encoder, tree policy, flat policy, crafting policy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attack import WINDOW_LEVELS
+from repro.attack.policies import (
+    CraftingPolicy,
+    FlatPolicy,
+    HierarchicalTreePolicy,
+    PolicyStateEncoder,
+)
+from repro.attack.tree import HierarchicalClusterTree, TargetItemMask
+from repro.data import InteractionDataset
+from repro.errors import ConfigurationError, MaskedTreeError
+
+
+@pytest.fixture
+def source():
+    profiles = [[0, 1], [1, 2], [0, 3], [4, 5], [2, 5], [0, 5], [3, 4], [1, 5]]
+    return InteractionDataset(profiles, n_items=6, name="policy-src")
+
+
+@pytest.fixture
+def setup(source, rng):
+    user_emb = rng.normal(size=(source.n_users, 4))
+    item_emb = rng.normal(size=(source.n_items, 4))
+    encoder = PolicyStateEncoder(user_emb, item_emb, rng)
+    tree = HierarchicalClusterTree(user_emb, branching=2, seed=3)
+    return user_emb, item_emb, encoder, tree
+
+
+class TestStateEncoder:
+    def test_state_dim_is_twice_embedding(self, setup):
+        _, _, encoder, _ = setup
+        assert encoder.state_dim == 8
+
+    def test_empty_selection_state(self, setup):
+        _, item_emb, encoder, _ = setup
+        state = encoder.encode(2, [])
+        np.testing.assert_allclose(state.data[:4], item_emb[2])
+        np.testing.assert_allclose(state.data[4:], np.zeros(4))
+
+    def test_state_changes_with_selection(self, setup):
+        _, _, encoder, _ = setup
+        s0 = encoder.encode(2, []).data
+        s1 = encoder.encode(2, [0]).data
+        assert not np.allclose(s0, s1)
+
+    def test_state_depends_on_target_item(self, setup):
+        _, _, encoder, _ = setup
+        assert not np.allclose(encoder.encode(0, []).data, encoder.encode(1, []).data)
+
+    def test_dim_mismatch_raises(self, rng):
+        with pytest.raises(ConfigurationError):
+            PolicyStateEncoder(rng.normal(size=(4, 3)), rng.normal(size=(4, 5)), rng)
+
+
+class TestHierarchicalTreePolicy:
+    def test_one_mlp_per_internal_node(self, setup, rng):
+        _, _, encoder, tree = setup
+        policy = HierarchicalTreePolicy(tree, encoder.state_dim, 8, rng)
+        assert len(policy.node_mlps) == tree.n_policy_nodes
+
+    def test_select_returns_valid_leaf(self, setup, source, rng):
+        _, _, encoder, tree = setup
+        policy = HierarchicalTreePolicy(tree, encoder.state_dim, 8, rng)
+        mask = TargetItemMask(source, target_item=0)
+        result = policy.select(encoder.encode(0, []), mask, seed=1)
+        assert source.has(result.user_id, 0)
+        assert result.n_decisions == len(result.path_node_ids)
+
+    def test_log_prob_is_negative_and_differentiable(self, setup, source, rng):
+        _, _, encoder, tree = setup
+        policy = HierarchicalTreePolicy(tree, encoder.state_dim, 8, rng)
+        mask = TargetItemMask(source, target_item=0)
+        result = policy.select(encoder.encode(0, []), mask, seed=1)
+        assert result.log_prob.item() < 0
+        result.log_prob.backward()
+        assert any(
+            p.grad is not None and np.abs(p.grad).sum() > 0 for p in policy.parameters()
+        )
+
+    def test_greedy_is_deterministic(self, setup, source, rng):
+        _, _, encoder, tree = setup
+        policy = HierarchicalTreePolicy(tree, encoder.state_dim, 8, rng)
+        mask = TargetItemMask(source, target_item=0)
+        state = encoder.encode(0, [])
+        picks = {policy.select(state, mask, seed=t, greedy=True).user_id for t in range(5)}
+        assert len(picks) == 1
+
+    def test_sampling_explores(self, setup, source, rng):
+        _, _, encoder, tree = setup
+        policy = HierarchicalTreePolicy(tree, encoder.state_dim, 8, rng)
+        mask = TargetItemMask(source, target_item=5)  # supporters: users 3, 4, 5, 7
+        state = encoder.encode(5, [])
+        picks = {policy.select(state, mask, seed=t).user_id for t in range(40)}
+        assert len(picks) >= 2
+
+    def test_invalid_dims_raise(self, setup, rng):
+        _, _, encoder, tree = setup
+        with pytest.raises(ConfigurationError):
+            HierarchicalTreePolicy(tree, 0, 8, rng)
+
+
+class TestFlatPolicy:
+    def test_select_respects_mask(self, setup, source, rng):
+        _, _, encoder, _ = setup
+        policy = FlatPolicy(source.n_users, encoder.state_dim, 8, rng)
+        mask = TargetItemMask(source, target_item=0)
+        for trial in range(20):
+            result = policy.select(encoder.encode(0, []), mask, seed=trial)
+            assert source.has(result.user_id, 0)
+
+    def test_all_masked_raises(self, setup, source, rng):
+        _, _, encoder, _ = setup
+        policy = FlatPolicy(source.n_users, encoder.state_dim, 8, rng)
+        mask = TargetItemMask(source, target_item=0)
+        for u in (0, 2, 5):
+            mask.exclude_user(u)
+        with pytest.raises(MaskedTreeError):
+            policy.select(encoder.encode(0, []), mask, seed=1)
+
+    def test_single_decision(self, setup, source, rng):
+        _, _, encoder, _ = setup
+        policy = FlatPolicy(source.n_users, encoder.state_dim, 8, rng)
+        mask = TargetItemMask(source, target_item=0)
+        result = policy.select(encoder.encode(0, []), mask, seed=1)
+        assert result.n_decisions == 1
+        assert result.path_node_ids == ()
+
+
+class TestCraftingPolicy:
+    def test_fraction_from_window_levels(self, rng):
+        policy = CraftingPolicy(4, 8, rng)
+        result = policy.select(rng.normal(size=4), rng.normal(size=4), seed=1)
+        assert result.fraction in WINDOW_LEVELS
+        assert 0 <= result.level_index < len(WINDOW_LEVELS)
+
+    def test_log_prob_differentiable(self, rng):
+        policy = CraftingPolicy(4, 8, rng)
+        result = policy.select(rng.normal(size=4), rng.normal(size=4), seed=1)
+        result.log_prob.backward()
+        assert any(
+            p.grad is not None and np.abs(p.grad).sum() > 0 for p in policy.parameters()
+        )
+
+    def test_greedy_deterministic(self, rng):
+        policy = CraftingPolicy(4, 8, rng)
+        u, v = rng.normal(size=4), rng.normal(size=4)
+        picks = {policy.select(u, v, seed=t, greedy=True).level_index for t in range(5)}
+        assert len(picks) == 1
+
+    def test_depends_on_inputs(self, rng):
+        """Different (user, item) pairs should produce different distributions."""
+        policy = CraftingPolicy(4, 16, rng)
+        from repro.nn import Tensor
+        from repro.nn import functional as F
+
+        a = F.softmax(policy.mlp(Tensor(np.concatenate([np.ones(4), np.ones(4)])))).data
+        b = F.softmax(policy.mlp(Tensor(np.concatenate([-np.ones(4), np.ones(4)])))).data
+        assert not np.allclose(a, b)

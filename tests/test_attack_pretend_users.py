@@ -1,0 +1,66 @@
+"""Pretend users: the attacker's measurement accounts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attack import create_pretend_users
+from repro.errors import ConfigurationError
+from repro.recsys import BlackBoxRecommender, PopularityRecommender
+
+
+@pytest.fixture
+def boxed(tiny_dataset):
+    model = PopularityRecommender().fit(tiny_dataset.copy())
+    return BlackBoxRecommender(model)
+
+
+class TestCreatePretendUsers:
+    def test_returns_platform_ids(self, boxed, tiny_dataset):
+        ids = create_pretend_users(boxed, tiny_dataset.popularity(), n_users=3,
+                                   profile_length=4, seed=1)
+        assert ids == [6, 7, 8]
+        assert boxed.n_users == 9
+
+    def test_profiles_have_requested_length(self, boxed, tiny_dataset):
+        create_pretend_users(boxed, tiny_dataset.popularity(), n_users=2,
+                             profile_length=4, seed=1)
+        for uid in (6, 7):
+            assert len(boxed._model.dataset.user_profile(uid)) == 4
+
+    def test_profiles_are_distinct_items(self, boxed, tiny_dataset):
+        create_pretend_users(boxed, tiny_dataset.popularity(), n_users=2,
+                             profile_length=5, seed=1)
+        profile = boxed._model.dataset.user_profile(6)
+        assert len(set(profile)) == len(profile)
+
+    def test_popularity_bias(self, boxed, tiny_dataset):
+        """Pretend profiles skew toward popular items (attacker mimicry)."""
+        pop = np.zeros(tiny_dataset.n_items)
+        pop[3] = 100.0  # overwhelmingly popular
+        pop[5] = 1.0
+        ids = create_pretend_users(boxed, pop, n_users=10, profile_length=2, seed=1)
+        containing = sum(
+            1 for uid in ids if 3 in boxed._model.dataset.user_profile_set(uid)
+        )
+        assert containing >= 8
+
+    def test_validation(self, boxed, tiny_dataset):
+        pop = tiny_dataset.popularity()
+        with pytest.raises(ConfigurationError):
+            create_pretend_users(boxed, pop, n_users=0)
+        with pytest.raises(ConfigurationError):
+            create_pretend_users(boxed, pop[:3], n_users=2)
+        with pytest.raises(ConfigurationError):
+            create_pretend_users(boxed, pop, n_users=2, profile_length=100)
+
+    def test_deterministic_given_seed(self, tiny_dataset):
+        results = []
+        for _ in range(2):
+            model = PopularityRecommender().fit(tiny_dataset.copy())
+            bb = BlackBoxRecommender(model)
+            create_pretend_users(bb, tiny_dataset.popularity(), n_users=2,
+                                 profile_length=3, seed=42)
+            results.append(bb._model.dataset.user_profile(6))
+        assert results[0] == results[1]

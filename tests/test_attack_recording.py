@@ -1,0 +1,67 @@
+"""Attack-run records: construction and JSON round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attack.copyattack import AttackRunResult
+from repro.attack.environment import EpisodeTrace
+from repro.attack.recording import AttackRunRecord, load_records, save_records
+from repro.errors import DataError
+
+
+def make_trace() -> EpisodeTrace:
+    trace = EpisodeTrace()
+    trace.injected_profiles = [(1, 2, 3), (4, 5)]
+    trace.selected_users = [10, 11]
+    trace.rewards = [0.0, 0.25]
+    trace.final_hit_ratio = 0.25
+    return trace
+
+
+class TestConstruction:
+    def test_from_trace(self):
+        record = AttackRunRecord.from_trace(
+            "TargetAttack40", "small", target_item=7, budget=2, trace=make_trace(),
+            metrics={"hr@20": 0.3},
+        )
+        assert record.method == "TargetAttack40"
+        assert record.final_hit_ratio == 0.25
+        assert record.mean_profile_length == 2.5
+        assert record.episode_hit_ratios == ()
+        assert record.metrics["hr@20"] == 0.3
+
+    def test_from_run(self):
+        result = AttackRunResult(trace=make_trace(), episode_hit_ratios=[0.1, 0.2])
+        record = AttackRunRecord.from_run(
+            "CopyAttack", "small", target_item=7, budget=2, result=result
+        )
+        assert record.episode_hit_ratios == (0.1, 0.2)
+        assert record.injected_profiles == ((1, 2, 3), (4, 5))
+
+
+class TestSerialisation:
+    def test_dict_roundtrip(self):
+        record = AttackRunRecord.from_trace("X", "ds", 1, 5, make_trace())
+        assert AttackRunRecord.from_dict(record.to_dict()) == record
+
+    def test_json_file_roundtrip(self, tmp_path):
+        records = [
+            AttackRunRecord.from_trace("A", "ds", 1, 5, make_trace()),
+            AttackRunRecord.from_trace("B", "ds", 2, 5, make_trace(), {"hr@20": 0.5}),
+        ]
+        path = tmp_path / "runs.json"
+        save_records(records, path)
+        loaded = load_records(path)
+        assert loaded == records
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DataError):
+            load_records(tmp_path / "absent.json")
+
+    def test_schema_version_checked(self):
+        record = AttackRunRecord.from_trace("X", "ds", 1, 5, make_trace())
+        payload = record.to_dict()
+        payload["schema_version"] = 99
+        with pytest.raises(DataError):
+            AttackRunRecord.from_dict(payload)

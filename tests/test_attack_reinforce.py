@@ -1,0 +1,116 @@
+"""REINFORCE: discounted returns, baseline, and end-to-end policy improvement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attack.reinforce import EpisodeBuffer, ReinforceTrainer, discounted_returns
+from repro.errors import ConfigurationError
+from repro.nn import MLP, Tensor
+from repro.nn import functional as F
+
+
+class TestDiscountedReturns:
+    def test_single_terminal_reward(self):
+        returns = discounted_returns([0.0, 0.0, 1.0], gamma=0.5)
+        np.testing.assert_allclose(returns, [0.25, 0.5, 1.0])
+
+    def test_gamma_zero_is_immediate_reward(self):
+        returns = discounted_returns([1.0, 2.0, 3.0], gamma=0.0)
+        np.testing.assert_allclose(returns, [1.0, 2.0, 3.0])
+
+    def test_gamma_one_is_suffix_sum(self):
+        returns = discounted_returns([1.0, 2.0, 3.0], gamma=1.0)
+        np.testing.assert_allclose(returns, [6.0, 5.0, 3.0])
+
+    def test_paper_gamma(self):
+        """Query every 3 steps with γ=0.6: early steps still see the reward."""
+        rewards = [0.0, 0.0, 1.0, 0.0, 0.0, 1.0]
+        returns = discounted_returns(rewards, gamma=0.6)
+        assert returns[0] == pytest.approx(0.36 + 0.6**5)
+
+    def test_invalid_gamma_raises(self):
+        with pytest.raises(ConfigurationError):
+            discounted_returns([1.0], gamma=1.5)
+
+
+class TestEpisodeBuffer:
+    def test_none_reward_becomes_zero(self):
+        buffer = EpisodeBuffer()
+        buffer.record(Tensor([0.0], requires_grad=True), None)
+        buffer.record(Tensor([0.0], requires_grad=True), 0.5)
+        assert buffer.rewards == [0.0, 0.5]
+        assert len(buffer) == 2
+
+
+class TestReinforceTrainer:
+    def test_requires_modules(self):
+        with pytest.raises(ConfigurationError):
+            ReinforceTrainer([])
+
+    def test_empty_episode_raises(self, rng):
+        trainer = ReinforceTrainer([MLP([2, 4, 3], rng)])
+        with pytest.raises(ConfigurationError):
+            trainer.update(EpisodeBuffer())
+
+    def test_baseline_tracks_returns(self, rng):
+        mlp = MLP([2, 4, 3], rng)
+        trainer = ReinforceTrainer([mlp], baseline_momentum=0.0)
+        buffer = EpisodeBuffer()
+        lp = F.log_softmax(mlp(Tensor(np.ones(2))))[0]
+        buffer.record(lp, 1.0)
+        diag = trainer.update(buffer)
+        assert diag["baseline"] == pytest.approx(diag["mean_return"])
+
+    def test_learns_bandit(self, rng):
+        """REINFORCE on a 3-armed bandit concentrates on the best arm."""
+        mlp = MLP([2, 8, 3], rng)
+        trainer = ReinforceTrainer([mlp], lr=0.05, gamma=0.0)
+        arm_rewards = [0.0, 1.0, 0.2]
+        state = Tensor(np.ones(2))
+        sample_rng = np.random.default_rng(7)
+        for _ in range(150):
+            buffer = EpisodeBuffer()
+            log_probs = F.log_softmax(mlp(state))
+            probs = np.exp(log_probs.data)
+            arm = int(sample_rng.choice(3, p=probs / probs.sum()))
+            buffer.record(log_probs[arm], arm_rewards[arm])
+            trainer.update(buffer)
+        final_probs = np.exp(F.log_softmax(mlp(state)).data)
+        assert final_probs[1] > 0.8
+
+    def test_gradient_clipping_applies(self, rng):
+        mlp = MLP([2, 4, 3], rng)
+        trainer = ReinforceTrainer([mlp], grad_clip=1e-6)
+        buffer = EpisodeBuffer()
+        buffer.record(F.log_softmax(mlp(Tensor(np.ones(2))))[0], 100.0)
+        before = {name: p.data.copy() for name, p in mlp.named_parameters()}
+        trainer.update(buffer)
+        moved = sum(
+            np.abs(p.data - before[name]).max() for name, p in mlp.named_parameters()
+        )
+        assert moved < 1e-2  # clipped to a tiny step
+
+
+class TestReturnProperties:
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=12),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_returns_bounded_by_geometric_series(self, rewards, gamma):
+        returns = discounted_returns(rewards, gamma)
+        bound = 1.0 / (1.0 - gamma) if gamma < 1.0 else len(rewards)
+        assert (returns <= bound + 1e-9).all()
+        assert (returns >= 0.0).all()
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_recurrence_holds(self, rewards):
+        gamma = 0.6
+        returns = discounted_returns(rewards, gamma)
+        for t in range(len(rewards) - 1):
+            assert returns[t] == pytest.approx(rewards[t] + gamma * returns[t + 1])

@@ -1,0 +1,59 @@
+"""CLI: argument parsing and end-to-end subcommand runs at small scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--config", "ml100k", "table1"])
+
+    def test_method_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["method", "--method", "QuantumAttack"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.config == "small"
+        assert args.seed is None
+
+    def test_budget_list_parsing(self):
+        args = build_parser().parse_args(["budget", "--budgets", "5", "10"])
+        assert args.budgets == [5, 10]
+
+
+class TestExecution:
+    def test_table1_runs(self, capsys):
+        assert main(["--config", "small", "--quiet", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "target" in out and "source" in out
+
+    def test_method_runs(self, capsys):
+        code = main([
+            "--config", "small", "--quiet",
+            "method", "--method", "TargetAttack40", "--budget", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TargetAttack40" in out
+        assert "hr@20" in out
+
+    def test_quality_runs(self, capsys):
+        assert main(["--config", "small", "--quiet", "quality"]) == 0
+        assert "X1" in capsys.readouterr().out
+
+    def test_seed_override(self, capsys):
+        code = main([
+            "--config", "small", "--seed", "123", "--quiet",
+            "method", "--method", "RandomAttack", "--budget", "3",
+        ])
+        assert code == 0

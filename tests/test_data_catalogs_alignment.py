@@ -1,0 +1,125 @@
+"""Item catalogs and cross-domain alignment by name / name+year."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CrossDomainDataset,
+    InteractionDataset,
+    ItemCatalog,
+    align_catalogs,
+    make_shared_universe,
+    reindex_source_to_target,
+)
+from repro.errors import DataError
+
+
+def catalog(names, years):
+    return ItemCatalog(names=tuple(names), years=tuple(years))
+
+
+class TestItemCatalog:
+    def test_length(self):
+        c = catalog(["A", "B"], [2000, 2001])
+        assert len(c) == 2
+
+    def test_mismatched_metadata_raises(self):
+        with pytest.raises(DataError):
+            catalog(["A"], [2000, 2001])
+
+    def test_key_with_and_without_year(self):
+        c = catalog(["A"], [1999])
+        assert c.key(0, use_year=True) == ("A", 1999)
+        assert c.key(0, use_year=False) == ("A",)
+
+
+class TestUniverse:
+    def test_universe_size(self, rng):
+        u = make_shared_universe(50, rng)
+        assert len(u) == 50
+
+    def test_remakes_create_name_collisions(self, rng):
+        u = make_shared_universe(300, rng, name_collision_rate=0.05)
+        assert len(set(u.names)) < 300  # some titles repeat (remakes)
+        # ... but name+year keys remain nearly unique
+        keys = {u.key(i, use_year=True) for i in range(300)}
+        assert len(keys) > 290
+
+    def test_invalid_size_raises(self, rng):
+        with pytest.raises(DataError):
+            make_shared_universe(0, rng)
+
+
+class TestAlignment:
+    def test_aligns_matching_keys(self):
+        target = catalog(["A", "B", "C"], [1990, 1991, 1992])
+        source = catalog(["B", "C", "D"], [1991, 1992, 1993])
+        mapping = align_catalogs(target, source)
+        assert mapping == {0: 1, 1: 2}
+
+    def test_name_only_alignment(self):
+        target = catalog(["A"], [1990])
+        source = catalog(["A"], [2005])  # remake: same title, later year
+        assert align_catalogs(target, source, use_year=True) == {}
+        assert align_catalogs(target, source, use_year=False) == {0: 0}
+
+    def test_ambiguous_keys_dropped(self):
+        target = catalog(["A", "A", "B"], [1990, 1990, 1991])
+        source = catalog(["A", "B"], [1990, 1991])
+        mapping = align_catalogs(target, source)
+        assert mapping == {1: 2}  # "A" ambiguous in target, only "B" aligns
+
+
+class TestReindex:
+    def test_profiles_translated_and_filtered(self):
+        source = InteractionDataset([[0, 1, 2], [2]], n_items=3, name="src")
+        mapping = {0: 5, 2: 7}
+        reindexed = reindex_source_to_target(source, mapping, n_target_items=10)
+        assert reindexed.user_profile(0) == (5, 7)
+        assert reindexed.user_profile(1) == (7,)
+
+    def test_min_length_drops_users(self):
+        source = InteractionDataset([[0, 1], [1]], n_items=2)
+        reindexed = reindex_source_to_target(
+            source, {0: 0, 1: 1}, n_target_items=2, min_profile_length=2
+        )
+        assert reindexed.n_users == 1
+
+    def test_empty_mapping_raises(self):
+        source = InteractionDataset([[0]], n_items=1)
+        with pytest.raises(DataError):
+            reindex_source_to_target(source, {}, n_target_items=1)
+
+    def test_nobody_survives_raises(self):
+        source = InteractionDataset([[0]], n_items=2)
+        with pytest.raises(DataError):
+            reindex_source_to_target(source, {1: 0}, n_target_items=1)
+
+
+class TestCrossDomainDataset:
+    def test_requires_matching_item_space(self):
+        target = InteractionDataset([[0]], n_items=3)
+        source = InteractionDataset([[0]], n_items=4)
+        with pytest.raises(DataError):
+            CrossDomainDataset(target=target, source=source, overlap_items=(0,))
+
+    def test_requires_overlap(self):
+        ds = InteractionDataset([[0]], n_items=3)
+        with pytest.raises(DataError):
+            CrossDomainDataset(target=ds, source=ds.copy(), overlap_items=())
+
+    def test_statistics_structure(self, small_cross):
+        stats = small_cross.statistics()
+        assert stats["target"]["n_users"] > 0
+        assert stats["source"]["n_overlapping_items"] == len(small_cross.overlap_items)
+
+    def test_overlap_items_within_catalog(self, small_cross):
+        assert max(small_cross.overlap_items) < small_cross.target.n_items
+
+    def test_source_users_with(self, small_cross):
+        item = small_cross.overlap_items[0]
+        users = small_cross.source_users_with(item)
+        for u in users:
+            assert small_cross.source.has(int(u), item)

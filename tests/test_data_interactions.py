@@ -1,0 +1,148 @@
+"""InteractionDataset: profiles, item profiles, mutation, matrix views."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import InteractionDataset
+from repro.errors import DataError
+
+
+class TestConstruction:
+    def test_basic_sizes(self, tiny_dataset):
+        assert tiny_dataset.n_users == 6
+        assert tiny_dataset.n_items == 10
+        assert tiny_dataset.n_interactions == 20
+
+    def test_rejects_duplicate_items_in_profile(self):
+        with pytest.raises(DataError):
+            InteractionDataset([[1, 1]], n_items=5)
+
+    def test_rejects_out_of_range_items(self):
+        with pytest.raises(DataError):
+            InteractionDataset([[7]], n_items=5)
+
+    def test_rejects_nonpositive_catalog(self):
+        with pytest.raises(DataError):
+            InteractionDataset([], n_items=0)
+
+    def test_from_arrays_orders_by_timestamp(self):
+        ds = InteractionDataset.from_arrays(
+            user_ids=np.array([0, 0, 0]),
+            item_ids=np.array([5, 3, 1]),
+            timestamps=np.array([30, 10, 20]),
+            n_items=6,
+        )
+        assert ds.user_profile(0) == (3, 1, 5)
+
+    def test_from_arrays_shape_mismatch(self):
+        with pytest.raises(DataError):
+            InteractionDataset.from_arrays(np.array([0]), np.array([1, 2]))
+
+
+class TestAccess:
+    def test_profile_preserves_order(self, tiny_dataset):
+        assert tiny_dataset.user_profile(0) == (0, 1, 2, 3)
+
+    def test_item_users(self, tiny_dataset):
+        assert tiny_dataset.item_users(3) == (0, 1, 5)
+
+    def test_has(self, tiny_dataset):
+        assert tiny_dataset.has(0, 2)
+        assert not tiny_dataset.has(2, 0)
+
+    def test_users_with_item_array(self, tiny_dataset):
+        np.testing.assert_array_equal(tiny_dataset.users_with_item(9), [3, 4])
+
+    def test_popularity_counts(self, tiny_dataset):
+        pop = tiny_dataset.popularity()
+        assert pop[3] == 3
+        assert pop.sum() == tiny_dataset.n_interactions
+
+    def test_profile_lengths(self, tiny_dataset):
+        np.testing.assert_array_equal(
+            tiny_dataset.profile_lengths(), [4, 3, 2, 5, 3, 3]
+        )
+
+    def test_describe_keys(self, tiny_dataset):
+        stats = tiny_dataset.describe()
+        assert stats["n_users"] == 6
+        assert stats["density"] == pytest.approx(20 / 60)
+
+
+class TestMutation:
+    def test_add_user_returns_new_id(self, tiny_dataset):
+        new_id = tiny_dataset.add_user([0, 9])
+        assert new_id == 6
+        assert tiny_dataset.n_users == 7
+        assert tiny_dataset.user_profile(6) == (0, 9)
+
+    def test_add_user_updates_item_profiles(self, tiny_dataset):
+        tiny_dataset.add_user([9])
+        assert 6 in tiny_dataset.item_users(9)
+
+    def test_add_user_rejects_empty(self, tiny_dataset):
+        with pytest.raises(DataError):
+            tiny_dataset.add_user([])
+
+    def test_copy_isolated_from_original(self, tiny_dataset):
+        clone = tiny_dataset.copy()
+        clone.add_user([0])
+        assert tiny_dataset.n_users == 6
+        assert clone.n_users == 7
+
+    def test_copy_preserves_item_profiles(self, tiny_dataset):
+        clone = tiny_dataset.copy()
+        assert clone.item_users(3) == tiny_dataset.item_users(3)
+
+
+class TestMatrixView:
+    def test_csr_shape_and_sum(self, tiny_dataset):
+        matrix = tiny_dataset.to_csr()
+        assert matrix.shape == (6, 10)
+        assert matrix.sum() == tiny_dataset.n_interactions
+
+    def test_csr_matches_has(self, tiny_dataset):
+        matrix = tiny_dataset.to_csr().toarray()
+        for u in range(6):
+            for v in range(10):
+                assert bool(matrix[u, v]) == tiny_dataset.has(u, v)
+
+
+@st.composite
+def profile_lists(draw):
+    n_items = draw(st.integers(min_value=3, max_value=12))
+    n_users = draw(st.integers(min_value=1, max_value=6))
+    profiles = []
+    for _ in range(n_users):
+        size = draw(st.integers(min_value=1, max_value=n_items))
+        profile = draw(
+            st.permutations(list(range(n_items))).map(lambda p: p[:size])
+        )
+        profiles.append(profile)
+    return profiles, n_items
+
+
+class TestProperties:
+    @given(profile_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_interaction_count_invariant(self, data):
+        profiles, n_items = data
+        ds = InteractionDataset(profiles, n_items=n_items)
+        assert ds.n_interactions == sum(len(p) for p in profiles)
+        assert ds.popularity().sum() == ds.n_interactions
+
+    @given(profile_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_item_profile_user_profile_duality(self, data):
+        profiles, n_items = data
+        ds = InteractionDataset(profiles, n_items=n_items)
+        for user_id, profile in ds.iter_profiles():
+            for item in profile:
+                assert user_id in ds.item_users(item)
+        for item in range(n_items):
+            for user in ds.item_users(item):
+                assert ds.has(user, item)

@@ -1,0 +1,51 @@
+"""Dataset and catalog serialisation round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import (
+    ItemCatalog,
+    load_catalog,
+    load_interactions,
+    save_catalog,
+    save_interactions,
+)
+from repro.errors import DataError
+
+
+class TestInteractionsIO:
+    def test_roundtrip_preserves_everything(self, tiny_dataset, tmp_path):
+        path = tmp_path / "tiny.npz"
+        save_interactions(tiny_dataset, path)
+        loaded = load_interactions(path)
+        assert loaded.n_users == tiny_dataset.n_users
+        assert loaded.n_items == tiny_dataset.n_items
+        assert loaded.name == tiny_dataset.name
+        for user_id, profile in tiny_dataset.iter_profiles():
+            assert loaded.user_profile(user_id) == profile
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DataError):
+            load_interactions(tmp_path / "absent.npz")
+
+    def test_roundtrip_generated_data(self, small_cross, tmp_path):
+        path = tmp_path / "gen.npz"
+        save_interactions(small_cross.source, path)
+        loaded = load_interactions(path)
+        assert loaded.n_interactions == small_cross.source.n_interactions
+
+
+class TestCatalogIO:
+    def test_roundtrip(self, tmp_path):
+        catalog = ItemCatalog(
+            names=("Alpha", "Beta"), years=(1999, 2004), universe_ids=(3, 9)
+        )
+        path = tmp_path / "catalog.json"
+        save_catalog(catalog, path)
+        loaded = load_catalog(path)
+        assert loaded == catalog
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DataError):
+            load_catalog(tmp_path / "absent.json")

@@ -1,0 +1,147 @@
+"""Splitting, negative sampling, popularity groups, target-item selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    InteractionDataset,
+    build_eval_candidates,
+    eligible_target_items,
+    popularity_groups,
+    sample_items_from_group,
+    sample_target_items,
+    sample_unseen_items,
+    train_val_test_split,
+)
+from repro.errors import ConfigurationError, DataError
+
+
+class TestSplit:
+    def test_fractions_must_sum_to_one(self, tiny_dataset):
+        with pytest.raises(ConfigurationError):
+            train_val_test_split(tiny_dataset, fractions=(0.5, 0.2, 0.2))
+
+    def test_every_user_keeps_training_item(self, small_cross):
+        split = train_val_test_split(small_cross.target, seed=3)
+        assert split.train.n_users == small_cross.target.n_users
+        assert (split.train.profile_lengths() >= 1).all()
+
+    def test_no_interaction_lost_or_duplicated(self, small_cross):
+        split = train_val_test_split(small_cross.target, seed=3)
+        total = split.train.n_interactions + len(split.val) + len(split.test)
+        assert total == small_cross.target.n_interactions
+
+    def test_heldout_pairs_not_in_train(self, small_cross):
+        split = train_val_test_split(small_cross.target, seed=3)
+        for user, item in split.val + split.test:
+            assert not split.train.has(user, item)
+
+    def test_train_order_preserved(self):
+        ds = InteractionDataset([[0, 1, 2, 3, 4, 5, 6, 7]], n_items=8)
+        split = train_val_test_split(ds, seed=1)
+        profile = split.train.user_profile(0)
+        assert list(profile) == sorted(profile, key=lambda v: [0, 1, 2, 3, 4, 5, 6, 7].index(v))
+
+    def test_approximate_proportions(self, small_cross):
+        split = train_val_test_split(small_cross.target, fractions=(0.8, 0.1, 0.1), seed=3)
+        total = small_cross.target.n_interactions
+        assert split.train.n_interactions / total == pytest.approx(0.8, abs=0.07)
+
+
+class TestNegativeSampling:
+    def test_negatives_are_unseen(self, tiny_dataset):
+        negs = sample_unseen_items(tiny_dataset, 0, 4, seed=1)
+        for v in negs:
+            assert not tiny_dataset.has(0, int(v))
+
+    def test_negatives_distinct(self, tiny_dataset):
+        negs = sample_unseen_items(tiny_dataset, 0, 6, seed=1)
+        assert len(set(negs.tolist())) == 6
+
+    def test_exclusion_respected(self, tiny_dataset):
+        negs = sample_unseen_items(tiny_dataset, 0, 4, seed=1, exclude=(4, 5))
+        assert 4 not in negs and 5 not in negs
+
+    def test_too_many_requested_raises(self, tiny_dataset):
+        with pytest.raises(DataError):
+            sample_unseen_items(tiny_dataset, 0, 100, seed=1)
+
+    def test_candidate_lists_start_with_positive(self, tiny_dataset):
+        lists = build_eval_candidates(tiny_dataset, ((0, 9), (1, 0)), n_negatives=3, seed=2)
+        assert lists[0][1][0] == 9
+        assert lists[1][1][0] == 0
+        assert all(len(c) == 4 for _, c in lists)
+
+
+class TestPopularityGroups:
+    def test_group_sizes_balanced(self, small_cross):
+        groups = popularity_groups(small_cross.target, n_groups=10)
+        sizes = [g.size for g in groups]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == small_cross.target.n_items
+
+    def test_group_zero_is_most_popular(self, small_cross):
+        pop = small_cross.target.popularity()
+        groups = popularity_groups(small_cross.target, n_groups=5)
+        assert pop[groups[0]].mean() >= pop[groups[-1]].mean()
+
+    def test_restrict_to_subset(self, small_cross):
+        subset = tuple(small_cross.overlap_items[:20])
+        groups = popularity_groups(small_cross.target, n_groups=4, restrict_to=subset)
+        assert sum(g.size for g in groups) == 20
+        for g in groups:
+            assert set(g.tolist()) <= set(subset)
+
+    def test_too_few_items_raise(self, tiny_dataset):
+        with pytest.raises(DataError):
+            popularity_groups(tiny_dataset, n_groups=100)
+
+    def test_sample_from_group(self, small_cross):
+        groups = popularity_groups(small_cross.target, n_groups=5)
+        items = sample_items_from_group(groups, 2, 3, seed=1)
+        assert set(items.tolist()) <= set(groups[2].tolist())
+
+    def test_sample_bad_group_raises(self, small_cross):
+        groups = popularity_groups(small_cross.target, n_groups=5)
+        with pytest.raises(ConfigurationError):
+            sample_items_from_group(groups, 9, 3)
+
+
+class TestTargetItems:
+    def test_eligible_items_are_cold_and_supported(self, small_cross):
+        items = eligible_target_items(small_cross, max_target_interactions=6, min_source_supporters=2)
+        pop = small_cross.target.popularity()
+        for v in items:
+            assert pop[v] < 6
+            assert small_cross.source.users_with_item(int(v)).size >= 2
+
+    def test_sampled_targets_subset_of_eligible(self, small_cross):
+        eligible = set(eligible_target_items(small_cross, 6, 2).tolist())
+        sampled = sample_target_items(small_cross, n=5, max_target_interactions=6,
+                                      min_source_supporters=2, seed=3)
+        assert set(sampled.tolist()) <= eligible
+
+    def test_impossible_criteria_raise(self, small_cross):
+        with pytest.raises(DataError):
+            sample_target_items(small_cross, max_target_interactions=0, seed=3)
+
+    def test_deterministic_sampling(self, small_cross):
+        a = sample_target_items(small_cross, n=5, seed=11)
+        b = sample_target_items(small_cross, n=5, seed=11)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSplitProperties:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_split_conserves_interactions_any_seed(self, seed):
+        ds = InteractionDataset(
+            [[0, 1, 2, 3, 4], [5, 6, 7], [0, 5, 8, 9]], n_items=10
+        )
+        split = train_val_test_split(ds, seed=seed)
+        assert split.train.n_interactions + len(split.val) + len(split.test) == 12
+        assert (split.train.profile_lengths() >= 1).all()

@@ -1,0 +1,116 @@
+"""Synthetic cross-domain generator: structure, overlap, and preference signal."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticConfig, generate_cross_domain, generate_domain_pair
+from repro.errors import ConfigurationError
+
+TINY = SyntheticConfig(
+    n_universe_items=60,
+    n_target_items=40,
+    n_source_items=45,
+    n_overlap_items=30,
+    n_target_users=30,
+    n_source_users=50,
+    target_profile_mean=8.0,
+    source_profile_mean=10.0,
+    name="tiny-gen",
+)
+
+
+class TestConfigValidation:
+    def test_overlap_exceeding_catalog_raises(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticConfig(n_target_items=10, n_overlap_items=20).validate()
+
+    def test_catalog_exceeding_universe_raises(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticConfig(n_universe_items=10, n_target_items=20, n_overlap_items=5).validate()
+
+    def test_universe_too_small_for_disjoint_parts(self):
+        cfg = SyntheticConfig(
+            n_universe_items=100, n_target_items=80, n_source_items=80, n_overlap_items=20
+        )
+        with pytest.raises(ConfigurationError):
+            cfg.validate()
+
+    def test_drift_out_of_range_raises(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticConfig(interest_drift=1.5).validate()
+
+
+class TestDomainPair:
+    def test_catalog_sizes(self):
+        target, tcat, source, scat = generate_domain_pair(TINY, seed=1)
+        assert target.n_items == 40
+        assert source.n_items == 45
+        assert len(tcat) == 40
+        assert len(scat) == 45
+
+    def test_overlap_via_universe_ids(self):
+        _, tcat, _, scat = generate_domain_pair(TINY, seed=1)
+        shared = set(tcat.universe_ids) & set(scat.universe_ids)
+        assert len(shared) == 30
+
+    def test_deterministic_given_seed(self):
+        a = generate_domain_pair(TINY, seed=7)
+        b = generate_domain_pair(TINY, seed=7)
+        assert a[0].n_interactions == b[0].n_interactions
+        assert a[0].user_profile(0) == b[0].user_profile(0)
+
+    def test_different_seeds_differ(self):
+        a = generate_domain_pair(TINY, seed=7)[0]
+        b = generate_domain_pair(TINY, seed=8)[0]
+        assert a.user_profile(0) != b.user_profile(0) or a.n_users != b.n_users
+
+    def test_profiles_have_no_duplicates(self):
+        target, *_ = generate_domain_pair(TINY, seed=3)
+        for _, profile in target.iter_profiles():
+            assert len(set(profile)) == len(profile)
+
+    def test_profile_lengths_at_least_two(self):
+        target, *_ = generate_domain_pair(TINY, seed=3)
+        assert (target.profile_lengths() >= 2).all()
+
+
+class TestCrossDomainGeneration:
+    def test_source_reindexed_to_target_space(self):
+        cross = generate_cross_domain(TINY, seed=2)
+        assert cross.source.n_items == cross.target.n_items
+
+    def test_overlap_nonempty_and_within_catalog(self):
+        cross = generate_cross_domain(TINY, seed=2)
+        assert len(cross.overlap_items) > 0
+        assert max(cross.overlap_items) < cross.target.n_items
+
+    def test_source_profiles_only_overlap_items(self):
+        cross = generate_cross_domain(TINY, seed=2)
+        overlap = set(cross.overlap_items)
+        for _, profile in cross.source.iter_profiles():
+            assert set(profile) <= overlap
+
+    def test_popularity_is_long_tailed(self):
+        cross = generate_cross_domain(TINY, seed=2)
+        pop = np.sort(cross.target.popularity())[::-1]
+        top_share = pop[: len(pop) // 10].sum() / max(pop.sum(), 1)
+        assert top_share > 0.15  # top 10% of items carry an outsized share
+
+    def test_temporal_coherence_of_profiles(self, small_cross):
+        """Adjacent profile items should be more co-interacted than random pairs.
+
+        This is the property that justifies window clipping (paper 4.4).
+        """
+        ds = small_cross.target
+        matrix = ds.to_csr()
+        cooc = (matrix.T @ matrix).toarray()
+        np.fill_diagonal(cooc, 0)
+        rng = np.random.default_rng(0)
+        adjacent, random_pairs = [], []
+        for _, profile in ds.iter_profiles():
+            for a, b in zip(profile[:-1], profile[1:]):
+                adjacent.append(cooc[a, b])
+                random_pairs.append(cooc[rng.integers(ds.n_items), rng.integers(ds.n_items)])
+        assert np.mean(adjacent) > np.mean(random_pairs)

@@ -1,0 +1,89 @@
+"""Property-based tests of the attack MDP's invariants.
+
+Hypothesis drives random budgets, query intervals, and profile streams
+through the environment and asserts the protocol-level invariants the rest
+of the framework silently relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attack import AttackEnvironment, create_pretend_users
+from repro.data import InteractionDataset
+from repro.recsys import BlackBoxRecommender, PopularityRecommender
+
+
+def build_env(budget: int, query_interval: int) -> AttackEnvironment:
+    profiles = [[0, 1, 2], [2, 3], [4, 5, 6], [0, 6, 7], [1, 5, 8], [3, 8, 9]]
+    dataset = InteractionDataset(profiles, n_items=12, name="prop")
+    model = PopularityRecommender().fit(dataset)
+    blackbox = BlackBoxRecommender(model)
+    pretend = create_pretend_users(blackbox, dataset.popularity(), n_users=3,
+                                   profile_length=3, seed=1)
+    return AttackEnvironment(
+        blackbox, target_item=10, pretend_user_ids=pretend,
+        budget=budget, query_interval=query_interval, reward_k=4,
+        success_threshold=None,
+    )
+
+
+class TestProtocolInvariants:
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_reward_cadence_and_episode_length(self, budget, query_interval):
+        env = build_env(budget, query_interval)
+        outcomes = []
+        while not env.done:
+            outcomes.append(env.step([10, 0]))
+        assert len(outcomes) == budget
+        # Rewards exactly on query-round boundaries plus the terminal step.
+        for i, outcome in enumerate(outcomes, start=1):
+            expected = (i % query_interval == 0) or (i == budget)
+            assert (outcome.reward is not None) == expected
+        # Query accounting matches the cadence.
+        assert env.budget.queries_used == len(
+            [o for o in outcomes if o.queried]
+        )
+
+    @given(st.integers(min_value=1, max_value=10))
+    @settings(max_examples=15, deadline=None)
+    def test_reset_is_idempotent_and_complete(self, budget):
+        env = build_env(budget, 2)
+        users_before = env.blackbox.n_users
+        while not env.done:
+            env.step([10, 1])
+        env.reset()
+        env.reset()
+        assert env.blackbox.n_users == users_before
+        assert env.trace.n_injected == 0
+        assert env.budget.profiles_used == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=4,
+                    unique=True))
+    @settings(max_examples=25, deadline=None)
+    def test_injected_interactions_accounted(self, profile_items):
+        env = build_env(4, 2)
+        profile = list(profile_items) + [10]
+        env.step(profile)
+        assert env.budget.interactions_used == len(profile)
+        assert env.trace.injected_profiles[0] == tuple(profile)
+        env.reset()
+
+    @given(st.integers(min_value=2, max_value=8))
+    @settings(max_examples=10, deadline=None)
+    def test_rewards_monotone_under_pure_target_injection(self, budget):
+        """On a popularity model, repeatedly injecting the target item can
+        only push it up: observed rewards are non-decreasing."""
+        env = build_env(budget, 1)
+        rewards = []
+        while not env.done:
+            outcome = env.step([10])
+            rewards.append(outcome.reward)
+        assert all(a <= b + 1e-12 for a, b in zip(rewards, rewards[1:]))

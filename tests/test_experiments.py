@@ -1,0 +1,141 @@
+"""Experiment harness: configs, runner, reporting (SMALL-scale integration)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    METHOD_NAMES,
+    ML10M_FX,
+    ML20M_NF,
+    SMALL,
+    format_metric_rows,
+    format_table,
+    format_table2,
+    run_method,
+    scaled_copy,
+)
+from repro.experiments.configs import ExperimentConfig
+
+
+class TestConfigs:
+    def test_canonical_configs_validate(self):
+        for config in (ML10M_FX, ML20M_NF, SMALL):
+            config.synthetic.validate()
+
+    def test_ml20m_uses_deeper_tree(self):
+        assert ML20M_NF.tree_depth > ML10M_FX.tree_depth  # paper: 6 vs 3
+
+    def test_ml20m_source_much_larger(self):
+        assert ML20M_NF.synthetic.n_source_users > 2 * ML10M_FX.synthetic.n_source_users
+
+    def test_alignment_keys_differ(self):
+        assert ML10M_FX.synthetic.align_by_year is False  # name-only (paper)
+        assert ML20M_NF.synthetic.align_by_year is True  # name + year (paper)
+
+    def test_negatives_must_fit_catalog(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(
+                name="bad",
+                synthetic=SMALL.synthetic,
+                n_negatives=SMALL.synthetic.n_target_items + 1,
+            )
+
+    def test_scaled_copy_overrides(self):
+        copy = scaled_copy(SMALL, budget=5)
+        assert copy.budget == 5
+        assert copy.name == SMALL.name
+
+
+class TestPreparedExperiment:
+    def test_model_quality_above_random(self, small_prep):
+        random_level = 10 / (SMALL.n_negatives + 1)
+        assert small_prep.trained.test_metrics["hr@10"] > random_level
+
+    def test_pretend_users_registered(self, small_prep):
+        assert len(small_prep.pretend_user_ids) == SMALL.n_pretend_users
+        assert small_prep.blackbox.n_users == len(small_prep.eval_users) + SMALL.n_pretend_users
+
+    def test_target_items_cold_and_supported(self, small_prep):
+        pop = small_prep.trained.train_dataset.popularity()
+        for item in small_prep.target_items:
+            assert pop[item] < SMALL.max_target_interactions
+            assert small_prep.cross.source.users_with_item(int(item)).size >= SMALL.min_source_supporters
+
+
+class TestRunMethod:
+    def test_unknown_method_raises(self, small_prep):
+        with pytest.raises(ConfigurationError):
+            run_method(small_prep, "QuantumAttack")
+
+    def test_without_attack_baseline(self, small_prep):
+        outcome = run_method(small_prep, "WithoutAttack")
+        assert outcome.mean_profile_length == 0.0
+        assert set(outcome.per_item) == set(small_prep.target_items.tolist())
+        assert 0.0 <= outcome.metrics["hr@20"] <= 1.0
+
+    def test_platform_restored_between_methods(self, small_prep):
+        users_before = small_prep.blackbox.n_users
+        run_method(small_prep, "TargetAttack40")
+        assert small_prep.blackbox.n_users == users_before
+
+    def test_target_attack_beats_without(self, small_prep):
+        without = run_method(small_prep, "WithoutAttack")
+        ta40 = run_method(small_prep, "TargetAttack40")
+        assert ta40.metrics["hr@20"] > without.metrics["hr@20"]
+
+    def test_without_attack_deterministic(self, small_prep):
+        a = run_method(small_prep, "WithoutAttack").metrics
+        b = run_method(small_prep, "WithoutAttack").metrics
+        assert a == b
+
+    def test_budget_override(self, small_prep):
+        outcome = run_method(small_prep, "RandomAttack", budget=3)
+        # RandomAttack injects exactly `budget` profiles per item.
+        assert outcome.mean_profile_length > 0
+
+    def test_single_item_subset(self, small_prep):
+        item = small_prep.target_items[:1]
+        outcome = run_method(small_prep, "TargetAttack70", target_items=item)
+        assert list(outcome.per_item) == [int(item[0])]
+
+    def test_copyattack_records_episode_histories(self, small_prep):
+        outcome = run_method(
+            small_prep, "CopyAttack", target_items=small_prep.target_items[:1],
+            n_episodes=2,
+        )
+        assert len(outcome.episode_histories) == 1
+        assert len(outcome.episode_histories[0]) == 2
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["x", 1.23456], ["yy", 2.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "1.2346" in text
+
+    def test_format_metric_rows_with_extra(self):
+        text = format_metric_rows(
+            {"m1": {"hr@20": 0.5}},
+            ["hr@20"],
+            extra={"m1": 12.0},
+            title="T",
+        )
+        assert "avg items/profile" in text
+        assert "0.5000" in text
+
+    def test_format_table2_handles_skipped(self):
+        text = format_table2({"PolicyNetwork": None}, "ds")
+        assert "PolicyNetwork" in text
+        assert "nan" in text
+
+    def test_method_names_cover_paper_table(self):
+        for name in (
+            "WithoutAttack", "RandomAttack", "TargetAttack40", "TargetAttack70",
+            "TargetAttack100", "PolicyNetwork", "CopyAttack-Masking",
+            "CopyAttack-Length", "CopyAttack",
+        ):
+            assert name in METHOD_NAMES

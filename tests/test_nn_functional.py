@@ -1,0 +1,104 @@
+"""Functional ops: softmax family and the masking semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+class TestSoftmax:
+    def test_softmax_sums_to_one(self):
+        out = F.softmax(Tensor([1.0, 2.0, 3.0]))
+        assert out.data.sum() == pytest.approx(1.0)
+
+    def test_softmax_is_shift_invariant(self):
+        a = F.softmax(Tensor([1.0, 2.0, 3.0])).data
+        b = F.softmax(Tensor([101.0, 102.0, 103.0])).data
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_softmax_handles_large_logits(self):
+        out = F.softmax(Tensor([1000.0, 0.0]))
+        assert np.isfinite(out.data).all()
+        assert out.data[0] == pytest.approx(1.0)
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        logits = Tensor([0.5, -1.0, 2.0])
+        np.testing.assert_allclose(
+            F.log_softmax(logits).data, np.log(F.softmax(logits).data), atol=1e-12
+        )
+
+    def test_softmax_rows_independent(self):
+        logits = Tensor(np.array([[1.0, 2.0], [5.0, 5.0]]))
+        out = F.softmax(logits, axis=-1).data
+        np.testing.assert_allclose(out.sum(axis=-1), [1.0, 1.0])
+        np.testing.assert_allclose(out[1], [0.5, 0.5])
+
+    def test_log_softmax_grad(self):
+        logits = Tensor([0.1, 0.2, 0.3], requires_grad=True)
+        F.log_softmax(logits)[1].backward()
+        probs = F.softmax(Tensor([0.1, 0.2, 0.3])).data
+        expected = -probs
+        expected[1] += 1.0
+        np.testing.assert_allclose(logits.grad, expected, atol=1e-9)
+
+
+class TestMaskedSoftmax:
+    def test_masked_positions_get_zero_probability(self):
+        out = F.masked_softmax(Tensor([1.0, 5.0, 1.0]), [True, False, True])
+        assert out.data[1] == pytest.approx(0.0, abs=1e-12)
+        assert out.data.sum() == pytest.approx(1.0)
+
+    def test_single_unmasked_position_gets_all_mass(self):
+        out = F.masked_softmax(Tensor([0.0, 0.0, 0.0]), [False, True, False])
+        np.testing.assert_allclose(out.data, [0.0, 1.0, 0.0], atol=1e-12)
+
+    def test_all_masked_raises(self):
+        with pytest.raises(ShapeError):
+            F.masked_softmax(Tensor([1.0, 2.0]), [False, False])
+
+    def test_mask_broadcasting(self):
+        logits = Tensor(np.zeros((2, 3)))
+        out = F.masked_softmax(logits, [True, True, False])
+        np.testing.assert_allclose(out.data[:, 2], [0.0, 0.0], atol=1e-12)
+
+    def test_bad_mask_shape_raises(self):
+        with pytest.raises(ShapeError):
+            F.masked_softmax(Tensor(np.zeros((2, 3))), np.ones((4, 4), dtype=bool))
+
+    def test_masked_grads_do_not_leak(self):
+        logits = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        F.masked_log_softmax(logits, [True, False, True])[0].backward()
+        # Gradient at the masked position is (numerically) zero.
+        assert abs(logits.grad[1]) < 1e-8
+
+    @given(st.lists(st.booleans(), min_size=2, max_size=6).filter(lambda m: any(m)))
+    @settings(max_examples=40, deadline=None)
+    def test_masked_probability_mass_on_allowed(self, mask):
+        rng = np.random.default_rng(0)
+        logits = Tensor(rng.normal(size=len(mask)))
+        probs = F.masked_softmax(logits, mask).data
+        assert probs.sum() == pytest.approx(1.0)
+        for p, allowed in zip(probs, mask):
+            if not allowed:
+                assert p == pytest.approx(0.0, abs=1e-9)
+
+
+class TestHelpers:
+    def test_dot_requires_1d(self):
+        with pytest.raises(ShapeError):
+            F.dot(Tensor(np.ones((2, 2))), Tensor(np.ones(2)))
+
+    def test_dot_value(self):
+        assert F.dot(Tensor([1.0, 2.0]), Tensor([3.0, 4.0])).item() == pytest.approx(11.0)
+
+    def test_relu_sigmoid_tanh_aliases(self):
+        x = Tensor([-1.0, 1.0])
+        np.testing.assert_allclose(F.relu(x).data, [0.0, 1.0])
+        np.testing.assert_allclose(F.tanh(x).data, np.tanh([-1.0, 1.0]))
+        assert 0 < F.sigmoid(x).data[0] < 0.5

@@ -1,0 +1,119 @@
+"""Layers: Linear, Embedding, MLP — shapes, init, gradients, validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn import MLP, Embedding, Linear, Tensor
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(4, 3, rng)
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_bias_starts_zero(self, rng):
+        layer = Linear(4, 3, rng)
+        np.testing.assert_allclose(layer.bias.data, np.zeros(3))
+
+    def test_paper_init_scale(self, rng):
+        layer = Linear(200, 200, rng)
+        std = layer.weight.data.std()
+        assert 0.08 < std < 0.12  # N(0, 0.1) per paper Section 5.1.3
+
+    def test_no_bias_option(self, rng):
+        layer = Linear(4, 3, rng, bias=False)
+        assert layer.bias is None
+        assert layer(Tensor(np.zeros((1, 4)))).data.sum() == 0.0
+
+    def test_gradients_flow_to_parameters(self, rng):
+        layer = Linear(2, 2, rng)
+        layer(Tensor(np.ones((3, 2)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+        np.testing.assert_allclose(layer.bias.grad, [3.0, 3.0])
+
+    def test_invalid_sizes_raise(self, rng):
+        with pytest.raises(ConfigurationError):
+            Linear(0, 3, rng)
+
+
+class TestEmbedding:
+    def test_lookup_returns_rows(self, rng):
+        emb = Embedding(5, 3, rng)
+        out = emb([1, 4])
+        np.testing.assert_allclose(out.data, emb.weight.data[[1, 4]])
+
+    def test_out_of_range_raises(self, rng):
+        emb = Embedding(5, 3, rng)
+        with pytest.raises(IndexError):
+            emb([5])
+        with pytest.raises(IndexError):
+            emb([-1])
+
+    def test_duplicate_ids_accumulate_grads(self, rng):
+        emb = Embedding(4, 2, rng)
+        emb([2, 2, 2]).sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[2], [3.0, 3.0])
+        np.testing.assert_allclose(emb.weight.grad[0], [0.0, 0.0])
+
+    def test_invalid_sizes_raise(self, rng):
+        with pytest.raises(ConfigurationError):
+            Embedding(0, 3, rng)
+
+
+class TestMLP:
+    def test_layer_count(self, rng):
+        mlp = MLP([4, 8, 8, 2], rng)
+        assert len(mlp.layers) == 3
+
+    def test_forward_shape(self, rng):
+        mlp = MLP([4, 8, 2], rng)
+        assert mlp(Tensor(np.ones((6, 4)))).shape == (6, 2)
+
+    def test_final_layer_is_linear(self, rng):
+        """Outputs are logits: they can be negative (no trailing activation)."""
+        mlp = MLP([2, 4, 3], rng)
+        outputs = [mlp(Tensor(np.random.default_rng(i).normal(size=2))).data for i in range(20)]
+        assert min(out.min() for out in outputs) < 0
+
+    @pytest.mark.parametrize("activation", ["relu", "tanh", "sigmoid", "identity"])
+    def test_activations_accepted(self, rng, activation):
+        mlp = MLP([2, 3, 1], rng, activation=activation)
+        assert mlp(Tensor(np.ones(2))).shape == (1,)
+
+    def test_unknown_activation_raises(self, rng):
+        with pytest.raises(ConfigurationError):
+            MLP([2, 3], rng, activation="swish")
+
+    def test_too_few_sizes_raise(self, rng):
+        with pytest.raises(ConfigurationError):
+            MLP([4], rng)
+
+    def test_all_parameters_reachable(self, rng):
+        mlp = MLP([4, 8, 2], rng)
+        params = list(mlp.parameters())
+        assert len(params) == 4  # two Linear layers x (weight, bias)
+
+    def test_training_reduces_loss(self, rng):
+        """A tiny regression sanity check: MLP + Adam fits 4 points."""
+        from repro.nn import Adam
+
+        mlp = MLP([2, 16, 1], rng)
+        optimizer = Adam(mlp.parameters(), lr=0.02)
+        x = np.array([[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]])
+        y = np.array([[0.0], [1.0], [1.0], [0.0]])  # XOR
+        first = last = None
+        for step in range(300):
+            pred = mlp(Tensor(x))
+            loss = ((pred - Tensor(y)) ** 2).mean()
+            mlp.zero_grad()
+            loss.backward()
+            optimizer.step()
+            if step == 0:
+                first = loss.item()
+            last = loss.item()
+        assert last < first * 0.2

@@ -1,0 +1,137 @@
+"""Losses and the Module registration system."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import (
+    MLP,
+    Linear,
+    Module,
+    Parameter,
+    Tensor,
+    bce_with_logits,
+    bpr_loss,
+    policy_nll,
+)
+
+
+class TestBPRLoss:
+    def test_separated_scores_give_small_loss(self):
+        loss = bpr_loss(Tensor([10.0, 10.0]), Tensor([-10.0, -10.0]))
+        assert loss.item() < 1e-4
+
+    def test_equal_scores_give_log2(self):
+        loss = bpr_loss(Tensor([0.0]), Tensor([0.0]))
+        assert loss.item() == pytest.approx(np.log(2.0), rel=1e-6)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            bpr_loss(Tensor([1.0, 2.0]), Tensor([1.0]))
+
+    def test_gradient_direction(self):
+        pos = Tensor([0.0], requires_grad=True)
+        neg = Tensor([0.0], requires_grad=True)
+        bpr_loss(pos, neg).backward()
+        assert pos.grad[0] < 0  # increasing pos score decreases loss
+        assert neg.grad[0] > 0
+
+
+class TestBCEWithLogits:
+    def test_matches_reference(self):
+        logits = np.array([-2.0, 0.0, 3.0])
+        targets = np.array([0.0, 1.0, 1.0])
+        ref = np.mean(
+            np.maximum(logits, 0) - logits * targets + np.log1p(np.exp(-np.abs(logits)))
+        )
+        loss = bce_with_logits(Tensor(logits), targets)
+        assert loss.item() == pytest.approx(ref, rel=1e-9)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            bce_with_logits(Tensor([1.0]), np.array([1.0, 0.0]))
+
+    def test_stable_for_large_logits(self):
+        loss = bce_with_logits(Tensor([500.0, -500.0]), np.array([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+        assert loss.item() < 1e-6
+
+
+class TestPolicyNLL:
+    def test_sign_follows_advantage(self):
+        lp = Tensor([-1.0, -2.0], requires_grad=True)
+        assert policy_nll(lp, advantage=2.0).item() == pytest.approx(6.0)
+        assert policy_nll(lp, advantage=-2.0).item() == pytest.approx(-6.0)
+
+    def test_gradient_scales_with_advantage(self):
+        lp = Tensor([-1.0], requires_grad=True)
+        policy_nll(lp, advantage=3.0).backward()
+        np.testing.assert_allclose(lp.grad, [-3.0])
+
+
+class TestModule:
+    def test_parameters_recurse_into_children(self, rng):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Linear(2, 3, rng)
+                self.b = MLP([3, 4, 2], rng)
+
+        net = Net()
+        assert len(list(net.parameters())) == 2 + 4
+
+    def test_parameters_deduplicate_shared(self, rng):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Linear(2, 2, rng)
+                self.shared = self.a.weight
+
+        net = Net()
+        ids = [id(p) for p in net.parameters()]
+        assert len(ids) == len(set(ids))
+
+    def test_module_lists_register(self, rng):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.blocks = [Linear(2, 2, rng), Linear(2, 2, rng)]
+
+        assert len(list(Net().parameters())) == 4
+
+    def test_state_dict_roundtrip(self, rng):
+        net = MLP([2, 3, 1], rng)
+        state = net.state_dict()
+        net2 = MLP([2, 3, 1], np.random.default_rng(999))
+        net2.load_state_dict(state)
+        x = Tensor(np.ones(2))
+        np.testing.assert_allclose(net(x).data, net2(x).data)
+
+    def test_load_state_dict_rejects_mismatch(self, rng):
+        net = MLP([2, 3, 1], rng)
+        with pytest.raises(KeyError):
+            net.load_state_dict({"bogus": np.zeros(1)})
+
+    def test_load_state_dict_rejects_bad_shape(self, rng):
+        net = MLP([2, 3, 1], rng)
+        state = net.state_dict()
+        key = next(iter(state))
+        state[key] = np.zeros((7, 7))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_zero_grad_clears_all(self, rng):
+        net = MLP([2, 3, 1], rng)
+        net(Tensor(np.ones(2))).sum().backward()
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+    def test_num_parameters(self, rng):
+        net = Linear(3, 4, rng)
+        assert net.num_parameters() == 3 * 4 + 4
+
+    def test_parameter_helper(self):
+        p = Parameter(np.zeros((2, 2)))
+        assert p.requires_grad

@@ -1,0 +1,97 @@
+"""Optimisers: SGD, Adam, gradient clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn import SGD, Adam, Tensor, clip_grad_norm
+
+
+def quadratic_param(start=5.0):
+    return Tensor(np.array([start]), requires_grad=True)
+
+
+def step_quadratic(param, optimizer, n=200):
+    for _ in range(n):
+        loss = (param * param).sum()
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    return abs(float(param.data[0]))
+
+
+class TestSGD:
+    def test_minimises_quadratic(self):
+        p = quadratic_param()
+        assert step_quadratic(p, SGD([p], lr=0.1)) < 1e-3
+
+    def test_momentum_minimises_quadratic(self):
+        p = quadratic_param()
+        assert step_quadratic(p, SGD([p], lr=0.05, momentum=0.9)) < 1e-2
+
+    def test_skips_params_without_grad(self):
+        p = quadratic_param()
+        q = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([p, q], lr=0.1)
+        (p * p).sum().backward()
+        opt.step()
+        np.testing.assert_allclose(q.data, [1.0])
+
+    def test_invalid_momentum_raises(self):
+        with pytest.raises(ConfigurationError):
+            SGD([quadratic_param()], lr=0.1, momentum=1.0)
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ConfigurationError):
+            SGD([quadratic_param()], lr=0.0)
+
+    def test_empty_params_raise(self):
+        with pytest.raises(ConfigurationError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        p = quadratic_param()
+        assert step_quadratic(p, Adam([p], lr=0.1)) < 1e-2
+
+    def test_bias_correction_first_step_size(self):
+        """First Adam step has magnitude ~lr regardless of gradient scale."""
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = Adam([p], lr=0.01)
+        (p * 1000.0).sum().backward()
+        opt.step()
+        assert abs(float(p.data[0]) - 1.0) == pytest.approx(0.01, rel=1e-3)
+
+    def test_invalid_betas_raise(self):
+        with pytest.raises(ConfigurationError):
+            Adam([quadratic_param()], betas=(1.0, 0.999))
+
+    def test_state_tracks_parameters(self):
+        p = quadratic_param()
+        opt = Adam([p], lr=0.1)
+        (p * p).sum().backward()
+        opt.step()
+        assert opt._step_count == 1
+        assert np.abs(opt._m[0]).sum() > 0
+
+
+class TestClipGradNorm:
+    def test_clips_to_max_norm(self):
+        p = Tensor(np.array([1.0, 1.0]), requires_grad=True)
+        p.grad = np.array([3.0, 4.0])  # norm 5
+        returned = clip_grad_norm([p], max_norm=1.0)
+        assert returned == pytest.approx(5.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_no_clip_below_max(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        p.grad = np.array([0.5])
+        clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, [0.5])
+
+    def test_ignores_none_grads(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        assert clip_grad_norm([p], max_norm=1.0) == 0.0

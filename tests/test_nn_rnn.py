@@ -1,0 +1,86 @@
+"""Recurrent cells and the sequence encoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn import GRUCell, RNNCell, SequenceEncoder, Tensor
+
+
+class TestRNNCell:
+    def test_output_shape(self, rng):
+        cell = RNNCell(3, 5, rng)
+        h = cell(Tensor(np.ones((1, 3))), Tensor(np.zeros((1, 5))))
+        assert h.shape == (1, 5)
+
+    def test_output_bounded_by_tanh(self, rng):
+        cell = RNNCell(3, 5, rng)
+        h = cell(Tensor(np.full((1, 3), 100.0)), Tensor(np.zeros((1, 5))))
+        assert np.all(np.abs(h.data) <= 1.0)
+
+    def test_invalid_dims_raise(self, rng):
+        with pytest.raises(ConfigurationError):
+            RNNCell(0, 5, rng)
+
+
+class TestGRUCell:
+    def test_output_shape(self, rng):
+        cell = GRUCell(3, 4, rng)
+        h = cell(Tensor(np.ones((2, 3))), Tensor(np.zeros((2, 4))))
+        assert h.shape == (2, 4)
+
+    def test_zero_update_gate_keeps_state_form(self, rng):
+        """GRU interpolates between candidate and previous state."""
+        cell = GRUCell(2, 3, rng)
+        prev = Tensor(np.full((1, 3), 0.7))
+        h = cell(Tensor(np.zeros((1, 2))), prev)
+        # Output is a convex combination, so it stays within [-1, 1]-ish bounds.
+        assert np.all(np.abs(h.data) <= 1.0)
+
+    def test_invalid_dims_raise(self, rng):
+        with pytest.raises(ConfigurationError):
+            GRUCell(3, 0, rng)
+
+
+class TestSequenceEncoder:
+    def test_empty_sequence_encodes_to_zero(self, rng):
+        enc = SequenceEncoder(3, 4, rng)
+        h = enc([])
+        np.testing.assert_allclose(h.data, np.zeros(4))
+
+    def test_output_is_1d_hidden(self, rng):
+        enc = SequenceEncoder(3, 4, rng)
+        h = enc([Tensor(np.ones(3)), Tensor(np.zeros(3))])
+        assert h.shape == (4,)
+
+    def test_order_sensitivity(self, rng):
+        """The RNN state must depend on the selection order (paper 4.3.3)."""
+        enc = SequenceEncoder(3, 4, rng)
+        a, b = Tensor([1.0, 0.0, 0.0]), Tensor([0.0, 1.0, 0.0])
+        h_ab = enc([a, b]).data
+        h_ba = enc([b, a]).data
+        assert not np.allclose(h_ab, h_ba)
+
+    def test_longer_sequences_differ(self, rng):
+        enc = SequenceEncoder(2, 3, rng)
+        step = Tensor([0.5, -0.5])
+        h1 = enc([step]).data
+        h2 = enc([step, step]).data
+        assert not np.allclose(h1, h2)
+
+    def test_gru_cell_option(self, rng):
+        enc = SequenceEncoder(3, 4, rng, cell="gru")
+        assert enc([Tensor(np.ones(3))]).shape == (4,)
+
+    def test_unknown_cell_raises(self, rng):
+        with pytest.raises(ConfigurationError):
+            SequenceEncoder(3, 4, rng, cell="transformer")
+
+    def test_gradients_reach_cell_parameters(self, rng):
+        enc = SequenceEncoder(2, 3, rng)
+        out = enc([Tensor([1.0, 2.0]), Tensor([0.5, 0.1])])
+        out.sum().backward()
+        grads = [p.grad for p in enc.parameters()]
+        assert any(g is not None and np.abs(g).sum() > 0 for g in grads)

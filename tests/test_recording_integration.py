@@ -1,0 +1,51 @@
+"""Run-record integration with the experiment harness."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attack import (
+    AttackEnvironment,
+    AttackRunRecord,
+    TargetAttack,
+    load_records,
+    save_records,
+)
+
+
+class TestRecordFromLiveRun:
+    def test_record_round_trips_a_real_attack(self, small_prep, tmp_path):
+        target = int(small_prep.target_items[0])
+        env = AttackEnvironment(
+            small_prep.blackbox, target, small_prep.pretend_user_ids,
+            budget=5, query_interval=2, success_threshold=None,
+        )
+        trace = TargetAttack(small_prep.cross.source, 0.4, seed=3).attack(env)
+        record = AttackRunRecord.from_trace(
+            "TargetAttack40", small_prep.config.name, target, 5, trace,
+            metrics={"hr@20": 0.5},
+        )
+        env.reset()
+        path = tmp_path / "runs.json"
+        save_records([record], path)
+        loaded = load_records(path)[0]
+        assert loaded == record
+        assert loaded.injected_profiles == tuple(
+            tuple(p) for p in trace.injected_profiles
+        )
+        assert all(target in p for p in loaded.injected_profiles)
+
+    def test_record_captures_budget_exactly(self, small_prep, tmp_path):
+        target = int(small_prep.target_items[1])
+        env = AttackEnvironment(
+            small_prep.blackbox, target, small_prep.pretend_user_ids,
+            budget=4, query_interval=2, success_threshold=None,
+        )
+        trace = TargetAttack(small_prep.cross.source, 1.0, seed=4).attack(env)
+        record = AttackRunRecord.from_trace("TargetAttack100",
+                                            small_prep.config.name, target, 4, trace)
+        env.reset()
+        assert len(record.injected_profiles) == 4
+        assert record.mean_profile_length == np.mean(
+            [len(p) for p in record.injected_profiles]
+        )

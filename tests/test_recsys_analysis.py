@@ -1,0 +1,118 @@
+"""Recommendation-list analysis utilities and LSTM cell coverage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn import LSTMCell, SequenceEncoder, Tensor
+from repro.recsys import (
+    PopularityRecommender,
+    catalog_coverage,
+    exposure_shift,
+    gini_coefficient,
+    item_exposure,
+)
+
+
+class TestItemExposure:
+    def test_counts_sum_to_users_times_k(self, tiny_dataset):
+        model = PopularityRecommender().fit(tiny_dataset)
+        exposure = item_exposure(model, range(6), k=3, exclude_seen=False)
+        assert exposure.sum() == 6 * 3
+
+    def test_popularity_model_exposes_top_items(self, tiny_dataset):
+        model = PopularityRecommender().fit(tiny_dataset)
+        exposure = item_exposure(model, range(6), k=2, exclude_seen=False)
+        # Item 3 is the most popular -> appears in every top-2 list.
+        assert exposure[3] == 6
+
+    def test_invalid_k_raises(self, tiny_dataset):
+        model = PopularityRecommender().fit(tiny_dataset)
+        with pytest.raises(ConfigurationError):
+            item_exposure(model, [0], k=0)
+
+
+class TestCoverageAndGini:
+    def test_coverage_fraction(self):
+        assert catalog_coverage(np.array([0, 1, 2, 0])) == 0.5
+
+    def test_gini_uniform_is_zero(self):
+        assert gini_coefficient(np.full(10, 7.0)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_gini_concentrated_is_high(self):
+        exposure = np.zeros(100)
+        exposure[0] = 1000
+        assert gini_coefficient(exposure) > 0.9
+
+    def test_gini_all_zero(self):
+        assert gini_coefficient(np.zeros(5)) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            catalog_coverage(np.array([]))
+        with pytest.raises(ConfigurationError):
+            gini_coefficient(np.array([]))
+
+
+class TestExposureShift:
+    def test_focused_promotion_fingerprint(self):
+        before = np.array([10.0, 5.0, 0.0, 5.0])
+        after = np.array([8.0, 5.0, 7.0, 0.0])
+        shift = exposure_shift(before, after)
+        assert shift["top_gainer"] == 2
+        assert shift["top_gainer_share"] == pytest.approx(1.0)
+        assert shift["total_displaced"] == pytest.approx(7.0)
+
+    def test_no_change(self):
+        shift = exposure_shift(np.ones(3), np.ones(3))
+        assert shift["total_displaced"] == 0.0
+        assert shift["top_gainer_share"] == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            exposure_shift(np.ones(3), np.ones(4))
+
+    def test_attack_fingerprint_on_popularity_model(self, tiny_dataset):
+        """Injecting the target shifts exposure primarily to the target."""
+        model = PopularityRecommender().fit(tiny_dataset.copy())
+        users = list(range(6))
+        before = item_exposure(model, users, k=3, exclude_seen=False)
+        for _ in range(10):
+            model.add_user([7])
+        after = item_exposure(model, users, k=3, exclude_seen=False)
+        shift = exposure_shift(before, after)
+        assert shift["top_gainer"] == 7
+
+
+class TestLSTM:
+    def test_state_dim_is_double(self, rng):
+        cell = LSTMCell(3, 4, rng)
+        assert cell.state_dim == 8
+
+    def test_sequence_encoder_returns_h_only(self, rng):
+        enc = SequenceEncoder(3, 4, rng, cell="lstm")
+        h = enc([Tensor(np.ones(3))])
+        assert h.shape == (4,)
+
+    def test_forget_bias_initialised_to_one(self, rng):
+        cell = LSTMCell(3, 4, rng)
+        np.testing.assert_allclose(cell.b_f.data, np.ones(4))
+
+    def test_gradients_flow(self, rng):
+        enc = SequenceEncoder(2, 3, rng, cell="lstm")
+        out = enc([Tensor([1.0, -1.0]), Tensor([0.5, 0.5])])
+        (out * out).sum().backward()
+        assert any(
+            p.grad is not None and np.abs(p.grad).sum() > 0 for p in enc.parameters()
+        )
+
+    def test_invalid_dims_raise(self, rng):
+        with pytest.raises(ConfigurationError):
+            LSTMCell(0, 4, rng)
+
+    def test_order_sensitivity(self, rng):
+        enc = SequenceEncoder(2, 3, rng, cell="lstm")
+        a, b = Tensor([1.0, 0.0]), Tensor([0.0, 1.0])
+        assert not np.allclose(enc([a, b]).data, enc([b, a]).data)

@@ -1,0 +1,110 @@
+"""Black-box boundary, query accounting, and promotion evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import InteractionDataset
+from repro.errors import ConfigurationError
+from repro.recsys import (
+    BlackBoxRecommender,
+    PopularityRecommender,
+    evaluate_promotion,
+    promotion_candidates,
+)
+
+
+@pytest.fixture
+def boxed(tiny_dataset):
+    model = PopularityRecommender().fit(tiny_dataset.copy())
+    return BlackBoxRecommender(model), model
+
+
+class TestBlackBox:
+    def test_requires_fitted_model(self):
+        with pytest.raises(ConfigurationError):
+            BlackBoxRecommender(PopularityRecommender())
+
+    def test_query_returns_topk_lists(self, boxed):
+        bb, _ = boxed
+        lists = bb.query([0, 1], k=3)
+        assert len(lists) == 2
+        assert all(len(l) == 3 for l in lists)
+
+    def test_query_counts(self, boxed):
+        bb, _ = boxed
+        bb.query([0, 1, 2], k=5)
+        bb.query([0], k=5)
+        assert bb.log.n_queries == 2
+        assert bb.log.n_users_queried == 4
+
+    def test_query_invalid_k_raises(self, boxed):
+        bb, _ = boxed
+        with pytest.raises(ConfigurationError):
+            bb.query([0], k=0)
+
+    def test_inject_counts_and_returns_id(self, boxed):
+        bb, model = boxed
+        uid = bb.inject([0, 1, 2])
+        assert uid == 6
+        assert bb.log.n_injections == 1
+        assert bb.log.n_injected_interactions == 3
+        assert bb.n_users == 7
+
+    def test_snapshot_restore_resets_users(self, boxed):
+        bb, _ = boxed
+        snap = bb.snapshot()
+        bb.inject([0, 1])
+        bb.inject([2])
+        bb.restore(snap)
+        assert bb.n_users == 6
+        assert bb.log.n_injections == 0
+
+    def test_injection_affects_queries(self, boxed):
+        bb, _ = boxed
+        target = 7
+        before = bb.query([0], k=3)[0]
+        for _ in range(10):
+            bb.inject([target, 8])
+        after = bb.query([0], k=3)[0]
+        assert target not in before
+        assert target in after
+
+
+class TestPromotionEvaluation:
+    def test_candidates_skip_interacted_users(self, boxed):
+        bb, model = boxed
+        target = 3  # users 0, 1, 5 interacted with it
+        lists = promotion_candidates(model, target, [0, 1, 2, 3, 4, 5], n_negatives=4, seed=1)
+        users = [u for u, _ in lists]
+        assert set(users) == {2, 3, 4}
+
+    def test_candidates_start_with_target(self, boxed):
+        bb, model = boxed
+        lists = promotion_candidates(model, 7, [0, 1], n_negatives=4, seed=1)
+        assert all(c[0] == 7 for _, c in lists)
+
+    def test_all_users_interacted_raises(self):
+        ds = InteractionDataset([[0, 1], [0, 2]], n_items=6)
+        model = PopularityRecommender().fit(ds)
+        with pytest.raises(ConfigurationError):
+            promotion_candidates(model, 0, [0, 1], n_negatives=2, seed=1)
+
+    def test_fixed_candidates_make_eval_deterministic(self, boxed):
+        bb, model = boxed
+        lists = promotion_candidates(model, 7, [0, 1, 2], n_negatives=4, seed=9)
+        a = evaluate_promotion(model, 7, [0, 1, 2], candidate_lists=lists)
+        b = evaluate_promotion(model, 7, [0, 1, 2], candidate_lists=lists)
+        assert a == b
+
+    def test_promotion_increases_after_popularity_injection(self, boxed):
+        bb, model = boxed
+        target = 7
+        lists = promotion_candidates(model, target, [0, 1, 2], n_negatives=4, seed=9)
+        before = evaluate_promotion(model, target, [0, 1, 2], ks=(2,), candidate_lists=lists)
+        for _ in range(20):
+            bb.inject([target, 6])
+        after = evaluate_promotion(model, target, [0, 1, 2], ks=(2,), candidate_lists=lists)
+        assert after["hr@2"] >= before["hr@2"]
+        assert after["hr@2"] > 0

@@ -1,0 +1,114 @@
+"""Ranking metrics and the sampled-candidate evaluation protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.recsys.metrics import (
+    PAPER_KS,
+    evaluate_candidate_lists,
+    hit_ratio_at_k,
+    ndcg_at_k,
+    rank_of_first_candidate,
+)
+
+
+class TestRank:
+    def test_best_score_ranks_zero(self):
+        assert rank_of_first_candidate(np.array([5.0, 1.0, 2.0])) == 0
+
+    def test_worst_score_ranks_last(self):
+        assert rank_of_first_candidate(np.array([0.0, 1.0, 2.0])) == 2
+
+    def test_ties_rank_pessimistically(self):
+        assert rank_of_first_candidate(np.array([1.0, 1.0, 0.0])) == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            rank_of_first_candidate(np.array([]))
+
+    def test_2d_raises(self):
+        with pytest.raises(ConfigurationError):
+            rank_of_first_candidate(np.zeros((2, 2)))
+
+
+class TestHitAndNDCG:
+    def test_hit_boundary(self):
+        assert hit_ratio_at_k(9, 10) == 1.0
+        assert hit_ratio_at_k(10, 10) == 0.0
+
+    def test_ndcg_top_rank_is_one(self):
+        assert ndcg_at_k(0, 10) == pytest.approx(1.0)
+
+    def test_ndcg_decreases_with_rank(self):
+        values = [ndcg_at_k(r, 10) for r in range(10)]
+        assert values == sorted(values, reverse=True)
+
+    def test_ndcg_zero_outside_cutoff(self):
+        assert ndcg_at_k(10, 10) == 0.0
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ConfigurationError):
+            hit_ratio_at_k(0, 0)
+        with pytest.raises(ConfigurationError):
+            ndcg_at_k(0, -1)
+
+
+class TestEvaluateCandidateLists:
+    def _perfect_scorer(self, user_id, items):
+        """Scores the positive (first candidate id) highest."""
+        scores = np.zeros(len(items), dtype=float)
+        scores[0] = 1.0
+        return scores
+
+    def test_perfect_scorer_gets_ones(self):
+        lists = [(0, np.array([7, 1, 2, 3]))]
+        out = evaluate_candidate_lists(self._perfect_scorer, lists, ks=(1, 3))
+        assert out["hr@1"] == 1.0
+        assert out["ndcg@3"] == 1.0
+
+    def test_adversarial_scorer_gets_zeros(self):
+        def scorer(user_id, items):
+            scores = np.ones(len(items))
+            scores[0] = -1.0
+            return scores
+
+        lists = [(0, np.arange(5))]
+        out = evaluate_candidate_lists(scorer, lists, ks=(3,))
+        assert out["hr@3"] == 0.0
+
+    def test_averaging_over_users(self):
+        def scorer(user_id, items):
+            scores = np.zeros(len(items))
+            scores[0] = 1.0 if user_id == 0 else -1.0
+            return scores
+
+        lists = [(0, np.arange(4)), (1, np.arange(4))]
+        out = evaluate_candidate_lists(scorer, lists, ks=(2,))
+        assert out["hr@2"] == pytest.approx(0.5)
+
+    def test_empty_lists_raise(self):
+        with pytest.raises(ConfigurationError):
+            evaluate_candidate_lists(self._perfect_scorer, [], ks=(5,))
+
+    def test_default_ks_are_paper_ks(self):
+        lists = [(0, np.arange(30))]
+        out = evaluate_candidate_lists(self._perfect_scorer, lists)
+        for k in PAPER_KS:
+            assert f"hr@{k}" in out and f"ndcg@{k}" in out
+
+    @given(st.integers(min_value=0, max_value=20))
+    @settings(max_examples=25, deadline=None)
+    def test_hr_ge_ndcg_always(self, seed):
+        rng = np.random.default_rng(seed)
+
+        def scorer(user_id, items):
+            return rng.normal(size=len(items))
+
+        lists = [(0, np.arange(30)), (1, np.arange(30))]
+        out = evaluate_candidate_lists(scorer, lists, ks=(10,))
+        assert out["hr@10"] >= out["ndcg@10"] - 1e-12

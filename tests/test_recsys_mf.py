@@ -1,0 +1,115 @@
+"""Matrix factorisation: training signal, fold-in, snapshots."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import InteractionDataset
+from repro.errors import ConfigurationError, NotFittedError
+from repro.recsys import MatrixFactorization
+
+
+@pytest.fixture(scope="module")
+def fitted_mf(small_cross_module):
+    return MatrixFactorization(n_factors=8, n_epochs=25, seed=5).fit(small_cross_module.source)
+
+
+@pytest.fixture(scope="module")
+def small_cross_module():
+    from repro.data import SyntheticConfig, generate_cross_domain
+
+    config = SyntheticConfig(
+        n_universe_items=120, n_target_items=80, n_source_items=90, n_overlap_items=60,
+        n_target_users=80, n_source_users=150, target_profile_mean=14.0,
+        source_profile_mean=18.0, softmax_temperature=0.55, popularity_weight=0.35,
+        popularity_exponent=0.8, rating_keep_probability_scale=4.0, name="mf-fixture",
+    )
+    return generate_cross_domain(config, seed=44)
+
+
+class TestValidation:
+    def test_bad_hyperparameters_raise(self):
+        with pytest.raises(ConfigurationError):
+            MatrixFactorization(n_factors=0)
+        with pytest.raises(ConfigurationError):
+            MatrixFactorization(lr=0.0)
+        with pytest.raises(ConfigurationError):
+            MatrixFactorization(reg=-1.0)
+
+    def test_scores_before_fit_raise(self):
+        with pytest.raises(NotFittedError):
+            MatrixFactorization().scores(0)
+
+    def test_fit_empty_dataset_raises(self):
+        # A dataset with zero users has no interactions to learn from.
+        empty = InteractionDataset([], n_items=5)
+        with pytest.raises(ConfigurationError):
+            MatrixFactorization().fit(empty)
+
+
+class TestTraining:
+    def test_factor_shapes(self, fitted_mf, small_cross_module):
+        source = small_cross_module.source
+        assert fitted_mf.user_factors.shape == (source.n_users, 8)
+        assert fitted_mf.item_factors.shape == (source.n_items, 8)
+
+    def test_positives_outscore_random_negatives(self, fitted_mf, small_cross_module):
+        """BPR's core promise: observed items rank above unobserved ones."""
+        source = small_cross_module.source
+        rng = np.random.default_rng(0)
+        wins = trials = 0
+        for user_id in range(0, source.n_users, 5):
+            profile = source.user_profile(user_id)
+            pos = profile[0]
+            neg = int(rng.integers(source.n_items))
+            while source.has(user_id, neg):
+                neg = int(rng.integers(source.n_items))
+            scores = fitted_mf.scores(user_id, np.array([pos, neg]))
+            wins += scores[0] > scores[1]
+            trials += 1
+        assert wins / trials > 0.7
+
+    def test_scores_all_items_shape(self, fitted_mf, small_cross_module):
+        assert fitted_mf.scores(0).shape == (small_cross_module.source.n_items,)
+
+
+class TestFoldIn:
+    def test_embed_profile_is_mean_of_item_factors(self, fitted_mf):
+        vec = fitted_mf.embed_profile([0, 1])
+        expected = fitted_mf.item_factors[[0, 1]].mean(axis=0)
+        np.testing.assert_allclose(vec, expected)
+
+    def test_embed_empty_profile_is_zero(self, fitted_mf):
+        np.testing.assert_allclose(fitted_mf.embed_profile([]), np.zeros(8))
+
+    def test_add_user_extends_factors(self, small_cross_module):
+        mf = MatrixFactorization(n_epochs=2, seed=1).fit(small_cross_module.source.copy())
+        n_before = mf.user_factors.shape[0]
+        new_id = mf.add_user([0, 1, 2])
+        assert new_id == n_before
+        assert mf.user_factors.shape[0] == n_before + 1
+
+    def test_snapshot_restore_roundtrip(self, small_cross_module):
+        mf = MatrixFactorization(n_epochs=2, seed=1).fit(small_cross_module.source.copy())
+        snap = mf.snapshot()
+        mf.add_user([0, 1])
+        mf.restore(snap)
+        assert mf.user_factors.shape[0] == mf.dataset.n_users
+
+
+class TestTopK:
+    def test_top_k_excludes_seen(self, fitted_mf, small_cross_module):
+        source = small_cross_module.source
+        top = fitted_mf.top_k(0, 10, exclude_seen=True)
+        for v in top:
+            assert not source.has(0, int(v))
+
+    def test_top_k_sorted_by_score(self, fitted_mf):
+        top = fitted_mf.top_k(0, 10, exclude_seen=False)
+        scores = fitted_mf.scores(0)[top]
+        assert (np.diff(scores) <= 1e-12).all()
+
+    def test_top_k_caps_at_catalog(self, fitted_mf, small_cross_module):
+        top = fitted_mf.top_k(0, 10_000, exclude_seen=False)
+        assert top.size == small_cross_module.source.n_items

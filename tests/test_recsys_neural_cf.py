@@ -1,0 +1,114 @@
+"""NeuralCF: training, the immunity property, and post-retrain vulnerability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.recsys import NeuralCF
+
+
+@pytest.fixture(scope="module")
+def fitted_ncf(small_cross_module):
+    return NeuralCF(n_factors=8, n_epochs=25, seed=5).fit(small_cross_module.target.copy())
+
+
+@pytest.fixture(scope="module")
+def small_cross_module():
+    from repro.data import SyntheticConfig, generate_cross_domain
+
+    config = SyntheticConfig(
+        n_universe_items=120, n_target_items=80, n_source_items=90, n_overlap_items=60,
+        n_target_users=80, n_source_users=150, target_profile_mean=14.0,
+        source_profile_mean=18.0, softmax_temperature=0.55, popularity_weight=0.35,
+        popularity_exponent=0.8, rating_keep_probability_scale=4.0, name="ncf-fixture",
+    )
+    return generate_cross_domain(config, seed=44)
+
+
+class TestValidation:
+    def test_bad_params_raise(self):
+        with pytest.raises(ConfigurationError):
+            NeuralCF(n_factors=0)
+
+    def test_scores_before_fit_raise(self):
+        with pytest.raises(NotFittedError):
+            NeuralCF().scores(0)
+
+    def test_refit_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            NeuralCF().refit(1)
+
+
+class TestTraining:
+    def test_positives_beat_negatives(self, fitted_ncf, small_cross_module):
+        ds = small_cross_module.target
+        rng = np.random.default_rng(0)
+        wins = trials = 0
+        for user_id in range(0, ds.n_users, 4):
+            pos = ds.user_profile(user_id)[0]
+            neg = int(rng.integers(ds.n_items))
+            while ds.has(user_id, neg):
+                neg = int(rng.integers(ds.n_items))
+            s = fitted_ncf.scores(user_id, np.array([pos, neg]))
+            wins += s[0] > s[1]
+            trials += 1
+        assert wins / trials > 0.6
+
+    def test_scores_subset_matches_full(self, fitted_ncf):
+        subset = np.array([3, 7, 11])
+        np.testing.assert_allclose(
+            fitted_ncf.scores(0, subset), fitted_ncf.scores(0)[subset], atol=1e-12
+        )
+
+
+class TestImmunityProperty:
+    def test_injections_do_not_move_real_user_scores(self, fitted_ncf):
+        """The headline property: no aggregation pathway, no instant poisoning."""
+        snap = fitted_ncf.snapshot()
+        before = fitted_ncf.scores(0).copy()
+        for k in range(10):
+            fitted_ncf.add_user([k % fitted_ncf.dataset.n_items, (k + 1) % fitted_ncf.dataset.n_items])
+        after = fitted_ncf.scores(0)
+        np.testing.assert_allclose(before, after, atol=1e-12)
+        fitted_ncf.restore(snap)
+
+    def test_injected_user_gets_sensible_scores(self, fitted_ncf):
+        snap = fitted_ncf.snapshot()
+        uid = fitted_ncf.add_user([0, 1, 2])
+        scores = fitted_ncf.scores(uid)
+        assert np.isfinite(scores).all()
+        fitted_ncf.restore(snap)
+
+    def test_retraining_activates_the_poison(self, small_cross_module):
+        """After a refit cycle the injected co-interactions promote the target."""
+        model = NeuralCF(n_factors=8, n_epochs=25, seed=5).fit(
+            small_cross_module.target.copy()
+        )
+        pop = small_cross_module.target.popularity()
+        target = int(np.argmin(pop + (pop == 0) * 10_000))  # coldest non-orphan item
+        eval_users = list(range(0, 40))
+        rank_before = np.mean([
+            (model.scores(u) > model.scores(u)[target]).sum() for u in eval_users
+        ])
+        # Inject profiles pairing the target with the most popular items.
+        top = np.argsort(-pop)[:6]
+        for _ in range(25):
+            model.add_user([target] + [int(v) for v in top])
+        rank_mid = np.mean([
+            (model.scores(u) > model.scores(u)[target]).sum() for u in eval_users
+        ])
+        assert rank_mid == pytest.approx(rank_before)  # still immune
+        model.refit(15)
+        rank_after = np.mean([
+            (model.scores(u) > model.scores(u)[target]).sum() for u in eval_users
+        ])
+        assert rank_after < rank_before  # the poison took effect
+
+    def test_snapshot_restore_roundtrip(self, fitted_ncf):
+        snap = fitted_ncf.snapshot()
+        before = fitted_ncf.scores(1).copy()
+        fitted_ncf.add_user([0, 1])
+        fitted_ncf.restore(snap)
+        np.testing.assert_allclose(fitted_ncf.scores(1), before, atol=1e-12)

@@ -1,0 +1,87 @@
+"""ItemKNN and PopularityRecommender: fitting, injection, snapshots."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import InteractionDataset
+from repro.errors import ConfigurationError, NotFittedError
+from repro.recsys import ItemKNN, PopularityRecommender
+
+
+class TestItemKNN:
+    def test_shrinkage_validation(self):
+        with pytest.raises(ConfigurationError):
+            ItemKNN(shrinkage=-1.0)
+
+    def test_scores_before_fit_raise(self, tiny_dataset):
+        with pytest.raises(NotFittedError):
+            ItemKNN()._similarity_rows(np.array([0]))
+
+    def test_cooccurring_items_score_higher(self):
+        # Items 0 and 1 always co-occur; item 4 never co-occurs with 0.
+        ds = InteractionDataset(
+            [[0, 1], [0, 1, 2], [0, 1, 3], [4, 2], [4, 3]], n_items=5
+        )
+        knn = ItemKNN(shrinkage=0.0).fit(ds)
+        scores = knn.scores(0)  # user 0's profile is [0, 1]
+        assert scores[2] > scores[4]
+
+    def test_injection_changes_cooccurrence(self, tiny_dataset):
+        knn = ItemKNN().fit(tiny_dataset.copy())
+        before = knn._cooc.copy()
+        knn.add_user([0, 9])
+        assert knn._cooc[0, 9] == before[0, 9] + 1
+        assert knn._cooc[9, 0] == before[9, 0] + 1
+
+    def test_snapshot_restore(self, tiny_dataset):
+        knn = ItemKNN().fit(tiny_dataset.copy())
+        snap = knn.snapshot()
+        knn.add_user([0, 9])
+        knn.restore(snap)
+        assert knn.dataset.n_users == tiny_dataset.n_users
+
+    def test_promotion_via_injection(self):
+        """Injecting co-occurrences of (popular, target) promotes the target."""
+        profiles = [[0, 1], [0, 2], [0, 3], [1, 2], [0, 1, 3]]
+        ds = InteractionDataset(profiles, n_items=6, name="knn-attack")
+        knn = ItemKNN(shrinkage=1.0).fit(ds)
+        target = 5
+        before = knn.scores(0)[target]
+        for _ in range(5):
+            knn.add_user([0, target])
+        after = knn.scores(0)[target]
+        assert after > before
+
+
+class TestPopularityRecommender:
+    def test_scores_equal_popularity(self, tiny_dataset):
+        rec = PopularityRecommender().fit(tiny_dataset)
+        np.testing.assert_allclose(rec.scores(0), tiny_dataset.popularity())
+
+    def test_scores_before_fit_raise(self):
+        with pytest.raises(NotFittedError):
+            PopularityRecommender().scores(0)
+
+    def test_same_ranking_for_all_users(self, tiny_dataset):
+        rec = PopularityRecommender().fit(tiny_dataset)
+        np.testing.assert_allclose(rec.scores(0), rec.scores(3))
+
+    def test_injection_inflates_counts(self, tiny_dataset):
+        rec = PopularityRecommender().fit(tiny_dataset.copy())
+        before = rec.scores(0)[7]
+        rec.add_user([7])
+        assert rec.scores(0)[7] == before + 1
+
+    def test_snapshot_restore(self, tiny_dataset):
+        rec = PopularityRecommender().fit(tiny_dataset.copy())
+        snap = rec.snapshot()
+        rec.add_user([7])
+        rec.restore(snap)
+        np.testing.assert_allclose(rec.scores(0), tiny_dataset.popularity())
+
+    def test_subset_scores(self, tiny_dataset):
+        rec = PopularityRecommender().fit(tiny_dataset)
+        subset = np.array([3, 9])
+        np.testing.assert_allclose(rec.scores(0, subset), tiny_dataset.popularity()[subset])

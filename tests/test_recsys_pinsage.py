@@ -1,0 +1,160 @@
+"""PinSage target model: training, inductive injection, snapshot algebra."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import train_val_test_split
+from repro.data.negative_sampling import build_eval_candidates
+from repro.errors import ConfigurationError, NotFittedError
+from repro.recsys import PinSageRecommender, evaluate_candidate_lists
+
+
+@pytest.fixture(scope="module")
+def fitted(small_cross_module):
+    split = train_val_test_split(small_cross_module.target, seed=5)
+    val = build_eval_candidates(split.train, split.val, n_negatives=40, seed=6)
+    model = PinSageRecommender(n_factors=16, lr=0.02, n_epochs=80, patience=15, seed=7)
+    model.fit(split.train, val_candidates=val)
+    return model, split
+
+
+@pytest.fixture(scope="module")
+def small_cross_module():
+    from repro.data import SyntheticConfig, generate_cross_domain
+
+    config = SyntheticConfig(
+        n_universe_items=120, n_target_items=80, n_source_items=90, n_overlap_items=60,
+        n_target_users=80, n_source_users=150, target_profile_mean=14.0,
+        source_profile_mean=18.0, softmax_temperature=0.55, popularity_weight=0.35,
+        popularity_exponent=0.8, rating_keep_probability_scale=4.0, name="ps-fixture",
+    )
+    return generate_cross_domain(config, seed=44)
+
+
+class TestValidation:
+    def test_bad_hyperparameters_raise(self):
+        with pytest.raises(ConfigurationError):
+            PinSageRecommender(n_factors=0)
+        with pytest.raises(ConfigurationError):
+            PinSageRecommender(temperature=0.0)
+
+    def test_scores_before_fit_raise(self):
+        with pytest.raises(NotFittedError):
+            PinSageRecommender().scores(0)
+
+
+class TestTraining:
+    def test_loss_decreases(self, fitted):
+        model, _ = fitted
+        losses = [r["loss"] for r in model.train_history]
+        assert losses[-1] < losses[0]
+
+    def test_beats_random_ranking(self, fitted, small_cross_module):
+        model, split = fitted
+        test = build_eval_candidates(split.train, split.test, n_negatives=40, seed=8)
+        metrics = evaluate_candidate_lists(model.scores_for, test, ks=(10,))
+        random_level = 10 / 41
+        assert metrics["hr@10"] > random_level * 1.2
+
+    def test_user_representations_unit_norm(self, fitted):
+        model, _ = fitted
+        norms = np.linalg.norm(model._H, axis=1)
+        np.testing.assert_allclose(norms, 1.0, atol=1e-9)
+
+    def test_early_stopping_history_recorded(self, fitted):
+        model, _ = fitted
+        assert all("val_hr@10" in r for r in model.train_history)
+
+
+class TestInductiveRepresentation:
+    def test_representation_depends_on_profile(self, fitted):
+        model, _ = fitted
+        h1 = model.user_representation([0, 1, 2])
+        h2 = model.user_representation([10, 11, 12])
+        assert not np.allclose(h1, h2)
+
+    def test_known_user_matches_cache(self, fitted):
+        model, split = fitted
+        h = model.user_representation(split.train.user_profile(3))
+        np.testing.assert_allclose(h, model._H[3], atol=1e-12)
+
+
+class TestInjection:
+    def test_incremental_add_matches_full_refresh(self, fitted, small_cross_module):
+        model, _ = fitted
+        snap = model.snapshot()
+        for u in range(3):
+            model.add_user(small_cross_module.source.user_profile(u))
+        z_incremental = model._Z.copy()
+        h_incremental = model._H.copy()
+        model.refresh_full()
+        np.testing.assert_allclose(z_incremental, model._Z, atol=1e-9)
+        np.testing.assert_allclose(h_incremental, model._H, atol=1e-9)
+        model.restore(snap)
+
+    def test_injection_moves_contained_items_only(self, fitted):
+        model, _ = fitted
+        snap = model.snapshot()
+        z_before = model._Z.copy()
+        profile = [0, 1, 2]
+        model.add_user(profile)
+        changed = np.where(np.abs(model._Z - z_before).sum(axis=1) > 1e-12)[0]
+        assert set(changed.tolist()) == set(profile)
+        model.restore(snap)
+
+    def test_short_profile_pushes_harder_than_long(self, fitted, small_cross_module):
+        """The 1/sqrt(deg_u) edge weight: crafting's mechanical justification.
+
+        A user's contribution to an item's aggregation is h/sqrt(len(profile))
+        with unit-norm h, so a short injected profile moves the weighted sum
+        by exactly 1/sqrt(len) — strictly more than a long one.
+        """
+        model, _ = fitted
+        target = 0
+        snap = model.snapshot()
+        sum_base = model._item_h_sum[target].copy()
+        model.add_user([target, 1])
+        shift_short = np.linalg.norm(model._item_h_sum[target] - sum_base)
+        model.restore(snap)
+        model.add_user([target] + list(range(1, 40)))
+        shift_long = np.linalg.norm(model._item_h_sum[target] - sum_base)
+        model.restore(snap)
+        assert shift_short == pytest.approx(1.0 / np.sqrt(2), rel=1e-9)
+        assert shift_long == pytest.approx(1.0 / np.sqrt(40), rel=1e-9)
+        assert shift_short > shift_long
+
+    def test_snapshot_restore_exact(self, fitted):
+        model, _ = fitted
+        snap = model.snapshot()
+        scores_before = model.scores(0).copy()
+        model.add_user([0, 1, 2, 3])
+        model.add_user([4, 5])
+        model.restore(snap)
+        np.testing.assert_allclose(model.scores(0), scores_before, atol=1e-12)
+        assert model.dataset.n_users == snap.n_users
+
+    def test_nested_snapshots(self, fitted):
+        model, _ = fitted
+        outer = model.snapshot()
+        model.add_user([0, 1])
+        inner = model.snapshot()
+        model.add_user([2, 3])
+        model.restore(inner)
+        assert model.dataset.n_users == inner.n_users
+        model.restore(outer)
+        assert model.dataset.n_users == outer.n_users
+
+
+class TestScoring:
+    def test_scores_subset_matches_full(self, fitted):
+        model, _ = fitted
+        subset = np.array([3, 7, 11])
+        np.testing.assert_allclose(model.scores(0, subset), model.scores(0)[subset])
+
+    def test_top_k_excludes_seen(self, fitted):
+        model, _ = fitted
+        top = model.top_k(0, 10, exclude_seen=True)
+        for v in top:
+            assert not model.dataset.has(0, int(v))

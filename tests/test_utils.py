@@ -1,0 +1,88 @@
+"""Utilities: RNG discipline, validation helpers, timer, logging."""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils import (
+    Timer,
+    enable_console_logging,
+    get_logger,
+    make_rng,
+    require,
+    require_in_range,
+    require_nonempty,
+    require_positive,
+    spawn,
+)
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        assert make_rng(5).integers(1000) == make_rng(5).integers(1000)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert make_rng(gen) is gen
+
+    def test_default_seed(self):
+        a = make_rng(None).integers(1_000_000)
+        b = make_rng(None).integers(1_000_000)
+        assert a == b
+
+    def test_spawn_children_independent(self):
+        parent = make_rng(3)
+        children = spawn(parent, 3)
+        draws = [c.integers(1_000_000) for c in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_deterministic(self):
+        a = [g.integers(1000) for g in spawn(make_rng(3), 2)]
+        b = [g.integers(1000) for g in spawn(make_rng(3), 2)]
+        assert a == b
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ConfigurationError, match="broken"):
+            require(False, "broken")
+
+    def test_require_positive(self):
+        require_positive(1, "x")
+        with pytest.raises(ConfigurationError):
+            require_positive(0, "x")
+
+    def test_require_in_range(self):
+        require_in_range(0.5, 0, 1, "x")
+        with pytest.raises(ConfigurationError):
+            require_in_range(2, 0, 1, "x")
+
+    def test_require_nonempty(self):
+        require_nonempty([1], "x")
+        with pytest.raises(ConfigurationError):
+            require_nonempty([], "x")
+
+
+class TestTimer:
+    def test_elapsed_non_negative(self):
+        with Timer() as t:
+            sum(range(1000))
+        assert t.elapsed >= 0.0
+
+
+class TestLogging:
+    def test_logger_namespaced(self):
+        assert get_logger("foo").name == "repro.foo"
+        assert get_logger("repro.bar").name == "repro.bar"
+
+    def test_enable_console_idempotent(self):
+        enable_console_logging()
+        enable_console_logging()
+        logger = logging.getLogger("repro")
+        handlers = [h for h in logger.handlers if isinstance(h, logging.StreamHandler)]
+        assert len(handlers) == 1
