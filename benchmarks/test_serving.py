@@ -1,0 +1,80 @@
+"""Serving benchmark — batched cohort scoring and traffic replay (tentpole).
+
+Acceptance targets:
+
+* ``top_k_batch`` on a 64-user cohort is element-wise identical to the
+  per-user ``top_k`` loop and >= 5x faster on MF and NeuralCF;
+* the traffic replay reports throughput and latency percentiles, with the
+  cached platform scoring strictly fewer users than it serves.
+
+Results are appended to ``benchmarks/results/report.txt`` and dumped to
+``benchmarks/results/BENCH_serving.json`` so the perf trajectory
+accumulates across PRs (CI writes the same JSON via
+``repro-bench serve --json``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments import format_table, run_serving_benchmark
+
+RESULTS_DIR = Path(__file__).parent / "results"
+COHORT = 64
+SPEEDUP_FLOOR = 5.0
+
+
+def test_serving_batch_and_traffic(prep_ml10m, benchmark, report):
+    result = benchmark.pedantic(
+        lambda: run_serving_benchmark(
+            prep_ml10m, cohort_size=COHORT, n_requests=300, repeats=7, ncf_factors=48
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    speedups = result["speedup"]
+    rows = [
+        [name, r["per_user_ms"], r["batch_ms"], r["speedup"], bool(r["identical"])]
+        for name, r in speedups.items()
+    ]
+    traffic_rows = [
+        [
+            label.removeprefix("traffic_"),
+            t["requests_per_s"],
+            t["users_per_s"],
+            t["p50_ms"],
+            t["p95_ms"],
+            t.get("cache_hit_rate", float("nan")),
+        ]
+        for label, t in ((k, result[k]) for k in ("traffic_uncached", "traffic_cached"))
+    ]
+    report(
+        format_table(
+            ["model", "per-user ms", "batch ms", "speedup", "identical"],
+            rows,
+            title=f"Serving — {COHORT}-user cohort top-{result['k']} (ml10m_fx)",
+        )
+        + "\n\n"
+        + format_table(
+            ["variant", "req/s", "users/s", "p50 ms", "p95 ms", "hit rate"],
+            traffic_rows,
+            title="Serving — organic traffic replay (PinSage target)",
+        )
+    )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / "BENCH_serving.json", "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+
+    # Correctness first: a faster path that changes results is a bug.
+    for name, r in speedups.items():
+        assert r["identical"] == 1.0, f"{name}: batched top-k diverged from per-user"
+    # The acceptance floor applies to MF and NeuralCF.
+    assert speedups["mf"]["speedup"] >= SPEEDUP_FLOOR
+    assert speedups["neural_cf"]["speedup"] >= SPEEDUP_FLOOR
+    # The cache must actually absorb load under Zipf traffic.
+    cached = result["traffic_cached"]
+    assert cached["n_users_scored"] < cached["n_users_served"]
+    assert cached["cache_hit_rate"] > 0.0

@@ -14,10 +14,13 @@ from repro.errors import (
     ConfigurationError,
     DataError,
     GradientError,
+    InjectionBlockedError,
     MaskedTreeError,
     NotFittedError,
+    RateLimitExceededError,
     ReproError,
     ShapeError,
+    SnapshotError,
 )
 
 __all__ = [
@@ -30,4 +33,7 @@ __all__ = [
     "BudgetExhaustedError",
     "MaskedTreeError",
     "NotFittedError",
+    "RateLimitExceededError",
+    "InjectionBlockedError",
+    "SnapshotError",
 ]

@@ -59,10 +59,14 @@ class AttackBudget:
         self.interactions_used += int(n_interactions)
         self._profile_lengths.append(int(n_interactions))
 
-    def spend_query(self) -> None:
-        """Record one query round against the target system."""
+    def ensure_query_available(self) -> None:
+        """Raise if the query budget is already spent (pre-flight check)."""
         if self.max_queries is not None and self.queries_used >= self.max_queries:
             raise BudgetExhaustedError(f"query budget of {self.max_queries} already spent")
+
+    def spend_query(self) -> None:
+        """Record one query round against the target system."""
+        self.ensure_query_available()
         self.queries_used += 1
 
     def mean_profile_length(self) -> float:

@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.attack.budget import AttackBudget
 from repro.attack.rewards import HitRatioReward
-from repro.errors import BudgetExhaustedError, ConfigurationError
+from repro.errors import BudgetExhaustedError, ConfigurationError, RateLimitExceededError
 from repro.recsys.blackbox import BlackBoxRecommender
 
 __all__ = ["AttackEnvironment", "StepOutcome", "EpisodeTrace"]
@@ -55,6 +55,7 @@ class EpisodeTrace:
     selected_users: list[int] = field(default_factory=list)
     rewards: list[float] = field(default_factory=list)
     final_hit_ratio: float = 0.0
+    n_throttled_queries: int = 0
 
     @property
     def n_injected(self) -> int:
@@ -143,10 +144,17 @@ class AttackEnvironment:
         reward: float | None = None
         hit_ratio: float | None = None
         if on_query_round or at_budget:
-            hit_ratio = self._query_hit_ratio()
-            reward = hit_ratio
-            self.trace.rewards.append(reward)
-            self.trace.final_hit_ratio = hit_ratio
+            try:
+                hit_ratio = self._query_hit_ratio()
+            except RateLimitExceededError:
+                # Throttled platform: the query round yields no feedback.
+                # The attacker keeps injecting blind until a later round is
+                # admitted — the "throttled attacker" scenario axis.
+                self.trace.n_throttled_queries += 1
+            else:
+                reward = hit_ratio
+                self.trace.rewards.append(reward)
+                self.trace.final_hit_ratio = hit_ratio
         succeeded = (
             self.success_threshold is not None
             and hit_ratio is not None
@@ -155,11 +163,31 @@ class AttackEnvironment:
         self._done = at_budget or succeeded
         return StepOutcome(reward=reward, done=self._done, queried=reward is not None, hit_ratio=hit_ratio)
 
-    def _query_hit_ratio(self) -> float:
-        self.budget.spend_query()
+    def _query_hit_ratio(self, count_budget: bool = True) -> float:
+        # Budget is charged only for queries the platform actually serves:
+        # pre-check the cap, query (which may be rate-limit denied), then
+        # record the spend.
+        if count_budget:
+            self.budget.ensure_query_available()
         lists = self.blackbox.query(self.pretend_user_ids, k=self.reward_fn.k)
+        if count_budget:
+            self.budget.spend_query()
         return self.reward_fn(self.target_item, lists)
 
-    def measure(self) -> float:
-        """Out-of-band hit-ratio measurement (not counted as an RL reward)."""
-        return self._query_hit_ratio()
+    def measure(self, count_budget: bool = False) -> float:
+        """Out-of-band hit-ratio measurement (not counted as an RL reward).
+
+        By default the measurement does **not** spend attacker query
+        budget: it is an evaluation-side observation, and silently charging
+        it to the attacker distorted budget accounting.  It also reads
+        through an exempt ``evaluator`` client with the cache bypassed, so
+        ground truth is neither rate limited nor staleness-distorted.
+        Pass ``count_budget=True`` to model an attacker who self-monitors
+        through the platform API (counted, throttled, possibly stale).
+        """
+        if count_budget:
+            return self._query_hit_ratio(count_budget=True)
+        lists = self.blackbox.service.query(
+            self.pretend_user_ids, k=self.reward_fn.k, client="evaluator", use_cache=False
+        )
+        return self.reward_fn(self.target_item, lists)

@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     repro-bench budget  --config ml10m_fx          # figures 5/6
     repro-bench quality --config ml20m_nf          # X1 gate
     repro-bench method  --config small --method TargetAttack40
+    repro-bench serve   --config small --json BENCH_serving.json
 
 or ``python -m repro.cli <subcommand> ...``.  Every run is deterministic
 given ``--seed``.
@@ -17,6 +18,7 @@ given ``--seed``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -25,6 +27,8 @@ from repro.experiments import (
     ML10M_FX,
     ML20M_NF,
     SMALL,
+    SMALL_STALE,
+    format_query_stats,
     format_table,
     format_table2,
     prepare_experiment,
@@ -32,6 +36,7 @@ from repro.experiments import (
     run_depth_sweep,
     run_method,
     run_popularity_sweep,
+    run_serving_benchmark,
     run_table2,
     scaled_copy,
 )
@@ -39,7 +44,12 @@ from repro.utils import enable_console_logging
 
 __all__ = ["main", "build_parser"]
 
-_CONFIGS = {"ml10m_fx": ML10M_FX, "ml20m_nf": ML20M_NF, "small": SMALL}
+_CONFIGS = {
+    "ml10m_fx": ML10M_FX,
+    "ml20m_nf": ML20M_NF,
+    "small": SMALL,
+    "small_stale": SMALL_STALE,
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -83,6 +93,14 @@ def build_parser() -> argparse.ArgumentParser:
     method.add_argument("--budget", type=int, default=None)
     method.add_argument("--episodes", type=int, default=None)
 
+    serve = sub.add_parser("serve", help="serving benchmark (batching, cache, traffic)")
+    serve.add_argument("--requests", type=int, default=200, help="traffic-replay requests")
+    serve.add_argument("--cohort", type=int, default=64, help="cohort size for batch speedup")
+    serve.add_argument("--k", type=int, default=20)
+    serve.add_argument("--repeats", type=int, default=5, help="timing repeats (best-of)")
+    serve.add_argument("--json", default=None, metavar="PATH",
+                       help="write the full result as JSON (e.g. BENCH_serving.json)")
+
     return parser
 
 
@@ -97,7 +115,18 @@ def _metrics_row(label: str, outcome) -> list:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "serve":
+        # Fail fast: these would otherwise only be caught after minutes of
+        # data generation and model training.
+        for name in ("requests", "cohort", "k", "repeats"):
+            if getattr(args, name) <= 0:
+                parser.error(f"--{name} must be positive")
+        if args.json is not None:
+            parent = os.path.dirname(os.path.abspath(args.json)) or "."
+            if not os.path.isdir(parent):
+                parser.error(f"--json directory does not exist: {parent}")
     if not args.quiet:
         enable_console_logging()
     config = _CONFIGS[args.config]
@@ -190,6 +219,35 @@ def main(argv: Sequence[str] | None = None) -> int:
         rows.append(["avg items/profile", outcome.mean_profile_length])
         rows.append(["wall time (s)", outcome.wall_time])
         print(format_table(["metric", "value"], rows, title=f"{args.method} — {config.name}"))
+        print()
+        print(format_query_stats(
+            prep.blackbox.log.summary(), title=f"query-side cost — {args.method}"
+        ))
+        return 0
+
+    if args.command == "serve":
+        result = run_serving_benchmark(
+            prep, cohort_size=args.cohort, k=args.k,
+            n_requests=args.requests, repeats=args.repeats,
+        )
+        rows = [
+            [name, r["per_user_ms"], r["batch_ms"], r["speedup"]]
+            for name, r in result["speedup"].items()
+        ]
+        print(format_table(
+            ["model", "per-user ms", "batch ms", "speedup"], rows,
+            title=f"Serving — {args.cohort}-user cohort top-{args.k}, {config.name}",
+        ))
+        print()
+        for label in ("traffic_uncached", "traffic_cached"):
+            print(format_query_stats(result[label], title=label))
+            print()
+        if args.json:
+            import json
+
+            with open(args.json, "w") as handle:
+                json.dump(result, handle, indent=2, sort_keys=True)
+            print(f"wrote {args.json}")
         return 0
 
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

@@ -63,6 +63,13 @@ class ShillingDetector:
         self._threshold = float(np.quantile(clean_scores, 1.0 - self.target_fpr))
         return self
 
+    @property
+    def threshold(self) -> float:
+        """Calibrated flagging threshold (used by the serving-layer hook)."""
+        if self._threshold is None:
+            raise NotFittedError("ShillingDetector.fit has not been called")
+        return self._threshold
+
     def _score_matrix(self, feats: np.ndarray) -> np.ndarray:
         z = np.abs(feats - self._median) / (1.4826 * self._mad)
         # Mean rather than max over features: a single near-constant feature

@@ -39,3 +39,15 @@ class MaskedTreeError(ReproError):
 
 class NotFittedError(ReproError):
     """A model method requiring training was called before ``fit``."""
+
+
+class RateLimitExceededError(ReproError):
+    """A serving-layer quota (QPS cap, injection throttle) denied a request."""
+
+
+class InjectionBlockedError(ReproError):
+    """The serving-layer detector rejected an injected profile."""
+
+
+class SnapshotError(ReproError):
+    """A snapshot is inconsistent with the state it is being restored onto."""

@@ -1,6 +1,13 @@
 """Experiment harness: configs, runner, and per-table/figure drivers."""
 
-from repro.experiments.configs import ML10M_FX, ML20M_NF, SMALL, ExperimentConfig, scaled_copy
+from repro.experiments.configs import (
+    ML10M_FX,
+    ML20M_NF,
+    SMALL,
+    SMALL_STALE,
+    ExperimentConfig,
+    scaled_copy,
+)
 from repro.experiments.fig3_depth import DEFAULT_DEPTHS, run_depth_sweep
 from repro.experiments.fig4_popularity import run_popularity_sweep
 from repro.experiments.fig5_budget import (
@@ -8,7 +15,8 @@ from repro.experiments.fig5_budget import (
     DEFAULT_BUDGETS,
     run_budget_sweep,
 )
-from repro.experiments.reporting import format_metric_rows, format_table
+from repro.experiments.reporting import format_metric_rows, format_query_stats, format_table
+from repro.experiments.serving_bench import measure_cohort_speedup, run_serving_benchmark
 from repro.experiments.runner import (
     METHOD_NAMES,
     MethodOutcome,
@@ -27,6 +35,7 @@ __all__ = [
     "ML10M_FX",
     "ML20M_NF",
     "SMALL",
+    "SMALL_STALE",
     "scaled_copy",
     "prepare_experiment",
     "run_method",
@@ -44,4 +53,7 @@ __all__ = [
     "DEFAULT_BUDGET_METHODS",
     "format_table",
     "format_metric_rows",
+    "format_query_stats",
+    "measure_cohort_speedup",
+    "run_serving_benchmark",
 ]

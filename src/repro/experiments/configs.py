@@ -19,9 +19,17 @@ from dataclasses import dataclass, field, replace
 
 from repro.data.synthetic import SyntheticConfig
 from repro.errors import ConfigurationError
+from repro.serving import QuotaPolicy, ServingConfig
 from repro.utils.rng import DEFAULT_SEED
 
-__all__ = ["ExperimentConfig", "ML10M_FX", "ML20M_NF", "SMALL", "scaled_copy"]
+__all__ = [
+    "ExperimentConfig",
+    "ML10M_FX",
+    "ML20M_NF",
+    "SMALL",
+    "SMALL_STALE",
+    "scaled_copy",
+]
 
 
 @dataclass(frozen=True)
@@ -62,6 +70,10 @@ class ExperimentConfig:
     )
     # MF pre-training for the source embeddings
     mf_kwargs: dict = field(default_factory=lambda: {"n_factors": 8, "n_epochs": 40})
+    # Serving posture the platform runs with (None = transparent: no cache,
+    # no rate limits — the seed behaviour).  Attacks always route through
+    # the RecommendationService either way.
+    serving: ServingConfig | None = None
 
     def __post_init__(self) -> None:
         if self.n_negatives >= self.synthetic.n_target_items:
@@ -147,6 +159,25 @@ SMALL = ExperimentConfig(
     max_target_interactions=8,
     pinsage_kwargs={"n_factors": 16, "lr": 0.02, "n_epochs": 40, "patience": 10},
     mf_kwargs={"n_factors": 8, "n_epochs": 15},
+)
+
+
+#: SMALL with a production serving posture: the platform caches top-k
+#: results with a 3-injection staleness horizon (the attacker's query
+#: feedback lags their own injections) and throttles the attacker client
+#: (bounded cohorts, a per-episode injection quota well above the attack
+#: budget so episodes stay feasible).  The scenario axis of interest is
+#: delayed feedback; the quota demonstrates attacks running under limits.
+SMALL_STALE = replace(
+    SMALL,
+    name="small_stale",
+    serving=ServingConfig(
+        cache_capacity=2048,
+        ttl_injections=3,
+        client_policies=(
+            ("attacker", QuotaPolicy(max_users_per_query=64, max_total_injections=4096)),
+        ),
+    ),
 )
 
 

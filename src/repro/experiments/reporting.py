@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-__all__ = ["format_table", "format_metric_rows"]
+__all__ = ["format_table", "format_metric_rows", "format_query_stats"]
 
 
 def format_table(
@@ -36,6 +36,16 @@ def _fmt(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.4f}"
     return str(value)
+
+
+def format_query_stats(summary: Mapping[str, float], title: str = "") -> str:
+    """Uniform query-side cost table for attack runs and serving benchmarks.
+
+    Accepts the dict shape produced by both ``QueryLog.summary`` and
+    ``ServiceStats.summary`` so every surface reports the same columns.
+    """
+    rows = [[key, value] for key, value in summary.items()]
+    return format_table(["stat", "value"], rows, title=title)
 
 
 def format_metric_rows(

@@ -38,6 +38,7 @@ from repro.recsys.blackbox import BlackBoxRecommender
 from repro.recsys.mf import MatrixFactorization
 from repro.recsys.promotion import evaluate_promotion, promotion_candidates
 from repro.recsys.training import TrainedTarget, train_target_model
+from repro.serving import RecommendationService
 from repro.utils.logging import get_logger
 from repro.utils.rng import make_rng, spawn
 
@@ -112,7 +113,14 @@ def prepare_experiment(
     )
     mf = MatrixFactorization(seed=mf_rng, **config.mf_kwargs).fit(cross.source)
 
-    blackbox = BlackBoxRecommender(trained.model)
+    serving = config.serving
+    detector = None
+    if serving is not None and serving.detector_mode != "off":
+        from repro.defense.detector import ShillingDetector
+
+        detector = ShillingDetector().fit(trained.train_dataset)
+    service = RecommendationService(trained.model, config=serving, detector=detector)
+    blackbox = BlackBoxRecommender(trained.model, service=service)
     eval_users = list(range(trained.train_dataset.n_users))
     pretend_ids = create_pretend_users(
         blackbox,

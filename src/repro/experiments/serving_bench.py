@@ -1,0 +1,122 @@
+"""Serving benchmark: batched-vs-per-user query cost and traffic replay.
+
+Two measurements, shared by the ``repro-bench serve`` CLI command (which
+writes ``BENCH_serving.json`` in CI) and the heavyweight pytest benchmark
+in ``benchmarks/test_serving.py``:
+
+* **cohort speedup** — the wall-time ratio between a per-user ``top_k``
+  Python loop and one ``top_k_batch`` call for a fixed cohort, on the MF
+  source embeddings, the PinSage target model, and a NeuralCF scorer.
+  The NeuralCF model is benchmarked at a production-representative
+  embedding width (default 48; the paper trains at 8, but serving cost is
+  dominated by the fusion head and real deployments run wider), trained
+  for only a couple of epochs — scoring cost does not depend on model
+  quality.
+* **traffic replay** — organic Zipf load through the
+  :class:`~repro.serving.service.RecommendationService`, uncached vs
+  cached (with background injections exercising invalidation), reporting
+  throughput and latency percentiles.
+
+The platform model is snapshotted around the replay so the shared
+prepared experiment is returned to its pre-benchmark state.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.recsys.base import Recommender
+from repro.recsys.neural_cf import NeuralCF
+from repro.serving import RecommendationService, ServingConfig, TrafficPattern, TrafficSimulator
+
+__all__ = ["measure_cohort_speedup", "run_serving_benchmark"]
+
+
+def measure_cohort_speedup(
+    model: Recommender,
+    cohort: Sequence[int],
+    k: int = 20,
+    repeats: int = 5,
+) -> dict[str, float]:
+    """Best-of-``repeats`` timing of per-user vs batched top-k for a cohort.
+
+    Also verifies element-wise identity of the two paths — a speedup that
+    changes results would be a correctness bug, not an optimisation.
+    """
+    cohort = [int(u) for u in cohort]
+    batch = model.top_k_batch(cohort, k)
+    per_user = [model.top_k(u, k) for u in cohort]
+    identical = all(np.array_equal(a, b) for a, b in zip(per_user, batch))
+    t_per = min(
+        _timed(lambda: [model.top_k(u, k) for u in cohort]) for _ in range(repeats)
+    )
+    t_batch = min(_timed(lambda: model.top_k_batch(cohort, k)) for _ in range(repeats))
+    return {
+        "per_user_ms": t_per * 1e3,
+        "batch_ms": t_batch * 1e3,
+        "speedup": t_per / t_batch if t_batch > 0 else float("inf"),
+        "identical": float(identical),
+    }
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def run_serving_benchmark(
+    prep,
+    cohort_size: int = 64,
+    k: int = 20,
+    n_requests: int = 200,
+    repeats: int = 5,
+    ncf_factors: int = 48,
+    ncf_epochs: int = 2,
+    seed: int = 0,
+) -> dict:
+    """Full serving benchmark against a prepared experiment.
+
+    Returns a JSON-serialisable dict with per-model cohort speedups and
+    uncached/cached traffic replay reports.
+    """
+    target_model = prep.model
+    cohort = list(range(min(cohort_size, prep.trained.train_dataset.n_users)))
+    source_cohort = list(range(min(cohort_size, prep.cross.source.n_users)))
+
+    ncf = NeuralCF(n_factors=ncf_factors, n_epochs=ncf_epochs, seed=seed).fit(
+        prep.trained.train_dataset.copy()
+    )
+    speedups = {
+        "mf": measure_cohort_speedup(prep.mf, source_cohort, k=k, repeats=repeats),
+        "neural_cf": measure_cohort_speedup(ncf, cohort, k=k, repeats=repeats),
+        "pinsage": measure_cohort_speedup(target_model, cohort, k=k, repeats=repeats),
+    }
+
+    # Traffic replay: uncached vs cached-with-injections, on the target model.
+    pattern = TrafficPattern(n_requests=n_requests, k=k, seed=seed)
+    uncached_service = RecommendationService(target_model)
+    base_snapshot = uncached_service.snapshot()
+    uncached = TrafficSimulator(pattern).run(uncached_service).to_dict()
+
+    cached_service = RecommendationService(
+        target_model, config=ServingConfig(cache_capacity=4096)
+    )
+    cached_pattern = TrafficPattern(
+        n_requests=n_requests, k=k, seed=seed, inject_every=25
+    )
+    cached = TrafficSimulator(cached_pattern).run(cached_service).to_dict()
+    cached_service.restore(base_snapshot)
+
+    return {
+        "cohort_size": len(cohort),
+        "k": k,
+        "n_requests": n_requests,
+        "ncf_factors": ncf_factors,
+        "speedup": speedups,
+        "traffic_uncached": uncached,
+        "traffic_cached": cached,
+    }

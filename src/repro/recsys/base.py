@@ -52,6 +52,19 @@ class Recommender:
         """Scores for ``item_ids`` (or all items) for one user."""
         raise NotImplementedError
 
+    def scores_batch(
+        self, user_ids: Sequence[int] | np.ndarray, item_ids: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Score matrix of shape ``(len(user_ids), n_items_scored)``.
+
+        The default stacks per-user :meth:`scores` calls; concrete models
+        override it with a single vectorised matrix op so cohort queries
+        (the serving layer, promotion evaluation) stop paying a per-user
+        Python loop.  Implementations must return a fresh, writable array —
+        :meth:`top_k_batch` masks seen items in place.
+        """
+        return np.stack([self.scores(int(u), item_ids) for u in user_ids])
+
     def top_k(self, user_id: int, k: int, exclude_seen: bool = True) -> np.ndarray:
         """The user's top-``k`` item ids, best first.
 
@@ -59,14 +72,37 @@ class Recommender:
         is how deployed recommenders behave and what the paper's query
         feedback returns.
         """
-        all_scores = self.scores(user_id).astype(np.float64, copy=True)
+        return self.top_k_batch([user_id], k, exclude_seen=exclude_seen)[0]
+
+    def top_k_batch(
+        self, user_ids: Sequence[int] | np.ndarray, k: int, exclude_seen: bool = True
+    ) -> list[np.ndarray]:
+        """Top-``k`` lists for a cohort of users in one vectorised pass.
+
+        Shares every arithmetic step with :meth:`top_k` (which delegates
+        here with a one-user batch), so cached/batched serving results are
+        element-wise identical to per-user queries.
+        """
+        users = np.asarray(user_ids, dtype=np.int64)
+        if users.size == 0:
+            return []
+        all_scores = self.scores_batch(users)
+        if all_scores.dtype != np.float64:
+            all_scores = all_scores.astype(np.float64)
         if exclude_seen:
-            seen = list(self.dataset.user_profile_set(user_id))
-            if seen:
-                all_scores[np.asarray(seen, dtype=np.int64)] = -np.inf
-        k = min(k, all_scores.size)
-        top = np.argpartition(-all_scores, k - 1)[:k]
-        return top[np.argsort(-all_scores[top], kind="stable")]
+            profiles = [
+                np.asarray(self.dataset.user_profile(int(u)), dtype=np.int64) for u in users
+            ]
+            lengths = np.fromiter((p.size for p in profiles), dtype=np.int64, count=users.size)
+            if int(lengths.sum()):
+                rows_flat = np.repeat(np.arange(users.size), lengths)
+                all_scores[rows_flat, np.concatenate(profiles)] = -np.inf
+        k = min(k, all_scores.shape[1])
+        part = np.argpartition(-all_scores, k - 1, axis=1)[:, :k]
+        rows = np.arange(users.size)[:, None]
+        order = np.argsort(-all_scores[rows, part], axis=1, kind="stable")
+        top = part[rows, order]
+        return list(top)
 
     # -- mutation -----------------------------------------------------------
     def add_user(self, profile: Sequence[int]) -> int:

@@ -37,13 +37,31 @@ class ItemKNN(Recommender):
         self.shrinkage = shrinkage
         self._cooc: np.ndarray | None = None
         self._item_counts: np.ndarray | None = None
+        self._sim: np.ndarray | None = None  # cached full similarity matrix
 
     def fit(self, dataset: InteractionDataset, **kwargs) -> "ItemKNN":
         self._dataset = dataset
         matrix = dataset.to_csr()
         self._cooc = np.asarray((matrix.T @ matrix).todense(), dtype=np.float64)
         self._item_counts = np.asarray(self._cooc.diagonal(), dtype=np.float64).copy()
+        self._sim = None
         return self
+
+    def _similarity_matrix(self) -> np.ndarray:
+        """Full item-item similarity with zeroed self-similarity, cached.
+
+        Invalidated whenever the co-occurrence counts change (injection or
+        restore); the batched scoring path is then a single GEMM per cohort.
+        """
+        if self._cooc is None:
+            raise NotFittedError("ItemKNN.fit has not been called")
+        if self._sim is None:
+            counts = self._item_counts
+            denom = np.sqrt(np.outer(counts, counts)) + self.shrinkage
+            sim = self._cooc / denom
+            np.fill_diagonal(sim, 0.0)
+            self._sim = sim
+        return self._sim
 
     def _similarity_rows(self, item_ids: np.ndarray) -> np.ndarray:
         if self._cooc is None:
@@ -62,12 +80,29 @@ class ItemKNN(Recommender):
             return sims
         return sims[np.asarray(item_ids, dtype=np.int64)]
 
+    def scores_batch(
+        self, user_ids: Sequence[int] | np.ndarray, item_ids: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Cohort scores as ``Y_cohort @ S`` — one GEMM against the cached
+        similarity matrix instead of summing similarity rows per user."""
+        sim = self._similarity_matrix()
+        users = np.asarray(user_ids, dtype=np.int64)
+        indicator = np.zeros((users.size, self.dataset.n_items))
+        for row, user_id in enumerate(users):
+            profile = np.asarray(self.dataset.user_profile(int(user_id)), dtype=np.int64)
+            indicator[row, profile] = 1.0
+        out = indicator @ sim
+        if item_ids is None:
+            return out
+        return out[:, np.asarray(item_ids, dtype=np.int64)]
+
     def add_user(self, profile: Sequence[int]) -> int:
         """Inject a user, updating co-occurrence counts in place."""
         user_id = self.dataset.add_user(profile)
         idx = np.asarray(list(profile), dtype=np.int64)
         self._cooc[np.ix_(idx, idx)] += 1.0
         self._item_counts[idx] += 1.0
+        self._sim = None
         return user_id
 
     def snapshot(self):
@@ -77,3 +112,4 @@ class ItemKNN(Recommender):
         self._dataset = snapshot[0].copy()
         self._cooc = snapshot[1].copy()
         self._item_counts = snapshot[2].copy()
+        self._sim = None

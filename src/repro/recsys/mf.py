@@ -144,6 +144,20 @@ class MatrixFactorization(Recommender):
         )
         return factors @ self.user_factors[user_id]
 
+    def scores_batch(
+        self, user_ids: Sequence[int] | np.ndarray, item_ids: np.ndarray | None = None
+    ) -> np.ndarray:
+        """One GEMM for the whole cohort instead of a per-user matvec loop."""
+        if self.user_factors is None or self.item_factors is None:
+            raise NotFittedError("MatrixFactorization.fit has not been called")
+        factors = (
+            self.item_factors
+            if item_ids is None
+            else self.item_factors[np.asarray(item_ids, dtype=np.int64)]
+        )
+        users = np.asarray(user_ids, dtype=np.int64)
+        return self.user_factors[users] @ factors.T
+
     def embed_profile(self, profile: Sequence[int]) -> np.ndarray:
         """Represent an arbitrary profile as the mean of its item factors.
 

@@ -73,6 +73,10 @@ class NeuralCF(Recommender):
         self._net: _NCFNet | None = None
         self._optimizer: Adam | None = None
         self._pooled: np.ndarray | None = None  # per-user profile pool cache
+        # Fused first-layer tensor for batched scoring (see scores_batch).
+        # It depends only on trained parameters — injections never touch item
+        # weights — so it survives add_user and is invalidated on (re)fit.
+        self._fused_w1: np.ndarray | None = None
 
     # ------------------------------------------------------------------ training
     def fit(self, dataset: InteractionDataset, **kwargs) -> "NeuralCF":
@@ -144,6 +148,7 @@ class NeuralCF(Recommender):
 
     # ------------------------------------------------------------------ inference
     def _refresh_pool(self) -> None:
+        self._fused_w1 = None
         q = self._net.item_emb.weight.data
         self._pooled = np.stack([
             q[np.asarray(profile, dtype=np.int64)].mean(axis=0)
@@ -165,6 +170,49 @@ class NeuralCF(Recommender):
         w2, b2 = self._net.w2.weight.data, self._net.w2.bias.data
         hidden = np.maximum(fused @ w1 + b1, 0.0)
         return (hidden @ w2 + b2).reshape(-1)
+
+    def scores_batch(
+        self, user_ids: Sequence[int] | np.ndarray, item_ids: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Cohort scores through the fusion head in two GEMMs.
+
+        The first layer's three input blocks (GMF product, raw user, raw
+        item) are folded into one constant tensor
+
+            C[f, i, h] = q[i, f] * W1_gmf[f, h] + W1_user[f, h]
+            C[F, i, h] = (q @ W1_item)[i, h] + b1[h]
+
+        so the whole pre-activation for a cohort is a single
+        ``[pooled | 1] @ C`` product.  ``C`` depends only on trained
+        parameters — injections never touch item weights — so it is cached
+        across ``add_user`` calls and rebuilt on (re)fit.
+        """
+        if self._net is None or self._pooled is None:
+            raise NotFittedError("NeuralCF.fit has not been called")
+        users = np.asarray(user_ids, dtype=np.int64)
+        f = self.n_factors
+        if self._fused_w1 is None:
+            q = self._net.item_emb.weight.data
+            w1, b1 = self._net.w1.weight.data, self._net.w1.bias.data
+            w1_gmf, w1_user, w1_item = w1[:f], w1[f : 2 * f], w1[2 * f :]
+            fused = np.empty((f + 1, q.shape[0], w1.shape[1]))
+            fused[:f] = q.T[:, :, None] * w1_gmf[:, None, :] + w1_user[:, None, :]
+            fused[f] = q @ w1_item + b1
+            self._fused_w1 = fused
+        fused = (
+            self._fused_w1
+            if item_ids is None
+            else self._fused_w1[:, np.asarray(item_ids, dtype=np.int64), :]
+        )
+        n_items, hidden_dim = fused.shape[1], fused.shape[2]
+        pooled_aug = np.empty((users.size, f + 1))
+        pooled_aug[:, :f] = self._pooled[users]
+        pooled_aug[:, f] = 1.0
+        hidden = pooled_aug @ fused.reshape(f + 1, n_items * hidden_dim)
+        np.maximum(hidden, 0.0, out=hidden)
+        w2, b2 = self._net.w2.weight.data, self._net.w2.bias.data
+        out = hidden.reshape(users.size * n_items, hidden_dim) @ w2 + b2
+        return out.reshape(users.size, n_items)
 
     def scores_for(self, user_id: int, item_ids: np.ndarray) -> np.ndarray:
         """Alias with the (user, items) signature the metric helpers expect."""
@@ -191,3 +239,6 @@ class NeuralCF(Recommender):
         self._dataset = dataset.copy()
         self._pooled = pooled.copy()
         self._net.load_state_dict(state)
+        # Parameters may have moved (e.g. a refit) since the snapshot was
+        # taken; the fused scoring tensor is parameter-derived state.
+        self._fused_w1 = None

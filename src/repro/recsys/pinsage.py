@@ -354,6 +354,16 @@ class PinSageRecommender(Recommender):
         z = self._Z if item_ids is None else self._Z[np.asarray(item_ids, dtype=np.int64)]
         return (z @ self._H[user_id]) / self.temperature
 
+    def scores_batch(
+        self, user_ids: Sequence[int] | np.ndarray, item_ids: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Cohort scores as one ``H_cohort @ Z^T`` GEMM over the caches."""
+        if self._H is None or self._Z is None:
+            raise NotFittedError("PinSage inference caches missing; call fit/refresh_full")
+        z = self._Z if item_ids is None else self._Z[np.asarray(item_ids, dtype=np.int64)]
+        users = np.asarray(user_ids, dtype=np.int64)
+        return (self._H[users] @ z.T) / self.temperature
+
     def scores_for(self, user_id: int, item_ids: np.ndarray) -> np.ndarray:
         """Alias with the (user, items) signature the metric helpers expect."""
         return self.scores(user_id, item_ids)

@@ -38,6 +38,18 @@ class PopularityRecommender(Recommender):
             return self._counts.copy()
         return self._counts[np.asarray(item_ids, dtype=np.int64)]
 
+    def scores_batch(
+        self, user_ids: Sequence[int] | np.ndarray, item_ids: np.ndarray | None = None
+    ) -> np.ndarray:
+        if self._counts is None:
+            raise NotFittedError("PopularityRecommender.fit has not been called")
+        row = (
+            self._counts
+            if item_ids is None
+            else self._counts[np.asarray(item_ids, dtype=np.int64)]
+        )
+        return np.tile(row, (len(user_ids), 1))
+
     def add_user(self, profile: Sequence[int]) -> int:
         user_id = self.dataset.add_user(profile)
         self._counts[np.asarray(list(profile), dtype=np.int64)] += 1.0

@@ -62,9 +62,17 @@ def evaluate_promotion(
     Pass ``candidate_lists`` (from :func:`promotion_candidates`) to reuse
     the same sampled negatives before and after an attack, which removes
     sampling noise from before/after comparisons.
+
+    Scoring is batched: the whole evaluation cohort is scored with one
+    :meth:`~repro.recsys.base.Recommender.scores_batch` call and the
+    per-user candidate slices are read out of the matrix, instead of
+    paying one model call per user.
     """
     if candidate_lists is None:
         candidate_lists = promotion_candidates(model, target_item, eval_users, n_negatives, seed)
+    cohort = sorted({int(u) for u, _ in candidate_lists})
+    row_of = {u: row for row, u in enumerate(cohort)}
+    score_matrix = model.scores_batch(np.asarray(cohort, dtype=np.int64))
     return evaluate_candidate_lists(
-        lambda u, items: model.scores(u, items), candidate_lists, ks=ks
+        lambda u, items: score_matrix[row_of[int(u)], items], candidate_lists, ks=ks
     )

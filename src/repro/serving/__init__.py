@@ -1,0 +1,36 @@
+"""Production serving subsystem: service, cache, quotas, traffic replay.
+
+Architecture (request order)::
+
+    client -> RateLimiter -> TopKCache -> Recommender.top_k_batch
+                 |                ^
+                 +-- inject() ----+-- optional detector screening
+
+See :mod:`repro.serving.service` for the composition and
+:mod:`repro.serving.traffic` for the organic-load benchmark harness.
+"""
+
+from repro.serving.cache import CacheStats, TopKCache
+from repro.serving.rate_limit import UNLIMITED, QuotaPolicy, RateLimiter
+from repro.serving.service import RecommendationService, ServiceStats, ServingConfig
+from repro.serving.traffic import (
+    TrafficPattern,
+    TrafficReport,
+    TrafficSimulator,
+    latency_percentiles,
+)
+
+__all__ = [
+    "TopKCache",
+    "CacheStats",
+    "QuotaPolicy",
+    "RateLimiter",
+    "UNLIMITED",
+    "RecommendationService",
+    "ServingConfig",
+    "ServiceStats",
+    "TrafficPattern",
+    "TrafficReport",
+    "TrafficSimulator",
+    "latency_percentiles",
+]

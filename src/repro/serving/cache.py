@@ -1,0 +1,143 @@
+"""LRU top-k result cache with injection-versioned invalidation.
+
+A production recommender does not re-rank the catalog on every request:
+top-k lists are cached and refreshed when the underlying model state
+changes.  For the attack setting the interesting state change is an
+*injection* — a new user folded into the system shifts item
+representations, so cached lists go stale the moment a profile lands.
+
+Two freshness policies are supported, selected by ``ttl_injections``:
+
+* **strict** (``ttl_injections=0``) — every injection invalidates the whole
+  cache, so served lists are always element-wise identical to an uncached
+  ``top_k`` call.  This is the default and keeps the black-box boundary
+  semantics of the seed reproduction.
+* **staleness horizon** (``ttl_injections=t > 0``) — an entry may be served
+  until ``t`` further injections have landed.  This models the delayed
+  feedback of real platforms (CDN/result caches refresh on a schedule, not
+  on every write) and gives the attacker a new scenario axis: query
+  feedback that lags their own injections by a bounded number of steps.
+
+Keys are ``(user_id, k, exclude_seen)``; eviction is least-recently-used.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TopKCache", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Counters for cache effectiveness reporting."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+
+class TopKCache:
+    """LRU cache of top-k lists, keyed by ``(user_id, k, exclude_seen)``.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached lists; least-recently-used entries are
+        evicted beyond it.
+    ttl_injections:
+        Staleness horizon measured in injections.  ``0`` means strict
+        invalidation (flush on every injection); ``t > 0`` means an entry
+        may be served until ``t`` injections after it was stored.
+    """
+
+    def __init__(self, capacity: int = 4096, ttl_injections: int = 0) -> None:
+        if capacity <= 0:
+            raise ConfigurationError("cache capacity must be positive")
+        if ttl_injections < 0:
+            raise ConfigurationError("ttl_injections must be non-negative")
+        self.capacity = capacity
+        self.ttl_injections = ttl_injections
+        self.stats = CacheStats()
+        self._version = 0  # bumped once per injection
+        self._entries: OrderedDict[tuple[int, int, bool], tuple[np.ndarray, int]] = OrderedDict()
+
+    @property
+    def version(self) -> int:
+        """Number of injections observed since construction/flush."""
+        return self._version
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, user_id: int, k: int, exclude_seen: bool = True) -> np.ndarray | None:
+        """Cached list for the key, or None on miss/staleness."""
+        key = (int(user_id), int(k), bool(exclude_seen))
+        entry = self._entries.get(key)
+        if entry is not None:
+            items, stored_version = entry
+            if self._version - stored_version <= self.ttl_injections:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return items
+            # Stale under the TTL horizon: drop and treat as a miss.
+            del self._entries[key]
+            self.stats.invalidations += 1
+        self.stats.misses += 1
+        return None
+
+    def store(self, user_id: int, k: int, exclude_seen: bool, items: np.ndarray) -> None:
+        """Insert/update an entry stamped with the current version.
+
+        A private read-only copy is stored: a caller mutating a previously
+        returned list must never silently corrupt later cache hits (hits
+        raise on write attempts instead).
+        """
+        key = (int(user_id), int(k), bool(exclude_seen))
+        items = items.copy()
+        items.setflags(write=False)
+        self._entries[key] = (items, self._version)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def note_injection(self) -> None:
+        """Advance the version; flush everything in strict mode."""
+        self._version += 1
+        if self.ttl_injections == 0 and self._entries:
+            self.stats.invalidations += len(self._entries)
+            self._entries.clear()
+
+    def flush(self) -> None:
+        """Drop every entry (used on snapshot restore)."""
+        if self._entries:
+            self.stats.invalidations += len(self._entries)
+            self._entries.clear()
+
+    def staleness(self, user_id: int, k: int, exclude_seen: bool = True) -> int | None:
+        """Injections elapsed since the entry was stored (None if absent)."""
+        entry = self._entries.get((int(user_id), int(k), bool(exclude_seen)))
+        if entry is None:
+            return None
+        return self._version - entry[1]

@@ -1,0 +1,267 @@
+"""The simulated production platform in front of the recommender.
+
+Every consumer of recommendations — the attacker's black-box facade, the
+promotion evaluator, the organic traffic simulator — goes through
+:class:`RecommendationService` instead of touching the model directly.
+The service composes, in request order:
+
+1. **rate limiting** — per-client quota policies (QPS caps, cohort-size
+   caps, injection throttles) from :mod:`repro.serving.rate_limit`;
+2. **top-k caching** — an LRU cache with strict or staleness-horizon
+   invalidation from :mod:`repro.serving.cache`;
+3. **batched scoring** — cache misses for a request are folded into one
+   :meth:`~repro.recsys.base.Recommender.top_k_batch` call, so a cohort
+   query costs one matrix op instead of a per-user Python loop;
+4. **online detection** — an optional fake-profile detector screens
+   injections at the boundary (flag or block), moving
+   :mod:`repro.defense` from post-hoc analysis into the serving path.
+
+Snapshot/restore preserves black-box episode semantics: restoring rolls
+the model back *and* flushes the cache, so a reset platform never serves
+lists computed against dropped injections.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, InjectionBlockedError, SnapshotError
+from repro.serving.cache import TopKCache
+from repro.serving.rate_limit import UNLIMITED, QuotaPolicy, RateLimiter
+
+if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.recsys
+    from repro.recsys.base import Recommender
+
+__all__ = ["RecommendationService", "ServingConfig", "ServiceStats"]
+
+_DETECTOR_MODES = ("off", "flag", "block")
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Declarative description of one serving posture.
+
+    The default posture is transparent: no cache, no limits, no detector —
+    byte-for-byte the seed reproduction's black-box behaviour.  Experiment
+    configs turn individual axes on to create new attack scenarios.
+    """
+
+    cache_capacity: int = 0  # 0 disables the top-k cache
+    ttl_injections: int = 0  # 0 = strict invalidation, t > 0 = staleness horizon
+    default_policy: QuotaPolicy = UNLIMITED
+    client_policies: tuple[tuple[str, QuotaPolicy], ...] = ()
+    detector_mode: str = "off"  # off | flag | block
+
+    def __post_init__(self) -> None:
+        if self.cache_capacity < 0:
+            raise ConfigurationError("cache_capacity must be non-negative")
+        if self.ttl_injections < 0:
+            raise ConfigurationError("ttl_injections must be non-negative")
+        if self.detector_mode not in _DETECTOR_MODES:
+            raise ConfigurationError(f"detector_mode must be one of {_DETECTOR_MODES}")
+
+
+@dataclass
+class ServiceStats:
+    """Per-request accounting for throughput/latency reporting."""
+
+    n_requests: int = 0
+    n_users_served: int = 0
+    n_users_scored: int = 0  # users that actually hit the model (cache misses)
+    n_injections: int = 0
+    n_flagged_injections: int = 0
+    n_blocked_injections: int = 0
+    wall_times: list[float] = field(default_factory=list)
+    batch_sizes: list[int] = field(default_factory=list)
+
+    def record_request(self, n_users: int, n_scored: int, elapsed: float) -> None:
+        self.n_requests += 1
+        self.n_users_served += n_users
+        self.n_users_scored += n_scored
+        self.wall_times.append(elapsed)
+        self.batch_sizes.append(n_users)
+
+    def summary(self) -> dict[str, float]:
+        """Uniform query-side cost summary (shared with QueryLog reporting)."""
+        times = np.asarray(self.wall_times, dtype=np.float64)
+        sizes = np.asarray(self.batch_sizes, dtype=np.float64)
+        out: dict[str, float] = {
+            "n_requests": float(self.n_requests),
+            "n_users_served": float(self.n_users_served),
+            "n_users_scored": float(self.n_users_scored),
+            "n_injections": float(self.n_injections),
+        }
+        if times.size:
+            out["total_wall_s"] = float(times.sum())
+            out["mean_wall_ms"] = float(times.mean() * 1e3)
+            out["p50_wall_ms"] = float(np.percentile(times, 50) * 1e3)
+            out["p95_wall_ms"] = float(np.percentile(times, 95) * 1e3)
+            out["mean_batch_size"] = float(sizes.mean())
+            out["max_batch_size"] = float(sizes.max())
+        return out
+
+    def reset(self) -> None:
+        self.n_requests = 0
+        self.n_users_served = 0
+        self.n_users_scored = 0
+        self.n_injections = 0
+        self.n_flagged_injections = 0
+        self.n_blocked_injections = 0
+        self.wall_times = []
+        self.batch_sizes = []
+
+
+@dataclass(frozen=True)
+class _ServiceSnapshot:
+    """Model snapshot plus the user count it must restore to."""
+
+    model_snapshot: object
+    n_users: int
+
+
+class RecommendationService:
+    """Cache- and quota-fronted facade over a fitted recommender."""
+
+    def __init__(
+        self,
+        model: Recommender,
+        config: ServingConfig | None = None,
+        detector: object | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+        limiter_clock: Callable[[], float] | None = None,
+    ) -> None:
+        if not model.is_fitted:
+            raise ConfigurationError("RecommendationService requires a fitted model")
+        config = config if config is not None else ServingConfig()
+        if config.detector_mode != "off" and detector is None:
+            raise ConfigurationError(
+                f"detector_mode={config.detector_mode!r} requires a fitted detector"
+            )
+        self._model = model
+        self.config = config
+        self.detector = detector
+        self._clock = clock
+        self.cache = (
+            TopKCache(capacity=config.cache_capacity, ttl_injections=config.ttl_injections)
+            if config.cache_capacity > 0
+            else None
+        )
+        limiter_kwargs = {} if limiter_clock is None else {"clock": limiter_clock}
+        per_client = dict(config.client_policies)
+        # Evaluation-side ground-truth reads are exempt unless a config
+        # explicitly limits them (environment.measure relies on this).
+        per_client.setdefault("evaluator", UNLIMITED)
+        self.limiter = RateLimiter(
+            default_policy=config.default_policy,
+            per_client=per_client,
+            **limiter_kwargs,
+        )
+        self.stats = ServiceStats()
+        self.flagged_injections: list[tuple[int, float]] = []
+
+    # -- public surface -------------------------------------------------------
+    @property
+    def model(self) -> Recommender:
+        """The backing model (platform-side access; attackers use the facade)."""
+        return self._model
+
+    @property
+    def n_items(self) -> int:
+        return self._model.dataset.n_items
+
+    @property
+    def n_users(self) -> int:
+        return self._model.dataset.n_users
+
+    def query(
+        self,
+        user_ids: Sequence[int],
+        k: int,
+        exclude_seen: bool = True,
+        client: str = "default",
+        use_cache: bool = True,
+    ) -> list[np.ndarray]:
+        """Top-``k`` lists for ``user_ids``, batched across cache misses.
+
+        ``use_cache=False`` bypasses the result cache entirely (no lookup,
+        no store) — the evaluation side uses it for ground-truth reads that
+        must not observe or pollute staleness state.
+        """
+        if k <= 0:
+            raise ConfigurationError("k must be positive")
+        start = self._clock()
+        users = [int(u) for u in user_ids]
+        self.limiter.admit_query(client, len(users))
+        if self.cache is None or not use_cache:
+            n_scored = len(users)
+            results = self._model.top_k_batch(users, k, exclude_seen=exclude_seen)
+        else:
+            results = [self.cache.lookup(u, k, exclude_seen) for u in users]
+            missing = sorted({u for u, r in zip(users, results) if r is None})
+            n_scored = len(missing)
+            if missing:
+                fresh = dict(
+                    zip(missing, self._model.top_k_batch(missing, k, exclude_seen=exclude_seen))
+                )
+                for u, items in fresh.items():
+                    self.cache.store(u, k, exclude_seen, items)
+                results = [fresh[u] if r is None else r for u, r in zip(users, results)]
+        self.stats.record_request(len(users), n_scored, self._clock() - start)
+        return list(results)
+
+    def inject(self, profile: Sequence[int], client: str = "default") -> int:
+        """Register a new user profile, subject to throttles and screening."""
+        self.limiter.admit_injection(client)
+        if self.config.detector_mode != "off":
+            score = float(self.detector.score(tuple(int(v) for v in profile)))
+            if score > self.detector.threshold:
+                self.stats.n_flagged_injections += 1
+                if self.config.detector_mode == "block":
+                    self.stats.n_blocked_injections += 1
+                    raise InjectionBlockedError(
+                        f"profile rejected by online detector (score {score:.3f} "
+                        f"> threshold {self.detector.threshold:.3f})"
+                    )
+                self.flagged_injections.append((self._model.dataset.n_users, score))
+        user_id = self._model.add_user(profile)
+        self.stats.n_injections += 1
+        if self.cache is not None:
+            self.cache.note_injection()
+        return user_id
+
+    # -- episode management ---------------------------------------------------
+    def snapshot(self) -> _ServiceSnapshot:
+        """Capture model state together with its user count."""
+        return _ServiceSnapshot(
+            model_snapshot=self._model.snapshot(),
+            n_users=self._model.dataset.n_users,
+        )
+
+    def restore(self, snapshot: _ServiceSnapshot) -> None:
+        """Roll the platform back; the cache is flushed, never served stale.
+
+        Rate-limiter state rolls back too: snapshot/restore is simulation
+        control, and injections undone by an episode reset must not keep
+        consuming a client's injection quota across episodes.
+        """
+        if not isinstance(snapshot, _ServiceSnapshot):
+            raise SnapshotError("restore expects a snapshot from RecommendationService.snapshot")
+        if snapshot.n_users > self._model.dataset.n_users:
+            raise SnapshotError(
+                f"snapshot records {snapshot.n_users} users but the platform only has "
+                f"{self._model.dataset.n_users}; snapshots must be restored onto a "
+                "later-or-equal state"
+            )
+        self._model.restore(snapshot.model_snapshot)
+        if self._model.dataset.n_users != snapshot.n_users:
+            raise SnapshotError(
+                f"model restore produced {self._model.dataset.n_users} users, "
+                f"snapshot recorded {snapshot.n_users}"
+            )
+        if self.cache is not None:
+            self.cache.flush()
+        self.limiter.reset()

@@ -1,0 +1,183 @@
+"""Organic background traffic replay against the recommendation service.
+
+The ROADMAP's north star is a platform serving heavy traffic from many
+users; attacks in the paper land *on top of* that organic load.  This
+module generates a deterministic, Zipf-skewed stream of top-k requests
+(popular users re-query often, which is what makes result caches earn
+their keep), optionally interleaves background injections (organic
+sign-ups that invalidate cache state), and reports the serving-side
+numbers a platform team would watch: throughput, latency percentiles,
+cache hit rate, and model-scoring fan-out.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError, RateLimitExceededError
+from repro.serving.service import RecommendationService
+from repro.utils.rng import make_rng
+
+__all__ = ["TrafficPattern", "TrafficReport", "TrafficSimulator", "latency_percentiles"]
+
+
+def latency_percentiles(wall_times_s: list[float] | np.ndarray) -> dict[str, float]:
+    """p50/p95/p99 latencies in milliseconds from raw per-request seconds."""
+    times = np.asarray(wall_times_s, dtype=np.float64)
+    if times.size == 0:
+        return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+    return {
+        "p50_ms": float(np.percentile(times, 50) * 1e3),
+        "p95_ms": float(np.percentile(times, 95) * 1e3),
+        "p99_ms": float(np.percentile(times, 99) * 1e3),
+    }
+
+
+@dataclass(frozen=True)
+class TrafficPattern:
+    """Shape of one synthetic load run.
+
+    Users are drawn from a Zipf-like ranked distribution
+    (``rank^-zipf_exponent`` over a seeded permutation of the user base),
+    batch sizes uniformly from ``[min_batch, max_batch]``.  Every
+    ``inject_every``-th request is preceded by one organic sign-up with a
+    profile of ``injection_profile_length`` random items.
+    """
+
+    n_requests: int = 200
+    k: int = 20
+    min_batch: int = 1
+    max_batch: int = 8
+    zipf_exponent: float = 1.1
+    inject_every: int = 0  # 0 = query-only load
+    injection_profile_length: int = 8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_requests <= 0 or self.k <= 0:
+            raise ConfigurationError("n_requests and k must be positive")
+        if not 1 <= self.min_batch <= self.max_batch:
+            raise ConfigurationError("need 1 <= min_batch <= max_batch")
+        if self.zipf_exponent < 0:
+            raise ConfigurationError("zipf_exponent must be non-negative")
+        if self.inject_every < 0 or self.injection_profile_length <= 0:
+            raise ConfigurationError("invalid injection settings")
+
+
+@dataclass
+class TrafficReport:
+    """Serving-side outcome of one replay."""
+
+    n_requests: int
+    n_users_served: int
+    n_users_scored: int
+    n_injections: int
+    n_rate_limited: int
+    duration_s: float
+    requests_per_s: float
+    users_per_s: float
+    latency: dict[str, float] = field(default_factory=dict)
+    cache_hit_rate: float | None = None
+    mean_batch_size: float = 0.0
+
+    def to_dict(self) -> dict:
+        out = {
+            "n_requests": self.n_requests,
+            "n_users_served": self.n_users_served,
+            "n_users_scored": self.n_users_scored,
+            "n_injections": self.n_injections,
+            "n_rate_limited": self.n_rate_limited,
+            "duration_s": self.duration_s,
+            "requests_per_s": self.requests_per_s,
+            "users_per_s": self.users_per_s,
+            "mean_batch_size": self.mean_batch_size,
+            **self.latency,
+        }
+        if self.cache_hit_rate is not None:
+            out["cache_hit_rate"] = self.cache_hit_rate
+        return out
+
+
+class TrafficSimulator:
+    """Deterministic request-stream generator for serving benchmarks."""
+
+    def __init__(
+        self,
+        pattern: TrafficPattern | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.pattern = pattern if pattern is not None else TrafficPattern()
+        self._clock = clock
+
+    def _user_distribution(self, n_users: int, rng: np.random.Generator) -> np.ndarray:
+        ranks = np.arange(1, n_users + 1, dtype=np.float64)
+        weights = ranks ** -self.pattern.zipf_exponent
+        weights /= weights.sum()
+        # Which user occupies which popularity rank is itself random.
+        permutation = rng.permutation(n_users)
+        out = np.zeros(n_users)
+        out[permutation] = weights
+        return out
+
+    def run(self, service: RecommendationService, client: str = "organic") -> TrafficReport:
+        """Replay the pattern against ``service`` and collect a report."""
+        pattern = self.pattern
+        rng = make_rng(pattern.seed)
+        n_users = service.n_users
+        weights = self._user_distribution(n_users, rng)
+        wall_times: list[float] = []
+        n_served = 0
+        n_scored_before = service.stats.n_users_scored
+        n_injections = 0
+        n_rate_limited = 0
+        hits_before = service.cache.stats.hits if service.cache is not None else 0
+        lookups_before = service.cache.stats.lookups if service.cache is not None else 0
+
+        start = self._clock()
+        for request_idx in range(pattern.n_requests):
+            if pattern.inject_every and (request_idx + 1) % pattern.inject_every == 0:
+                profile = rng.choice(
+                    service.n_items,
+                    size=min(pattern.injection_profile_length, service.n_items),
+                    replace=False,
+                )
+                try:
+                    service.inject([int(v) for v in profile], client=client)
+                    n_injections += 1
+                except RateLimitExceededError:
+                    n_rate_limited += 1
+            batch = min(int(rng.integers(pattern.min_batch, pattern.max_batch + 1)), n_users)
+            users = rng.choice(n_users, size=batch, replace=False, p=weights)
+            t0 = self._clock()
+            try:
+                service.query(users, pattern.k, client=client)
+            except RateLimitExceededError:
+                n_rate_limited += 1
+                continue
+            wall_times.append(self._clock() - t0)
+            n_served += batch
+        duration = self._clock() - start
+
+        cache_hit_rate: float | None = None
+        if service.cache is not None:
+            lookups = service.cache.stats.lookups - lookups_before
+            hits = service.cache.stats.hits - hits_before
+            cache_hit_rate = hits / lookups if lookups else 0.0
+        n_ok = len(wall_times)
+        return TrafficReport(
+            n_requests=pattern.n_requests,
+            n_users_served=n_served,
+            n_users_scored=service.stats.n_users_scored - n_scored_before,
+            n_injections=n_injections,
+            n_rate_limited=n_rate_limited,
+            duration_s=duration,
+            requests_per_s=n_ok / duration if duration > 0 else 0.0,
+            users_per_s=n_served / duration if duration > 0 else 0.0,
+            latency=latency_percentiles(wall_times),
+            cache_hit_rate=cache_hit_rate,
+            mean_batch_size=n_served / n_ok if n_ok else 0.0,
+        )

@@ -8,6 +8,7 @@ import pytest
 from repro.attack import AttackEnvironment, create_pretend_users
 from repro.errors import BudgetExhaustedError, ConfigurationError
 from repro.recsys import BlackBoxRecommender, PopularityRecommender
+from repro.serving import QuotaPolicy, RecommendationService, ServingConfig
 
 
 @pytest.fixture
@@ -120,4 +121,109 @@ class TestReset:
         before = env.budget.profiles_used
         env.measure()
         assert env.budget.profiles_used == before
+
+    def test_measure_is_budget_free_by_default(self, env_setup):
+        """Regression: out-of-band measurements must not spend query budget."""
+        env, _ = env_setup
+        for _ in range(5):
+            env.measure()
+        assert env.budget.queries_used == 0
+        # The opt-in path models a self-monitoring attacker and is counted.
+        env.measure(count_budget=True)
         assert env.budget.queries_used == 1
+
+    def test_measure_matches_step_feedback(self, env_setup):
+        """The budget-free measurement reads the same ground truth."""
+        env, _ = env_setup
+        outcome = None
+        for _ in range(3):
+            outcome = env.step([7, 0])
+        assert outcome.hit_ratio == env.measure()
+
+
+def _env_with_serving(tiny_dataset, serving_config, **env_kwargs):
+    model = PopularityRecommender().fit(tiny_dataset.copy())
+    service = RecommendationService(model, config=serving_config)
+    bb = BlackBoxRecommender(model, service=service)
+    pretend = create_pretend_users(bb, tiny_dataset.popularity(), n_users=4,
+                                   profile_length=3, seed=5)
+    defaults = dict(budget=9, query_interval=3, reward_k=3, success_threshold=None)
+    defaults.update(env_kwargs)
+    return AttackEnvironment(bb, target_item=7, pretend_user_ids=pretend, **defaults), bb
+
+
+class TestServingScenarios:
+    """The new scenario axes: stale feedback and throttled attackers."""
+
+    def test_stale_cache_delays_attack_feedback(self, tiny_dataset):
+        """With a TTL cache the attacker's reward lags reality; the
+        out-of-band measurement sees the promotion immediately."""
+        env, _ = _env_with_serving(
+            tiny_dataset,
+            ServingConfig(cache_capacity=64, ttl_injections=50),
+            query_interval=1,
+        )
+        # Warm the cache with the pre-attack lists (reward query round 1).
+        first = env.step([7])
+        assert first.hit_ratio is not None
+        stale_hr = first.hit_ratio
+        for _ in range(5):
+            outcome = env.step([7])
+        # Served from cache: still the pre-attack hit ratio ...
+        assert outcome.hit_ratio == stale_hr == 0.0
+        # ... while ground truth already moved (6 injections of a 10-item
+        # catalog's coldest item make it chart-topping for k=3).
+        assert env.measure() == 1.0
+
+    def test_strict_cache_keeps_feedback_fresh(self, tiny_dataset):
+        env, _ = _env_with_serving(
+            tiny_dataset,
+            ServingConfig(cache_capacity=64, ttl_injections=0),
+            query_interval=1,
+        )
+        final = None
+        for _ in range(6):
+            final = env.step([7])
+        assert final.hit_ratio == env.measure() == 1.0
+
+    def test_throttled_query_round_yields_no_feedback(self, tiny_dataset):
+        """A denied query round is recorded, costs nothing, ends nothing."""
+        env, _ = _env_with_serving(
+            tiny_dataset,
+            ServingConfig(
+                client_policies=(
+                    # One query admitted per huge window: pretend-user reward
+                    # queries after the first are throttled.
+                    ("attacker", QuotaPolicy(max_queries_per_window=1,
+                                             window_seconds=1e9)),
+                )
+            ),
+            query_interval=1,
+        )
+        first = env.step([7])
+        assert first.reward is not None
+        queries_after_first = env.budget.queries_used
+        second = env.step([7])
+        assert second.reward is None and not second.done
+        assert env.trace.n_throttled_queries == 1
+        # Regression: a denied query must not spend attacker query budget.
+        assert env.budget.queries_used == queries_after_first
+        # Evaluation-side measurement is exempt from the attacker's quota.
+        assert env.measure() >= 0.0
+
+    def test_injection_quota_surfaces_to_attacker(self, tiny_dataset):
+        from repro.errors import RateLimitExceededError
+
+        env, _ = _env_with_serving(
+            tiny_dataset,
+            ServingConfig(
+                client_policies=(
+                    # Pretend users consume 4 of the 6 injections.
+                    ("attacker", QuotaPolicy(max_total_injections=6)),
+                )
+            ),
+        )
+        env.step([7])
+        env.step([7])
+        with pytest.raises(RateLimitExceededError):
+            env.step([7])

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -28,6 +30,16 @@ class TestParser:
     def test_budget_list_parsing(self):
         args = build_parser().parse_args(["budget", "--budgets", "5", "10"])
         assert args.budgets == [5, 10]
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.requests == 200
+        assert args.cohort == 64
+        assert args.json is None
+
+    def test_stale_config_available(self):
+        args = build_parser().parse_args(["--config", "small_stale", "table1"])
+        assert args.config == "small_stale"
 
 
 class TestExecution:
@@ -57,3 +69,31 @@ class TestExecution:
             "method", "--method", "RandomAttack", "--budget", "3",
         ])
         assert code == 0
+
+    def test_method_reports_query_side_cost(self, capsys):
+        code = main([
+            "--config", "small", "--quiet",
+            "method", "--method", "RandomAttack", "--budget", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "query-side cost" in out
+        assert "mean_batch_size" in out
+
+    def test_serve_runs_and_writes_json(self, capsys, tmp_path):
+        path = tmp_path / "BENCH_serving.json"
+        code = main([
+            "--config", "small", "--quiet",
+            "serve", "--requests", "30", "--cohort", "16", "--repeats", "2",
+            "--json", str(path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Serving" in out and "speedup" in out
+        result = json.loads(path.read_text())
+        assert set(result["speedup"]) == {"mf", "neural_cf", "pinsage"}
+        for stats in result["speedup"].values():
+            assert stats["identical"] == 1.0
+            assert stats["speedup"] > 0
+        assert result["traffic_uncached"]["n_requests"] == 30
+        assert "p95_ms" in result["traffic_cached"]

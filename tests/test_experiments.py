@@ -11,9 +11,11 @@ from repro.experiments import (
     ML10M_FX,
     ML20M_NF,
     SMALL,
+    SMALL_STALE,
     format_metric_rows,
     format_table,
     format_table2,
+    prepare_experiment,
     run_method,
     scaled_copy,
 )
@@ -34,6 +36,15 @@ class TestConfigs:
     def test_alignment_keys_differ(self):
         assert ML10M_FX.synthetic.align_by_year is False  # name-only (paper)
         assert ML20M_NF.synthetic.align_by_year is True  # name + year (paper)
+
+    def test_stale_config_turns_serving_axes_on(self):
+        assert SMALL.serving is None  # transparent platform (seed behaviour)
+        serving = SMALL_STALE.serving
+        assert serving is not None
+        assert serving.cache_capacity > 0
+        assert serving.ttl_injections > 0  # delayed-feedback axis
+        policies = dict(serving.client_policies)
+        assert not policies["attacker"].unlimited  # throttled-attacker axis
 
     def test_negatives_must_fit_catalog(self):
         with pytest.raises(ConfigurationError):
@@ -108,6 +119,34 @@ class TestRunMethod:
         )
         assert len(outcome.episode_histories) == 1
         assert len(outcome.episode_histories[0]) == 2
+
+
+class TestStaleScenarioEndToEnd:
+    """SMALL_STALE runs unmodified attack methods through the cached,
+    throttled RecommendationService."""
+
+    @pytest.fixture(scope="class")
+    def stale_prep(self):
+        config = scaled_copy(
+            SMALL_STALE,
+            n_target_items=1,
+            pinsage_kwargs={"n_factors": 8, "lr": 0.02, "n_epochs": 5, "patience": 5},
+            mf_kwargs={"n_factors": 8, "n_epochs": 5},
+        )
+        return prepare_experiment(config)
+
+    def test_platform_has_serving_posture(self, stale_prep):
+        service = stale_prep.blackbox.service
+        assert service.cache is not None
+        assert service.cache.ttl_injections == SMALL_STALE.serving.ttl_injections
+        assert not service.limiter.policy_for("attacker").unlimited
+
+    def test_attack_method_runs_under_stale_cache(self, stale_prep):
+        outcome = run_method(stale_prep, "RandomAttack", budget=6)
+        assert np.isfinite(outcome.metrics["hr@20"])
+        service = stale_prep.blackbox.service
+        assert service.cache.stats.lookups > 0  # rewards read through the cache
+        assert service.stats.n_injections > 0
 
 
 class TestReporting:

@@ -1,0 +1,158 @@
+"""Batched scoring: top_k_batch must be indistinguishable from per-user top_k."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import InteractionDataset
+from repro.recsys import (
+    ItemKNN,
+    MatrixFactorization,
+    NeuralCF,
+    PinSageRecommender,
+    PopularityRecommender,
+)
+
+
+def _models(dataset):
+    return {
+        "popularity": PopularityRecommender().fit(dataset.copy()),
+        "itemknn": ItemKNN().fit(dataset.copy()),
+        "mf": MatrixFactorization(n_epochs=4, seed=11).fit(dataset.copy()),
+        "neural_cf": NeuralCF(n_factors=8, n_epochs=1, seed=11).fit(dataset.copy()),
+        "pinsage": PinSageRecommender(n_epochs=2, seed=11).fit(dataset.copy()),
+    }
+
+
+@pytest.fixture(scope="module")
+def fitted_models(small_cross_module):
+    return _models(small_cross_module.target)
+
+
+@pytest.fixture(scope="module")
+def small_cross_module():
+    # Module-local twin of the session `small_cross` fixture so module-scoped
+    # model fixtures can depend on it.
+    from repro.data import SyntheticConfig, generate_cross_domain
+
+    config = SyntheticConfig(
+        n_universe_items=120,
+        n_target_items=80,
+        n_source_items=90,
+        n_overlap_items=60,
+        n_target_users=80,
+        n_source_users=150,
+        target_profile_mean=14.0,
+        source_profile_mean=18.0,
+        softmax_temperature=0.55,
+        popularity_weight=0.35,
+        popularity_exponent=0.8,
+        rating_keep_probability_scale=4.0,
+        interest_drift=0.2,
+        name="batch-fixture",
+    )
+    return generate_cross_domain(config, seed=23)
+
+
+class TestTopKBatchEquivalence:
+    @pytest.mark.parametrize(
+        "name", ["popularity", "itemknn", "mf", "neural_cf", "pinsage"]
+    )
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_identical_to_per_user(self, fitted_models, name, k):
+        model = fitted_models[name]
+        cohort = list(range(0, min(64, model.dataset.n_users)))
+        batch = model.top_k_batch(cohort, k)
+        assert len(batch) == len(cohort)
+        for user, served in zip(cohort, batch):
+            np.testing.assert_array_equal(served, model.top_k(user, k))
+
+    @pytest.mark.parametrize("name", ["popularity", "itemknn", "mf", "neural_cf", "pinsage"])
+    def test_identical_without_exclude_seen(self, fitted_models, name):
+        model = fitted_models[name]
+        cohort = [0, 3, 7, 7, 1]  # duplicates allowed
+        batch = model.top_k_batch(cohort, 10, exclude_seen=False)
+        for user, served in zip(cohort, batch):
+            np.testing.assert_array_equal(served, model.top_k(user, 10, exclude_seen=False))
+
+    @pytest.mark.parametrize("name", ["popularity", "itemknn", "mf", "neural_cf", "pinsage"])
+    def test_identical_after_injection_and_restore(self, fitted_models, name):
+        model = fitted_models[name]
+        snap = model.snapshot()
+        model.add_user([0, 2, 5])
+        cohort = list(range(8))
+        for user, served in zip(cohort, model.top_k_batch(cohort, 8)):
+            np.testing.assert_array_equal(served, model.top_k(user, 8))
+        model.restore(snap)
+        for user, served in zip(cohort, model.top_k_batch(cohort, 8)):
+            np.testing.assert_array_equal(served, model.top_k(user, 8))
+
+    def test_ncf_fused_cache_survives_refit_restore(self, tiny_dataset):
+        """Regression: the fused scoring tensor is parameter-derived and must
+        be invalidated when restore() rolls parameters back past a refit."""
+        model = NeuralCF(n_factors=8, n_epochs=2, seed=3).fit(tiny_dataset.copy())
+        snap = model.snapshot()
+        model.scores_batch([0])  # build the cache pre-refit
+        model.refit(2)
+        model.scores_batch([0])  # rebuild against moved parameters
+        model.restore(snap)
+        np.testing.assert_allclose(
+            model.scores_batch([1])[0], model.scores(1), rtol=1e-9, atol=1e-9
+        )
+        for user, served in zip([0, 1], model.top_k_batch([0, 1], 5)):
+            np.testing.assert_array_equal(served, model.top_k(user, 5))
+
+    def test_empty_cohort(self, fitted_models):
+        assert fitted_models["mf"].top_k_batch([], 5) == []
+
+    def test_k_larger_than_catalog_is_clipped(self, fitted_models):
+        model = fitted_models["popularity"]
+        lists = model.top_k_batch([0, 1], 10_000)
+        n_items = model.dataset.n_items
+        for user, served in zip([0, 1], lists):
+            # Clipped to the catalog (seed semantics: masked seen items sort
+            # to the tail rather than being dropped), identical to per-user.
+            assert served.size == n_items
+            np.testing.assert_array_equal(served, model.top_k(user, 10_000))
+
+
+class TestScoresBatch:
+    @pytest.mark.parametrize("name", ["popularity", "itemknn", "mf", "neural_cf", "pinsage"])
+    def test_matches_per_user_scores(self, fitted_models, name):
+        """Batched scores agree with the per-user scoring API numerically."""
+        model = fitted_models[name]
+        cohort = np.array([0, 2, 9])
+        matrix = model.scores_batch(cohort)
+        assert matrix.shape == (3, model.dataset.n_items)
+        for row, user in enumerate(cohort):
+            np.testing.assert_allclose(matrix[row], model.scores(int(user)), rtol=1e-9, atol=1e-9)
+
+    @pytest.mark.parametrize("name", ["popularity", "itemknn", "mf", "neural_cf", "pinsage"])
+    def test_item_subset(self, fitted_models, name):
+        model = fitted_models[name]
+        items = np.array([3, 1, 8, 5])
+        matrix = model.scores_batch([1, 4], item_ids=items)
+        assert matrix.shape == (2, 4)
+        full = model.scores_batch([1, 4])
+        np.testing.assert_allclose(matrix, full[:, items], atol=1e-12)
+
+    def test_default_implementation_stacks_scores(self, tiny_dataset):
+        """Models without an override still get a correct (looped) batch path."""
+        from repro.recsys.base import Recommender
+
+        class Minimal(Recommender):
+            def fit(self, dataset, **kwargs):
+                self._dataset = dataset
+                return self
+
+            def scores(self, user_id, item_ids=None):
+                n = self.dataset.n_items if item_ids is None else len(item_ids)
+                return np.arange(n, dtype=np.float64) + user_id
+
+        model = Minimal().fit(tiny_dataset)
+        matrix = model.scores_batch([0, 2])
+        np.testing.assert_array_equal(matrix[0], model.scores(0))
+        np.testing.assert_array_equal(matrix[1], model.scores(2))
+        lists = model.top_k_batch([0, 1], 3)
+        np.testing.assert_array_equal(lists[0], model.top_k(0, 3))

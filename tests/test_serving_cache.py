@@ -1,0 +1,172 @@
+"""Cache correctness: strict mode is invisible, TTL staleness is bounded."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import InteractionDataset
+from repro.errors import ConfigurationError
+from repro.recsys import ItemKNN, PopularityRecommender
+from repro.serving import RecommendationService, ServingConfig, TopKCache
+
+
+def _tiny():
+    profiles = [[0, 1, 2, 3], [2, 3, 4], [5, 6], [0, 4, 7, 8, 9], [1, 5, 9], [3, 6, 8]]
+    return InteractionDataset(profiles, n_items=10, name="tiny")
+
+
+class TestTopKCacheUnit:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            TopKCache(capacity=0)
+        with pytest.raises(ConfigurationError):
+            TopKCache(ttl_injections=-1)
+
+    def test_lru_eviction_order(self):
+        cache = TopKCache(capacity=2)
+        cache.store(0, 5, True, np.array([1]))
+        cache.store(1, 5, True, np.array([2]))
+        cache.lookup(0, 5, True)  # 0 is now most-recent
+        cache.store(2, 5, True, np.array([3]))  # evicts 1
+        assert cache.lookup(1, 5, True) is None
+        assert cache.lookup(0, 5, True) is not None
+        assert cache.stats.evictions == 1
+
+    def test_strict_mode_flushes_on_injection(self):
+        cache = TopKCache(capacity=8, ttl_injections=0)
+        cache.store(0, 5, True, np.array([1]))
+        cache.note_injection()
+        assert len(cache) == 0
+        assert cache.lookup(0, 5, True) is None
+
+    def test_ttl_mode_serves_until_horizon(self):
+        cache = TopKCache(capacity=8, ttl_injections=2)
+        cache.store(0, 5, True, np.array([1]))
+        cache.note_injection()
+        cache.note_injection()
+        assert cache.staleness(0, 5, True) == 2
+        assert cache.lookup(0, 5, True) is not None  # exactly at horizon
+        cache.note_injection()
+        assert cache.lookup(0, 5, True) is None  # past horizon
+
+    def test_keys_distinguish_k_and_exclude_seen(self):
+        cache = TopKCache(capacity=8)
+        cache.store(0, 5, True, np.array([1]))
+        assert cache.lookup(0, 6, True) is None
+        assert cache.lookup(0, 5, False) is None
+
+
+# Operation scripts: each element is (kind, payload) where queries name a
+# (user, k) pair, injections a profile, and 'restore' rolls back to the
+# snapshot taken at service construction.
+_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("query"),
+            st.tuples(st.integers(0, 5), st.integers(1, 6)),
+        ),
+        st.tuples(
+            st.just("inject"),
+            st.lists(st.integers(0, 9), min_size=1, max_size=4, unique=True),
+        ),
+        st.tuples(st.just("restore"), st.none()),
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+
+class TestStrictCacheIsInvisible:
+    @given(_ops)
+    @settings(max_examples=40, deadline=None)
+    def test_interleaved_query_inject_restore(self, ops):
+        """Strict-mode cached results == uncached top_k, element-wise, always."""
+        model = ItemKNN().fit(_tiny())
+        service = RecommendationService(
+            model, config=ServingConfig(cache_capacity=16, ttl_injections=0)
+        )
+        base = service.snapshot()
+        for kind, payload in ops:
+            if kind == "query":
+                user, k = payload
+                served = service.query([user], k)[0]
+                truth = model.top_k(user, k)
+                np.testing.assert_array_equal(served, truth)
+            elif kind == "inject":
+                service.inject(payload)
+            else:
+                service.restore(base)
+
+    def test_cache_hits_occur(self):
+        """The invisibility above is not vacuous: repeats do hit the cache."""
+        model = PopularityRecommender().fit(_tiny())
+        service = RecommendationService(model, config=ServingConfig(cache_capacity=16))
+        for _ in range(2):
+            for user in range(4):
+                service.query([user], 3)
+        assert service.cache.stats.hits == 4
+        assert service.cache.stats.misses == 4
+
+
+class TestTTLStalenessBound:
+    def test_served_list_is_a_recent_ground_truth(self):
+        """TTL mode may serve stale lists, but never older than the horizon.
+
+        After every operation we record the current uncached ground truth
+        per version; whatever the service serves must equal the ground
+        truth of some version at most ``ttl`` injections old.
+        """
+        ttl = 3
+        model = PopularityRecommender().fit(_tiny())
+        service = RecommendationService(
+            model, config=ServingConfig(cache_capacity=16, ttl_injections=ttl)
+        )
+        user, k = 0, 4
+        truth_by_version = {0: model.top_k(user, k)}
+        rng = np.random.default_rng(3)
+        version = 0
+        for step in range(30):
+            if step % 3 == 2:
+                profile = rng.choice(10, size=3, replace=False)
+                service.inject([int(v) for v in profile])
+                version += 1
+                truth_by_version[version] = model.top_k(user, k)
+            served = service.query([user], k)[0]
+            admissible = [
+                truth_by_version[v]
+                for v in range(max(0, version - ttl), version + 1)
+            ]
+            assert any(np.array_equal(served, t) for t in admissible), (
+                f"step {step}: served list matches no ground truth within "
+                f"{ttl} injections"
+            )
+
+    def test_staleness_actually_happens(self):
+        """With a popularity model, injections change the truth while the
+        TTL cache keeps serving the pre-injection list inside the horizon."""
+        model = PopularityRecommender().fit(_tiny())
+        service = RecommendationService(
+            model, config=ServingConfig(cache_capacity=16, ttl_injections=5)
+        )
+        before = service.query([2], 3)[0]
+        for _ in range(3):
+            service.inject([7, 8])  # pushes items 7/8 up the charts
+        stale = service.query([2], 3)[0]
+        truth = model.top_k(2, 3)
+        np.testing.assert_array_equal(stale, before)
+        assert not np.array_equal(stale, truth)
+
+    def test_restore_flushes_ttl_entries(self):
+        model = PopularityRecommender().fit(_tiny())
+        service = RecommendationService(
+            model, config=ServingConfig(cache_capacity=16, ttl_injections=10)
+        )
+        base = service.snapshot()
+        service.query([0], 4)
+        service.inject([7, 8, 9])
+        service.restore(base)
+        assert len(service.cache) == 0
+        np.testing.assert_array_equal(service.query([0], 4)[0], model.top_k(0, 4))

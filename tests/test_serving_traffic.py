@@ -1,0 +1,88 @@
+"""Traffic simulator: determinism, report contents, limits, invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import InteractionDataset
+from repro.errors import ConfigurationError
+from repro.recsys import PopularityRecommender
+from repro.serving import (
+    QuotaPolicy,
+    RecommendationService,
+    ServingConfig,
+    TrafficPattern,
+    TrafficSimulator,
+    latency_percentiles,
+)
+
+
+def _service(config=None):
+    profiles = [[0, 1, 2], [2, 3, 4], [5, 6], [0, 4, 7, 8], [1, 5, 9], [3, 6, 8]]
+    model = PopularityRecommender().fit(InteractionDataset(profiles, n_items=10))
+    return RecommendationService(model, config=config)
+
+
+class TestPatternValidation:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigurationError):
+            TrafficPattern(n_requests=0)
+        with pytest.raises(ConfigurationError):
+            TrafficPattern(min_batch=3, max_batch=2)
+        with pytest.raises(ConfigurationError):
+            TrafficPattern(zipf_exponent=-1.0)
+
+
+class TestReplay:
+    def test_report_accounts_every_request(self):
+        service = _service()
+        report = TrafficSimulator(TrafficPattern(n_requests=40, k=3, seed=4)).run(service)
+        assert report.n_requests == 40
+        assert report.n_users_served >= 40
+        assert report.n_rate_limited == 0
+        assert report.requests_per_s > 0
+        assert report.latency["p95_ms"] >= report.latency["p50_ms"]
+        assert report.cache_hit_rate is None  # no cache configured
+
+    def test_user_stream_is_deterministic(self):
+        pattern = TrafficPattern(n_requests=30, k=3, seed=9)
+        served_a = TrafficSimulator(pattern).run(_service()).n_users_served
+        served_b = TrafficSimulator(pattern).run(_service()).n_users_served
+        assert served_a == served_b
+
+    def test_cache_earns_hits_under_zipf_load(self):
+        service = _service(ServingConfig(cache_capacity=64))
+        report = TrafficSimulator(
+            TrafficPattern(n_requests=120, k=3, zipf_exponent=1.3, seed=2)
+        ).run(service)
+        assert report.cache_hit_rate > 0.3
+        assert report.n_users_scored < report.n_users_served
+
+    def test_background_injections_invalidate(self):
+        service = _service(ServingConfig(cache_capacity=64))
+        report = TrafficSimulator(
+            TrafficPattern(n_requests=40, k=3, seed=5, inject_every=10)
+        ).run(service)
+        assert report.n_injections == 4
+        assert service.stats.n_injections == 4
+        # strict invalidation: every injection flushed the cache
+        assert service.cache.stats.invalidations > 0
+
+    def test_rate_limited_requests_are_counted_not_raised(self):
+        service = _service(
+            ServingConfig(default_policy=QuotaPolicy(max_total_injections=2))
+        )
+        report = TrafficSimulator(
+            TrafficPattern(n_requests=40, k=3, seed=5, inject_every=10)
+        ).run(service)
+        assert report.n_injections == 2
+        assert report.n_rate_limited == 2
+
+
+class TestLatencyPercentiles:
+    def test_empty_input(self):
+        assert latency_percentiles([]) == {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+
+    def test_converts_to_ms(self):
+        out = latency_percentiles([0.001] * 10)
+        assert out["p50_ms"] == pytest.approx(1.0)
