@@ -5,7 +5,9 @@ Acceptance targets:
 * ``top_k_batch`` on a 64-user cohort is element-wise identical to the
   per-user ``top_k`` loop and >= 5x faster on MF and NeuralCF;
 * the traffic replay reports throughput and latency percentiles, with the
-  cached platform scoring strictly fewer users than it serves.
+  cached platform scoring strictly fewer users than it serves;
+* the sharded deployment's simulated multi-worker throughput on the MF
+  benchmark cohort reaches >= 2x the 1-shard baseline at 4 shards.
 
 Results are appended to ``benchmarks/results/report.txt`` and dumped to
 ``benchmarks/results/BENCH_serving.json`` so the perf trajectory
@@ -23,6 +25,7 @@ from repro.experiments import format_table, run_serving_benchmark
 RESULTS_DIR = Path(__file__).parent / "results"
 COHORT = 64
 SPEEDUP_FLOOR = 5.0
+SHARD_SCALE_FLOOR = 2.0  # simulated throughput at 4 shards vs 1 (MF cohort)
 
 
 def test_serving_batch_and_traffic(prep_ml10m, benchmark, report):
@@ -62,6 +65,23 @@ def test_serving_batch_and_traffic(prep_ml10m, benchmark, report):
             traffic_rows,
             title="Serving — organic traffic replay (PinSage target)",
         )
+        + "\n\n"
+        + format_table(
+            ["deployment", "sim users/s", "scale vs 1", "imbalance"],
+            [
+                [
+                    f"{entry['n_shards']} shard(s)",
+                    entry["simulated_users_per_s"],
+                    entry["scale_vs_1"],
+                    entry["load_balance"]["imbalance"],
+                ]
+                for entry in result["shard_scaling"]["per_shard_count"].values()
+            ],
+            title=(
+                "Sharded serving — MF cohort, "
+                f"workload={result['shard_scaling']['workload']}"
+            ),
+        )
     )
 
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -78,3 +98,7 @@ def test_serving_batch_and_traffic(prep_ml10m, benchmark, report):
     cached = result["traffic_cached"]
     assert cached["n_users_scored"] < cached["n_users_served"]
     assert cached["cache_hit_rate"] > 0.0
+    # Sharding must pay for itself: the simulated multi-worker makespan
+    # at 4 shards clears the acceptance floor on the MF benchmark cohort.
+    four = result["shard_scaling"]["per_shard_count"]["4"]
+    assert four["scale_vs_1"] >= SHARD_SCALE_FLOOR, four

@@ -1,8 +1,9 @@
-"""Serving-layer scenarios: stale feedback and throttled attackers.
+"""Serving-layer scenarios: stale feedback, throttling, sharded contention.
 
-Runs the same naive promotion attack against three platform postures —
-transparent, TTL-cached, and rate-limited — and prints what the attacker
-observes vs the ground truth after each round of injections.
+Runs the same naive promotion attack against four platform postures —
+transparent, TTL-cached, rate-limited, and a sharded deployment under
+bursty organic load — and prints what the attacker observes vs the
+ground truth after each round of injections.
 
 Usage::
 
@@ -15,12 +16,21 @@ from repro.attack import AttackEnvironment, create_pretend_users
 from repro.data import SyntheticConfig, generate_cross_domain
 from repro.errors import RateLimitExceededError
 from repro.recsys import BlackBoxRecommender, PopularityRecommender
-from repro.serving import QuotaPolicy, RecommendationService, ServingConfig
+from repro.serving import (
+    BackgroundTraffic,
+    QuotaPolicy,
+    RecommendationService,
+    ServingConfig,
+    ShardedRecommendationService,
+)
 
 
-def build_platform(dataset, serving_config):
+def build_platform(dataset, serving_config, n_shards=1, background=None):
     model = PopularityRecommender().fit(dataset.copy())
-    service = RecommendationService(model, config=serving_config)
+    if n_shards > 1:
+        service = ShardedRecommendationService(model, n_shards=n_shards, config=serving_config)
+    else:
+        service = RecommendationService(model, config=serving_config)
     blackbox = BlackBoxRecommender(model, service=service)
     pretend = create_pretend_users(
         blackbox, dataset.popularity(), n_users=10, profile_length=6, seed=7
@@ -28,6 +38,7 @@ def build_platform(dataset, serving_config):
     return AttackEnvironment(
         blackbox, target_item=target, pretend_user_ids=pretend,
         budget=24, query_interval=2, reward_k=10, success_threshold=None,
+        background=background,
     )
 
 
@@ -75,4 +86,13 @@ if __name__ == "__main__":
             ),
         ),
         "injection throttle: quota ends the attack early",
+    )
+    run(
+        build_platform(
+            dataset,
+            ServingConfig(cache_capacity=256, ttl_injections=4),
+            n_shards=4,
+            background=BackgroundTraffic(workload="diurnal_bursty", seed=5),
+        ),
+        "4-shard deployment, TTL cache, bursty organic contention",
     )

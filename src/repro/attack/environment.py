@@ -25,7 +25,7 @@ training possible against a stateful system.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -33,6 +33,9 @@ from repro.attack.budget import AttackBudget
 from repro.attack.rewards import HitRatioReward
 from repro.errors import BudgetExhaustedError, ConfigurationError, RateLimitExceededError
 from repro.recsys.blackbox import BlackBoxRecommender
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.traffic import BackgroundTraffic
 
 __all__ = ["AttackEnvironment", "StepOutcome", "EpisodeTrace"]
 
@@ -80,6 +83,7 @@ class AttackEnvironment:
         reward_k: int = 20,
         success_threshold: float | None = 1.0,
         reward_fn: HitRatioReward | None = None,
+        background: "BackgroundTraffic | None" = None,
     ) -> None:
         if not pretend_user_ids:
             raise ConfigurationError("environment requires at least one pretend user")
@@ -98,6 +102,13 @@ class AttackEnvironment:
         # demotion attack; the default is the promotion HR of Eq. (1).
         self.reward_fn = reward_fn if reward_fn is not None else HitRatioReward(k=reward_k)
         self.success_threshold = success_threshold
+        # Optional organic contention: a workload-shaped background stream
+        # (repro.serving.BackgroundTraffic) queried against the same
+        # platform before every attack step, so the attacker competes with
+        # diurnal/bursty organic load for cache freshness.  The attack's
+        # black-box view is unchanged — the background only touches
+        # serving state, never the reward computation.
+        self.background = background
         self._base_snapshot = blackbox.snapshot()
         self.budget = AttackBudget(max_profiles=budget)
         self.trace = EpisodeTrace()
@@ -133,6 +144,8 @@ class AttackEnvironment:
         """
         if self._done:
             raise BudgetExhaustedError("episode is over; call reset()")
+        if self.background is not None:
+            self.background.tick(self.blackbox.service)
         self.budget.spend_profile(len(profile))
         self.blackbox.inject(profile)
         self.trace.injected_profiles.append(tuple(int(v) for v in profile))

@@ -9,7 +9,7 @@ Usage (after ``pip install -e .``)::
     repro-bench budget  --config ml10m_fx          # figures 5/6
     repro-bench quality --config ml20m_nf          # X1 gate
     repro-bench method  --config small --method TargetAttack40
-    repro-bench serve   --config small --json BENCH_serving.json
+    repro-bench serve   --config small --shards 4 --workload diurnal --json BENCH_serving.json
 
 or ``python -m repro.cli <subcommand> ...``.  Every run is deterministic
 given ``--seed``.
@@ -26,6 +26,7 @@ from repro.experiments import (
     METHOD_NAMES,
     ML10M_FX,
     ML20M_NF,
+    SHARDS_BURST,
     SMALL,
     SMALL_STALE,
     format_query_stats,
@@ -40,6 +41,7 @@ from repro.experiments import (
     run_table2,
     scaled_copy,
 )
+from repro.serving import WORKLOADS as _WORKLOAD_NAMES
 from repro.utils import enable_console_logging
 
 __all__ = ["main", "build_parser"]
@@ -49,6 +51,7 @@ _CONFIGS = {
     "ml20m_nf": ML20M_NF,
     "small": SMALL,
     "small_stale": SMALL_STALE,
+    "shards_burst": SHARDS_BURST,
 }
 
 
@@ -93,11 +96,16 @@ def build_parser() -> argparse.ArgumentParser:
     method.add_argument("--budget", type=int, default=None)
     method.add_argument("--episodes", type=int, default=None)
 
-    serve = sub.add_parser("serve", help="serving benchmark (batching, cache, traffic)")
+    serve = sub.add_parser("serve", help="serving benchmark (batching, cache, traffic, shards)")
     serve.add_argument("--requests", type=int, default=200, help="traffic-replay requests")
     serve.add_argument("--cohort", type=int, default=64, help="cohort size for batch speedup")
     serve.add_argument("--k", type=int, default=20)
     serve.add_argument("--repeats", type=int, default=5, help="timing repeats (best-of)")
+    serve.add_argument("--shards", type=int, default=4,
+                       help="largest shard count for the scaling sweep "
+                            "(sweeps the subset of {1, 2, 4, N} up to N)")
+    serve.add_argument("--workload", choices=sorted(_WORKLOAD_NAMES), default="diurnal",
+                       help="workload model shaping the shard-scaling replay")
     serve.add_argument("--json", default=None, metavar="PATH",
                        help="write the full result as JSON (e.g. BENCH_serving.json)")
 
@@ -120,7 +128,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "serve":
         # Fail fast: these would otherwise only be caught after minutes of
         # data generation and model training.
-        for name in ("requests", "cohort", "k", "repeats"):
+        for name in ("requests", "cohort", "k", "repeats", "shards"):
             if getattr(args, name) <= 0:
                 parser.error(f"--{name} must be positive")
         if args.json is not None:
@@ -226,9 +234,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "serve":
+        shard_counts = sorted(c for c in {1, 2, 4, args.shards} if c <= args.shards)
         result = run_serving_benchmark(
             prep, cohort_size=args.cohort, k=args.k,
             n_requests=args.requests, repeats=args.repeats,
+            shard_counts=shard_counts, workload=args.workload,
         )
         rows = [
             [name, r["per_user_ms"], r["batch_ms"], r["speedup"]]
@@ -242,6 +252,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         for label in ("traffic_uncached", "traffic_cached"):
             print(format_query_stats(result[label], title=label))
             print()
+        scaling = result["shard_scaling"]
+        shard_rows = [
+            [f"{entry['n_shards']} shard(s)", entry["simulated_users_per_s"],
+             entry["scale_vs_1"], entry["load_balance"]["imbalance"]]
+            for entry in scaling["per_shard_count"].values()
+        ]
+        print(format_table(
+            ["deployment", "sim users/s", "scale vs 1", "imbalance"], shard_rows,
+            title=f"Shard scaling — MF cohort, workload={scaling['workload']}",
+        ))
+        print()
         if args.json:
             import json
 

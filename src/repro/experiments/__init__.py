@@ -3,6 +3,7 @@
 from repro.experiments.configs import (
     ML10M_FX,
     ML20M_NF,
+    SHARDS_BURST,
     SMALL,
     SMALL_STALE,
     ExperimentConfig,
@@ -16,7 +17,11 @@ from repro.experiments.fig5_budget import (
     run_budget_sweep,
 )
 from repro.experiments.reporting import format_metric_rows, format_query_stats, format_table
-from repro.experiments.serving_bench import measure_cohort_speedup, run_serving_benchmark
+from repro.experiments.serving_bench import (
+    measure_cohort_speedup,
+    run_serving_benchmark,
+    run_shard_scaling,
+)
 from repro.experiments.runner import (
     METHOD_NAMES,
     MethodOutcome,
@@ -36,6 +41,7 @@ __all__ = [
     "ML20M_NF",
     "SMALL",
     "SMALL_STALE",
+    "SHARDS_BURST",
     "scaled_copy",
     "prepare_experiment",
     "run_method",
@@ -56,4 +62,5 @@ __all__ = [
     "format_query_stats",
     "measure_cohort_speedup",
     "run_serving_benchmark",
+    "run_shard_scaling",
 ]

@@ -28,6 +28,7 @@ __all__ = [
     "ML20M_NF",
     "SMALL",
     "SMALL_STALE",
+    "SHARDS_BURST",
     "scaled_copy",
 ]
 
@@ -74,6 +75,17 @@ class ExperimentConfig:
     # no rate limits — the seed behaviour).  Attacks always route through
     # the RecommendationService either way.
     serving: ServingConfig | None = None
+    # Deployment shape: n_shards > 1 fronts the model with a
+    # ShardedRecommendationService (hash or consistent routing, per-shard
+    # caches/limiters, cross-shard invalidation bus).  Parity tests pin
+    # the sharded deployment to single-service semantics, so every attack
+    # scenario runs unchanged against it.
+    n_shards: int = 1
+    shard_routing: str = "hash"  # "hash" | "consistent"
+    # Organic contention: name of a repro.serving.workload model replayed
+    # as background queries between attack steps (None = quiet platform,
+    # the seed behaviour).  See BackgroundTraffic.
+    background_workload: str | None = None
 
     def __post_init__(self) -> None:
         if self.n_negatives >= self.synthetic.n_target_items:
@@ -83,6 +95,10 @@ class ExperimentConfig:
             )
         if self.n_target_items < 1:
             raise ConfigurationError("n_target_items must be at least 1")
+        if self.n_shards < 1:
+            raise ConfigurationError("n_shards must be at least 1")
+        if self.shard_routing not in ("hash", "consistent"):
+            raise ConfigurationError("shard_routing must be 'hash' or 'consistent'")
 
 
 #: MovieLens-10M + Flixster analogue (depth-3 tree, ~2x source users).
@@ -174,6 +190,33 @@ SMALL_STALE = replace(
     serving=ServingConfig(
         cache_capacity=2048,
         ttl_injections=3,
+        client_policies=(
+            ("attacker", QuotaPolicy(max_users_per_query=64, max_total_injections=4096)),
+        ),
+    ),
+)
+
+
+#: SMALL on a sharded deployment under bursty organic load: four worker
+#: shards (consistent-hash routing so resharding would keep caches warm),
+#: per-shard caches with a 2-injection staleness horizon, a throttled
+#: attacker, and a "diurnal_bursty" background workload querying between
+#: attack steps.  The scenario axes this opens: attacker-vs-organic
+#: contention under bursts (organic load re-warms per-shard caches right
+#: after the attacker's injections invalidate them, so which shards hold
+#: fresh entries when a query round lands depends on the burst phase —
+#: note the staleness *clock* itself stays in lockstep across shards via
+#: the invalidation bus, which is what parity requires), and the
+#: shard-count throughput scaling reported by ``repro-bench serve``.
+SHARDS_BURST = replace(
+    SMALL,
+    name="shards_burst",
+    n_shards=4,
+    shard_routing="consistent",
+    background_workload="diurnal_bursty",
+    serving=ServingConfig(
+        cache_capacity=2048,
+        ttl_injections=2,
         client_policies=(
             ("attacker", QuotaPolicy(max_users_per_query=64, max_total_injections=4096)),
         ),

@@ -43,8 +43,14 @@ def format_query_stats(summary: Mapping[str, float], title: str = "") -> str:
 
     Accepts the dict shape produced by both ``QueryLog.summary`` and
     ``ServiceStats.summary`` so every surface reports the same columns.
+    Nested structures (per-batch latency maps, per-shard rows) are
+    skipped — they belong in the JSON dump, not a two-column table.
     """
-    rows = [[key, value] for key, value in summary.items()]
+    rows = [
+        [key, value]
+        for key, value in summary.items()
+        if not isinstance(value, (dict, list, tuple))
+    ]
     return format_table(["stat", "value"], rows, title=title)
 
 

@@ -38,7 +38,7 @@ from repro.recsys.blackbox import BlackBoxRecommender
 from repro.recsys.mf import MatrixFactorization
 from repro.recsys.promotion import evaluate_promotion, promotion_candidates
 from repro.recsys.training import TrainedTarget, train_target_model
-from repro.serving import RecommendationService
+from repro.serving import BackgroundTraffic, RecommendationService, ShardedRecommendationService
 from repro.utils.logging import get_logger
 from repro.utils.rng import make_rng, spawn
 
@@ -119,7 +119,16 @@ def prepare_experiment(
         from repro.defense.detector import ShillingDetector
 
         detector = ShillingDetector().fit(trained.train_dataset)
-    service = RecommendationService(trained.model, config=serving, detector=detector)
+    if config.n_shards > 1:
+        service = ShardedRecommendationService(
+            trained.model,
+            n_shards=config.n_shards,
+            config=serving,
+            detector=detector,
+            routing=config.shard_routing,
+        )
+    else:
+        service = RecommendationService(trained.model, config=serving, detector=detector)
     blackbox = BlackBoxRecommender(trained.model, service=service)
     eval_users = list(range(trained.train_dataset.n_users))
     pretend_ids = create_pretend_users(
@@ -239,6 +248,13 @@ def run_method(
         # Independent but reproducible seeds per (method, item).
         cand_seed = _derive_seed(prep, f"cands-{item}")
         method_seed = _derive_seed(prep, f"{method}-{item}")
+        background = None
+        if cfg.background_workload is not None:
+            # One seeded organic stream per (method, item): contention is
+            # reproducible but independent across runs.
+            background = BackgroundTraffic(
+                workload=cfg.background_workload, seed=method_seed
+            )
         env = AttackEnvironment(
             prep.blackbox,
             item,
@@ -246,6 +262,7 @@ def run_method(
             budget=budget,
             query_interval=cfg.query_interval,
             reward_k=cfg.reward_k,
+            background=background,
         )
         candidates = promotion_candidates(
             prep.model, item, prep.eval_users, cfg.n_negatives, seed=cand_seed

@@ -30,9 +30,15 @@ import numpy as np
 
 from repro.recsys.base import Recommender
 from repro.recsys.neural_cf import NeuralCF
-from repro.serving import RecommendationService, ServingConfig, TrafficPattern, TrafficSimulator
+from repro.serving import (
+    RecommendationService,
+    ServingConfig,
+    ShardedRecommendationService,
+    TrafficPattern,
+    TrafficSimulator,
+)
 
-__all__ = ["measure_cohort_speedup", "run_serving_benchmark"]
+__all__ = ["measure_cohort_speedup", "run_shard_scaling", "run_serving_benchmark"]
 
 
 def measure_cohort_speedup(
@@ -68,6 +74,80 @@ def _timed(fn) -> float:
     return time.perf_counter() - start
 
 
+def run_shard_scaling(
+    model: Recommender,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    k: int = 20,
+    n_requests: int = 120,
+    cohort_size: int = 64,
+    workload: str = "diurnal",
+    seed: int = 0,
+    repeats: int = 3,
+) -> dict:
+    """Throughput scaling of the sharded deployment over ``shard_counts``.
+
+    Each shard count replays the same workload-shaped, fixed-cohort
+    request stream through a :class:`ShardedRecommendationService` and
+    reports the *simulated multi-worker throughput*: shards are
+    independent workers, so the replay's parallel wall time is the
+    busiest shard's accumulated busy time (the coordinator's merge cost
+    is excluded, as it would run on its own node).  ``scale_vs_1`` is the
+    simulated users/s relative to the 1-shard baseline — the
+    ``>= 2x at 4 shards`` acceptance number in ``BENCH_serving.json``.
+
+    Uses whole-cohort requests (``cohort_size`` users each) so per-shard
+    work is scoring-dominated rather than per-request overhead.  A
+    1-shard deployment is always included — it is the ``scale_vs_1``
+    denominator even when ``shard_counts`` omits it.  Each deployment
+    replays ``repeats`` times on a fresh service and keeps the
+    minimal-makespan run (best-of, like the cohort-speedup timing), so
+    one scheduler hiccup on a busy machine cannot skew the ratio.
+    """
+    pattern = TrafficPattern(
+        n_requests=n_requests,
+        k=k,
+        min_batch=cohort_size,
+        max_batch=cohort_size,
+        seed=seed,
+        workload=workload,
+        base_rate=3.0,
+        horizon_ticks=max(1, n_requests // 3),
+    )
+    results: dict[str, dict] = {}
+    baseline_users_per_s = 0.0
+    for n_shards in sorted({1} | {int(c) for c in shard_counts}):
+        report = None
+        service = None
+        for _ in range(max(1, repeats)):
+            trial_service = ShardedRecommendationService(model, n_shards=n_shards)
+            trial = TrafficSimulator(pattern).run(trial_service)
+            if report is None or trial.makespan_s < report.makespan_s:
+                report, service = trial, trial_service
+        entry = {
+            "n_shards": n_shards,
+            "n_requests": report.n_requests,
+            "n_users_served": report.n_users_served,
+            "makespan_s": report.makespan_s,
+            "simulated_users_per_s": report.simulated_users_per_s,
+            "measured_users_per_s": report.users_per_s,
+            "load_balance": service.load_balance(),
+        }
+        if n_shards == 1:
+            baseline_users_per_s = report.simulated_users_per_s
+        entry["scale_vs_1"] = (
+            report.simulated_users_per_s / baseline_users_per_s
+            if baseline_users_per_s > 0
+            else 0.0
+        )
+        results[str(n_shards)] = entry
+    return {
+        "workload": workload,
+        "cohort_size": cohort_size,
+        "k": k,
+        "per_shard_count": results,
+    }
+
+
 def run_serving_benchmark(
     prep,
     cohort_size: int = 64,
@@ -77,6 +157,8 @@ def run_serving_benchmark(
     ncf_factors: int = 48,
     ncf_epochs: int = 2,
     seed: int = 0,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    workload: str = "diurnal",
 ) -> dict:
     """Full serving benchmark against a prepared experiment.
 
@@ -111,6 +193,21 @@ def run_serving_benchmark(
     cached = TrafficSimulator(cached_pattern).run(cached_service).to_dict()
     cached_service.restore(base_snapshot)
 
+    # Shard scaling on the MF benchmark cohort (the source-domain model the
+    # cohort-speedup rows time), replayed under a shaped workload.  The
+    # scaling cohort is floored at 64 users: smaller cohorts leave too few
+    # users per shard for the makespan measurement to be stable.
+    shard_cohort = min(max(64, len(source_cohort)), prep.cross.source.n_users)
+    shard_scaling = run_shard_scaling(
+        prep.mf,
+        shard_counts=shard_counts,
+        k=k,
+        n_requests=n_requests,
+        cohort_size=shard_cohort,
+        workload=workload,
+        seed=seed,
+    )
+
     return {
         "cohort_size": len(cohort),
         "k": k,
@@ -119,4 +216,5 @@ def run_serving_benchmark(
         "speedup": speedups,
         "traffic_uncached": uncached,
         "traffic_cached": cached,
+        "shard_scaling": shard_scaling,
     }

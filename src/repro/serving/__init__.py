@@ -1,4 +1,4 @@
-"""Production serving subsystem: service, cache, quotas, traffic replay.
+"""Production serving subsystem: service, shards, cache, quotas, traffic.
 
 Architecture (request order)::
 
@@ -6,18 +6,46 @@ Architecture (request order)::
                  |                ^
                  +-- inject() ----+-- optional detector screening
 
-See :mod:`repro.serving.service` for the composition and
+and, sharded (``ShardedRecommendationService``)::
+
+    client -> coordinator -> [shard_0 .. shard_{N-1}]   hash / consistent-hash
+                 |              each: RateLimiter + TopKCache
+                 +-- inject() -> InvalidationBus -> every shard
+
+See :mod:`repro.serving.service` for the composition,
+:mod:`repro.serving.sharded` for the multi-worker deployment,
+:mod:`repro.serving.workload` for composable demand models, and
 :mod:`repro.serving.traffic` for the organic-load benchmark harness.
 """
 
 from repro.serving.cache import CacheStats, TopKCache
 from repro.serving.rate_limit import UNLIMITED, QuotaPolicy, RateLimiter
 from repro.serving.service import RecommendationService, ServiceStats, ServingConfig
+from repro.serving.sharded import (
+    ConsistentHashRouter,
+    InvalidationBus,
+    ShardedRecommendationService,
+    ShardRouter,
+)
 from repro.serving.traffic import (
+    BackgroundTraffic,
     TrafficPattern,
     TrafficReport,
     TrafficSimulator,
+    latency_breakdown,
     latency_percentiles,
+)
+from repro.serving.workload import (
+    WORKLOADS,
+    ArrivalSchedule,
+    BurstWorkload,
+    CompositeWorkload,
+    DiurnalWorkload,
+    FlashCrowdWorkload,
+    SteadyWorkload,
+    Workload,
+    make_workload,
+    sample_arrivals,
 )
 
 __all__ = [
@@ -29,8 +57,24 @@ __all__ = [
     "RecommendationService",
     "ServingConfig",
     "ServiceStats",
+    "ShardedRecommendationService",
+    "ShardRouter",
+    "ConsistentHashRouter",
+    "InvalidationBus",
     "TrafficPattern",
     "TrafficReport",
     "TrafficSimulator",
+    "BackgroundTraffic",
     "latency_percentiles",
+    "latency_breakdown",
+    "Workload",
+    "SteadyWorkload",
+    "DiurnalWorkload",
+    "BurstWorkload",
+    "FlashCrowdWorkload",
+    "CompositeWorkload",
+    "ArrivalSchedule",
+    "sample_arrivals",
+    "WORKLOADS",
+    "make_workload",
 ]

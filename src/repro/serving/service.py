@@ -145,11 +145,7 @@ class RecommendationService:
         self.config = config
         self.detector = detector
         self._clock = clock
-        self.cache = (
-            TopKCache(capacity=config.cache_capacity, ttl_injections=config.ttl_injections)
-            if config.cache_capacity > 0
-            else None
-        )
+        self.cache = self._make_cache()
         limiter_kwargs = {} if limiter_clock is None else {"clock": limiter_clock}
         per_client = dict(config.client_policies)
         # Evaluation-side ground-truth reads are exempt unless a config
@@ -162,6 +158,14 @@ class RecommendationService:
         )
         self.stats = ServiceStats()
         self.flagged_injections: list[tuple[int, float]] = []
+
+    def _make_cache(self) -> TopKCache | None:
+        """Coordinator-level cache (the sharded deployment keeps none)."""
+        if self.config.cache_capacity <= 0:
+            return None
+        return TopKCache(
+            capacity=self.config.cache_capacity, ttl_injections=self.config.ttl_injections
+        )
 
     # -- public surface -------------------------------------------------------
     @property
@@ -215,23 +219,46 @@ class RecommendationService:
 
     def inject(self, profile: Sequence[int], client: str = "default") -> int:
         """Register a new user profile, subject to throttles and screening."""
-        self.limiter.admit_injection(client)
-        if self.config.detector_mode != "off":
-            score = float(self.detector.score(tuple(int(v) for v in profile)))
-            if score > self.detector.threshold:
-                self.stats.n_flagged_injections += 1
-                if self.config.detector_mode == "block":
-                    self.stats.n_blocked_injections += 1
-                    raise InjectionBlockedError(
-                        f"profile rejected by online detector (score {score:.3f} "
-                        f"> threshold {self.detector.threshold:.3f})"
-                    )
-                self.flagged_injections.append((self._model.dataset.n_users, score))
+        self._admit_injection(client)
+        self._screen_profile(profile)
         user_id = self._model.add_user(profile)
         self.stats.n_injections += 1
+        self._invalidate_after_injection(user_id)
+        return user_id
+
+    # -- injection pipeline hooks (overridden by the sharded deployment) ------
+    def _admit_injection(self, client: str) -> None:
+        """Route the injection admission to the client's quota state."""
+        self.limiter.admit_injection(client)
+
+    def _screen_profile(self, profile: Sequence[int]) -> None:
+        """Optional online-detector screening at the injection boundary."""
+        if self.config.detector_mode == "off":
+            return
+        score = float(self.detector.score(tuple(int(v) for v in profile)))
+        if score > self.detector.threshold:
+            self.stats.n_flagged_injections += 1
+            if self.config.detector_mode == "block":
+                self.stats.n_blocked_injections += 1
+                raise InjectionBlockedError(
+                    f"profile rejected by online detector (score {score:.3f} "
+                    f"> threshold {self.detector.threshold:.3f})"
+                )
+            self.flagged_injections.append((self._model.dataset.n_users, score))
+
+    def _invalidate_after_injection(self, user_id: int) -> None:
+        """Tell caching state that the model shifted under it."""
         if self.cache is not None:
             self.cache.note_injection()
-        return user_id
+
+    def cache_stats(self):
+        """Aggregate :class:`~repro.serving.cache.CacheStats` view (or None).
+
+        The single service has exactly one cache; the sharded deployment
+        overrides this to sum per-shard counters.  Traffic reporting uses
+        this accessor so both deployments report hit rates uniformly.
+        """
+        return self.cache.stats if self.cache is not None else None
 
     # -- episode management ---------------------------------------------------
     def snapshot(self) -> _ServiceSnapshot:

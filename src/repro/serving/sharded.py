@@ -1,0 +1,380 @@
+"""Sharded multi-worker deployment of the recommendation service.
+
+A production platform at the ROADMAP's target scale does not serve every
+user from one process: the user base is partitioned across worker shards,
+each holding its own result cache and quota state, with a thin
+coordinator that fans batched queries out and merges the results.  This
+module models that deployment while **pinning its externally observable
+behaviour to the single-service semantics** of
+:class:`~repro.serving.service.RecommendationService` (the parity test
+harness in ``tests/test_serving_sharded_parity.py`` enforces element-wise
+identical top-k lists):
+
+* **routing** — users map to shards by stable hash
+  (:class:`ShardRouter`) or over a consistent-hash ring
+  (:class:`ConsistentHashRouter`, which moves only ~1/n of the keys when
+  a shard is added).  A client's quota state lives on one home shard, so
+  per-shard rate limiting is observationally identical to a global
+  limiter.
+* **per-shard caches** — each shard owns an LRU
+  :class:`~repro.serving.cache.TopKCache`.  Because duplicate users in a
+  request always route to the same shard, per-request dedup/batching
+  matches the single service exactly.
+* **invalidation bus** — every injection is published on an
+  :class:`InvalidationBus` that all shards subscribe to, so strict mode
+  never serves a stale list from *any* shard and TTL mode advances every
+  shard's staleness clock in lockstep (identical to the single cache's
+  version counter).
+
+Per-shard busy time is accumulated on every request, which lets traffic
+reports compute the *simulated multi-worker makespan*: shards are
+independent workers, so a replay's parallel wall time is the maximum
+per-shard busy time rather than the sum.  The shard-scaling benchmark
+(``repro-bench serve --shards``) reports throughput on that model.
+"""
+
+from __future__ import annotations
+
+import bisect
+import time
+import zlib
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.serving.cache import CacheStats, TopKCache
+from repro.serving.rate_limit import UNLIMITED, RateLimiter
+from repro.serving.service import RecommendationService, ServiceStats, ServingConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.recsys.base import Recommender
+
+__all__ = [
+    "ShardRouter",
+    "ConsistentHashRouter",
+    "InvalidationBus",
+    "ShardedRecommendationService",
+]
+
+_ROUTINGS = ("hash", "consistent")
+
+
+def _stable_hash(key: str | int) -> int:
+    """Process-stable 32-bit hash (Python's ``hash`` is salted per run)."""
+    data = key.to_bytes(8, "little", signed=True) if isinstance(key, int) else key.encode()
+    return zlib.crc32(data)
+
+
+class ShardRouter:
+    """Stable modulo-hash routing of users and clients to shards."""
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards <= 0:
+            raise ConfigurationError("n_shards must be positive")
+        self.n_shards = n_shards
+
+    def shard_for_user(self, user_id: int) -> int:
+        return _stable_hash(int(user_id)) % self.n_shards
+
+    def shard_for_client(self, client: str) -> int:
+        """Home shard holding the client's rate-limiter state."""
+        return _stable_hash(client) % self.n_shards
+
+
+class ConsistentHashRouter(ShardRouter):
+    """Consistent-hash ring with virtual nodes.
+
+    Keys map to the first ring point clockwise of their hash.  Adding a
+    shard re-routes only the keys that fall into the new shard's arcs
+    (~1/n of the space), where modulo routing would remap almost all of
+    them — the property that makes cache warm-up survive resharding.
+    """
+
+    def __init__(self, n_shards: int, n_replicas: int = 64) -> None:
+        super().__init__(n_shards)
+        if n_replicas <= 0:
+            raise ConfigurationError("n_replicas must be positive")
+        self.n_replicas = n_replicas
+        points = [
+            (_stable_hash(f"shard-{shard}#vnode-{replica}"), shard)
+            for shard in range(n_shards)
+            for replica in range(n_replicas)
+        ]
+        points.sort()
+        self._ring_hashes = [h for h, _ in points]
+        self._ring_shards = [s for _, s in points]
+
+    def _locate(self, hashed: int) -> int:
+        index = bisect.bisect_right(self._ring_hashes, hashed)
+        if index == len(self._ring_hashes):
+            index = 0  # wrap around the ring
+        return self._ring_shards[index]
+
+    def shard_for_user(self, user_id: int) -> int:
+        return self._locate(_stable_hash(int(user_id)))
+
+    def shard_for_client(self, client: str) -> int:
+        return self._locate(_stable_hash(client))
+
+
+class InvalidationBus:
+    """Broadcasts injection events to every subscribed shard.
+
+    The bus is the mechanism that keeps per-shard staleness clocks in
+    lockstep with the single-cache version counter: one published event
+    reaches *every* subscriber exactly once, in subscription order.
+    ``events``/``n_deliveries`` exist so tests can assert the fan-out.
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: list[Callable[[int], None]] = []
+        self.events: list[int] = []  # user ids of published injections
+        self.n_deliveries = 0
+
+    def subscribe(self, callback: Callable[[int], None]) -> None:
+        self._subscribers.append(callback)
+
+    def publish(self, user_id: int) -> None:
+        self.events.append(int(user_id))
+        for callback in self._subscribers:
+            callback(int(user_id))
+            self.n_deliveries += 1
+
+
+class _WorkerShard:
+    """One worker: its cache, its quota state, its serving counters."""
+
+    def __init__(
+        self,
+        index: int,
+        config: ServingConfig,
+        per_client_policies: dict,
+        limiter_kwargs: dict,
+    ) -> None:
+        self.index = index
+        self.cache = (
+            TopKCache(capacity=config.cache_capacity, ttl_injections=config.ttl_injections)
+            if config.cache_capacity > 0
+            else None
+        )
+        self.limiter = RateLimiter(
+            default_policy=config.default_policy,
+            per_client=per_client_policies,
+            **limiter_kwargs,
+        )
+        self.stats = ServiceStats()
+
+    @property
+    def busy_s(self) -> float:
+        """Total scoring/cache time this worker spent (simulated makespan input)."""
+        return float(sum(self.stats.wall_times))
+
+    def counters(self) -> dict[str, float]:
+        """Monotonic counters; traffic replays diff these for per-run rows."""
+        out = {
+            "n_requests": float(self.stats.n_requests),
+            "n_users_served": float(self.stats.n_users_served),
+            "n_users_scored": float(self.stats.n_users_scored),
+            "busy_s": self.busy_s,
+        }
+        if self.cache is not None:
+            out["cache_hits"] = float(self.cache.stats.hits)
+            out["cache_misses"] = float(self.cache.stats.misses)
+        return out
+
+    def summary(self) -> dict[str, float]:
+        out = {"shard": float(self.index), **self.counters()}
+        if self.cache is not None:
+            out["cache_entries"] = float(len(self.cache))
+        return out
+
+
+class ShardedRecommendationService(RecommendationService):
+    """Coordinator + N worker shards with single-service semantics.
+
+    Parameters
+    ----------
+    model:
+        The fitted recommender every shard scores against (one model
+        replica in this simulation; shards own *serving* state).
+    n_shards:
+        Number of worker shards (1 is legal and useful as the scaling
+        baseline).
+    config:
+        The :class:`ServingConfig` posture, applied per shard: each shard
+        gets its own cache of ``cache_capacity`` entries and its own
+        limiter with the same policies.  Because a client's admissions all
+        land on its home shard and a user's cache keys all land on its
+        owning shard, behaviour matches one global cache/limiter
+        (eviction order under capacity pressure is the one documented
+        divergence — per-shard LRU is local).
+    routing:
+        ``"hash"`` (stable modulo hash) or ``"consistent"`` (ring with
+        virtual nodes).
+    """
+
+    def __init__(
+        self,
+        model: Recommender,
+        n_shards: int = 2,
+        config: ServingConfig | None = None,
+        detector: object | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+        limiter_clock: Callable[[], float] | None = None,
+        routing: str | ShardRouter = "hash",
+    ) -> None:
+        super().__init__(
+            model, config=config, detector=detector, clock=clock, limiter_clock=limiter_clock
+        )
+        # Note: the coordinator's own cache is disabled via _make_cache
+        # (shards hold the caches); self.limiter stays as the policy
+        # registry (policy_for), but admission always routes to the
+        # client's home-shard limiter.
+        if isinstance(routing, ShardRouter):
+            if routing.n_shards != n_shards:
+                raise ConfigurationError(
+                    f"router is sized for {routing.n_shards} shards, service has {n_shards}"
+                )
+            self.router = routing
+        elif routing == "hash":
+            self.router = ShardRouter(n_shards)
+        elif routing == "consistent":
+            self.router = ConsistentHashRouter(n_shards)
+        else:
+            raise ConfigurationError(f"routing must be one of {_ROUTINGS} or a ShardRouter")
+        self.n_shards = n_shards
+        limiter_kwargs = {} if limiter_clock is None else {"clock": limiter_clock}
+        per_client = dict(self.config.client_policies)
+        per_client.setdefault("evaluator", UNLIMITED)
+        self.bus = InvalidationBus()
+        self.shards = [
+            _WorkerShard(i, self.config, per_client, limiter_kwargs) for i in range(n_shards)
+        ]
+        for shard in self.shards:
+            if shard.cache is not None:
+                self.bus.subscribe(lambda _uid, cache=shard.cache: cache.note_injection())
+
+    def _make_cache(self):
+        return None  # per-shard caches only; see _WorkerShard
+
+    # -- routing helpers ------------------------------------------------------
+    def _limiter_for_client(self, client: str) -> RateLimiter:
+        return self.shards[self.router.shard_for_client(client)].limiter
+
+    def shard_of(self, user_id: int) -> int:
+        """Which worker owns this user's cache keys (test/report helper)."""
+        return self.router.shard_for_user(user_id)
+
+    # -- query path -----------------------------------------------------------
+    def query(
+        self,
+        user_ids: Sequence[int],
+        k: int,
+        exclude_seen: bool = True,
+        client: str = "default",
+        use_cache: bool = True,
+    ) -> list[np.ndarray]:
+        """Fan one batched request out to the owning shards and merge.
+
+        Admission happens once, on the client's home shard, exactly as a
+        global limiter would count it.  Each shard then resolves its slice
+        of the request against its own cache and folds the misses into
+        one ``top_k_batch`` call; merged results come back in request
+        order.  Identical inputs produce element-wise identical lists to
+        the single service (``top_k_batch`` is per-user independent).
+        """
+        if k <= 0:
+            raise ConfigurationError("k must be positive")
+        start = self._clock()
+        users = [int(u) for u in user_ids]
+        self._limiter_for_client(client).admit_query(client, len(users))
+        results: list[np.ndarray | None] = [None] * len(users)
+        by_shard: dict[int, list[int]] = {}
+        for position, user in enumerate(users):
+            by_shard.setdefault(self.router.shard_for_user(user), []).append(position)
+        n_scored_total = 0
+        for shard_index, positions in by_shard.items():
+            shard = self.shards[shard_index]
+            shard_users = [users[p] for p in positions]
+            t0 = self._clock()
+            if shard.cache is None or not use_cache:
+                n_scored = len(shard_users)
+                shard_results = self._model.top_k_batch(shard_users, k, exclude_seen=exclude_seen)
+            else:
+                shard_results = [shard.cache.lookup(u, k, exclude_seen) for u in shard_users]
+                missing = sorted({u for u, r in zip(shard_users, shard_results) if r is None})
+                n_scored = len(missing)
+                if missing:
+                    fresh = dict(
+                        zip(
+                            missing,
+                            self._model.top_k_batch(missing, k, exclude_seen=exclude_seen),
+                        )
+                    )
+                    for u, items in fresh.items():
+                        shard.cache.store(u, k, exclude_seen, items)
+                    shard_results = [
+                        fresh[u] if r is None else r for u, r in zip(shard_users, shard_results)
+                    ]
+            shard.stats.record_request(len(shard_users), n_scored, self._clock() - t0)
+            n_scored_total += n_scored
+            for position, items in zip(positions, shard_results):
+                results[position] = items
+        self.stats.record_request(len(users), n_scored_total, self._clock() - start)
+        return list(results)
+
+    # -- injection pipeline hooks --------------------------------------------
+    def _admit_injection(self, client: str) -> None:
+        self._limiter_for_client(client).admit_injection(client)
+
+    def _invalidate_after_injection(self, user_id: int) -> None:
+        self.bus.publish(user_id)
+
+    # -- episode management ---------------------------------------------------
+    def restore(self, snapshot) -> None:
+        """Roll back the model, then flush every shard's serving state."""
+        super().restore(snapshot)
+        for shard in self.shards:
+            if shard.cache is not None:
+                shard.cache.flush()
+            shard.limiter.reset()
+
+    # -- reporting -------------------------------------------------------------
+    def cache_stats(self) -> CacheStats | None:
+        """Summed per-shard cache counters (None when caching is off)."""
+        if self.config.cache_capacity <= 0:
+            return None
+        total = CacheStats()
+        for shard in self.shards:
+            total.hits += shard.cache.stats.hits
+            total.misses += shard.cache.stats.misses
+            total.evictions += shard.cache.stats.evictions
+            total.invalidations += shard.cache.stats.invalidations
+        return total
+
+    def shard_summaries(self) -> list[dict[str, float]]:
+        return [shard.summary() for shard in self.shards]
+
+    def makespan_s(self) -> float:
+        """Simulated parallel wall time: the busiest worker's total busy time."""
+        return max((shard.busy_s for shard in self.shards), default=0.0)
+
+    def total_busy_s(self) -> float:
+        return float(sum(shard.busy_s for shard in self.shards))
+
+    def simulated_speedup(self) -> float:
+        """Parallel speedup of the replay: total busy time / makespan."""
+        makespan = self.makespan_s()
+        return self.total_busy_s() / makespan if makespan > 0 else 1.0
+
+    def load_balance(self) -> dict[str, float]:
+        """How evenly routing spread the served users across workers."""
+        served = np.array([shard.stats.n_users_served for shard in self.shards], dtype=np.float64)
+        mean = float(served.mean()) if served.size else 0.0
+        return {
+            "n_shards": float(self.n_shards),
+            "mean_users_per_shard": mean,
+            "max_users_per_shard": float(served.max()) if served.size else 0.0,
+            "imbalance": float(served.max() / mean) if mean > 0 else 1.0,
+        }

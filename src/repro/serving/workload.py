@@ -1,0 +1,291 @@
+"""Composable organic-workload models: diurnal load, bursts, flash crowds.
+
+The seed traffic layer replays a fixed number of Zipf-skewed requests at
+maximum speed.  Real platforms see *time-varying* demand — daily
+sinusoidal cycles, Poisson-arriving load bursts, and flash crowds around
+events — and both cache effectiveness and rate-limiter pressure depend on
+that shape.  This module models demand as an arrival-rate **multiplier
+profile** over a grid of logical ticks:
+
+* :class:`SteadyWorkload` — constant multiplier (the seed behaviour);
+* :class:`DiurnalWorkload` — ``1 + amplitude * sin(...)`` daily cycle;
+* :class:`BurstWorkload` — bursts arrive as a Bernoulli/Poisson process,
+  each multiplying the rate by ``amplitude`` for ``duration`` ticks
+  (overlapping bursts saturate at ``amplitude`` — they never stack);
+* :class:`FlashCrowdWorkload` — one deterministic spike at a known time;
+* :class:`CompositeWorkload` — the product of component profiles
+  (``diurnal * bursts`` is rush-hour load with bursts riding on top).
+
+:func:`sample_arrivals` turns a profile into per-tick request counts by
+drawing ``Poisson(base_rate * multiplier[t])`` per tick from a seeded
+generator, so every schedule is deterministic under a fixed seed.  Named
+presets in :data:`WORKLOADS` back the ``--workload`` CLI axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "Workload",
+    "SteadyWorkload",
+    "DiurnalWorkload",
+    "BurstWorkload",
+    "FlashCrowdWorkload",
+    "CompositeWorkload",
+    "ArrivalSchedule",
+    "sample_arrivals",
+    "WORKLOADS",
+    "make_workload",
+]
+
+
+class Workload:
+    """Arrival-rate multiplier over a grid of logical ticks.
+
+    Subclasses implement :meth:`profile`, returning one non-negative
+    multiplier per tick, and :attr:`peak_multiplier`, a hard upper bound
+    on every value the profile can take (property tests pin this).
+    Workloads compose multiplicatively: ``diurnal * bursts``.
+    """
+
+    @property
+    def peak_multiplier(self) -> float:
+        """Upper bound on the multiplier at any tick."""
+        raise NotImplementedError
+
+    def profile(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
+        """Multipliers for ``horizon`` ticks (stochastic shapes draw from ``rng``)."""
+        raise NotImplementedError
+
+    def __mul__(self, other: "Workload") -> "CompositeWorkload":
+        if not isinstance(other, Workload):
+            return NotImplemented
+        return CompositeWorkload((self, other))
+
+
+@dataclass(frozen=True)
+class SteadyWorkload(Workload):
+    """Constant demand — the seed traffic layer's implicit model."""
+
+    level: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.level <= 0:
+            raise ConfigurationError("steady workload level must be positive")
+
+    @property
+    def peak_multiplier(self) -> float:
+        return self.level
+
+    def profile(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
+        return np.full(_check_horizon(horizon), self.level, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class DiurnalWorkload(Workload):
+    """Sinusoidal daily cycle: ``1 + amplitude * sin(2π (t + phase) / period)``.
+
+    ``amplitude`` must stay below 1 so the rate never goes negative; the
+    mean multiplier over whole periods is exactly 1, so the configured
+    base rate is also the long-run mean rate.
+    """
+
+    period: int = 48
+    amplitude: float = 0.5
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 1:
+            raise ConfigurationError("diurnal period must be at least 2 ticks")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ConfigurationError("diurnal amplitude must be in [0, 1)")
+
+    @property
+    def peak_multiplier(self) -> float:
+        return 1.0 + self.amplitude
+
+    def profile(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
+        t = np.arange(_check_horizon(horizon), dtype=np.float64)
+        return 1.0 + self.amplitude * np.sin(2.0 * np.pi * (t + self.phase) / self.period)
+
+
+@dataclass(frozen=True)
+class BurstWorkload(Workload):
+    """Poisson-arriving load bursts riding on a unit baseline.
+
+    Each tick starts a burst with probability ``burst_rate`` (a Bernoulli
+    thinning of a Poisson process); a burst multiplies the rate by
+    ``amplitude`` for ``duration`` ticks.  Overlapping bursts saturate at
+    ``amplitude`` — a burst window never exceeds the configured amplitude.
+    """
+
+    burst_rate: float = 0.05
+    duration: int = 5
+    amplitude: float = 3.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.burst_rate <= 1.0:
+            raise ConfigurationError("burst_rate must be in [0, 1]")
+        if self.duration <= 0:
+            raise ConfigurationError("burst duration must be positive")
+        if self.amplitude < 1.0:
+            raise ConfigurationError("burst amplitude must be at least 1")
+
+    @property
+    def peak_multiplier(self) -> float:
+        return self.amplitude
+
+    def profile(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
+        horizon = _check_horizon(horizon)
+        out = np.ones(horizon, dtype=np.float64)
+        starts = np.flatnonzero(rng.random(horizon) < self.burst_rate)
+        for start in starts:
+            out[start : start + self.duration] = self.amplitude
+        return out
+
+
+@dataclass(frozen=True)
+class FlashCrowdWorkload(Workload):
+    """One deterministic spike — an event-driven flash crowd.
+
+    The spike begins at ``at_fraction`` of the horizon and lasts
+    ``duration`` ticks at ``amplitude`` times the baseline.
+    """
+
+    at_fraction: float = 0.5
+    duration: int = 6
+    amplitude: float = 8.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.at_fraction < 1.0:
+            raise ConfigurationError("at_fraction must be in [0, 1)")
+        if self.duration <= 0:
+            raise ConfigurationError("flash-crowd duration must be positive")
+        if self.amplitude < 1.0:
+            raise ConfigurationError("flash-crowd amplitude must be at least 1")
+
+    @property
+    def peak_multiplier(self) -> float:
+        return self.amplitude
+
+    def profile(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
+        horizon = _check_horizon(horizon)
+        out = np.ones(horizon, dtype=np.float64)
+        start = int(self.at_fraction * horizon)
+        out[start : start + self.duration] = self.amplitude
+        return out
+
+
+@dataclass(frozen=True)
+class CompositeWorkload(Workload):
+    """Product of component profiles (diurnal cycle with bursts on top)."""
+
+    components: tuple[Workload, ...]
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ConfigurationError("composite workload needs at least one component")
+
+    @property
+    def peak_multiplier(self) -> float:
+        peak = 1.0
+        for component in self.components:
+            peak *= component.peak_multiplier
+        return peak
+
+    def profile(self, horizon: int, rng: np.random.Generator) -> np.ndarray:
+        out = np.ones(_check_horizon(horizon), dtype=np.float64)
+        for component in self.components:
+            out *= component.profile(horizon, rng)
+        return out
+
+    def __mul__(self, other: Workload) -> "CompositeWorkload":
+        if not isinstance(other, Workload):
+            return NotImplemented
+        return CompositeWorkload(self.components + (other,))
+
+
+@dataclass(frozen=True)
+class ArrivalSchedule:
+    """Per-tick request counts sampled from a workload profile."""
+
+    counts: np.ndarray  # int64, one entry per tick
+    multipliers: np.ndarray  # the profile the counts were drawn from
+    base_rate: float
+
+    @property
+    def horizon(self) -> int:
+        return int(self.counts.size)
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    @property
+    def peak(self) -> int:
+        return int(self.counts.max()) if self.counts.size else 0
+
+    def summary(self) -> dict[str, float]:
+        mean = float(self.counts.mean()) if self.counts.size else 0.0
+        return {
+            "ticks": float(self.horizon),
+            "total_arrivals": float(self.total),
+            "mean_arrivals_per_tick": mean,
+            "peak_arrivals_per_tick": float(self.peak),
+            "peak_to_mean": float(self.peak / mean) if mean > 0 else 0.0,
+        }
+
+
+def sample_arrivals(
+    workload: Workload,
+    base_rate: float,
+    horizon: int,
+    seed: int | np.random.Generator | None = 0,
+) -> ArrivalSchedule:
+    """Draw ``Poisson(base_rate * multiplier[t])`` arrivals per tick.
+
+    Deterministic under a fixed seed: the same ``(workload, base_rate,
+    horizon, seed)`` always yields the same schedule.  Stochastic profile
+    shapes (burst placement) draw from the same generator before the
+    Poisson thinning, so they are pinned by the seed too.
+    """
+    if base_rate <= 0:
+        raise ConfigurationError("base_rate must be positive")
+    rng = make_rng(seed)
+    multipliers = workload.profile(_check_horizon(horizon), rng)
+    counts = rng.poisson(base_rate * multipliers).astype(np.int64)
+    return ArrivalSchedule(counts=counts, multipliers=multipliers, base_rate=float(base_rate))
+
+
+def _check_horizon(horizon: int) -> int:
+    if horizon <= 0:
+        raise ConfigurationError("workload horizon must be positive")
+    return int(horizon)
+
+
+#: Named presets backing the ``--workload`` CLI/config axis.
+WORKLOADS: dict[str, Workload] = {
+    "steady": SteadyWorkload(),
+    "diurnal": DiurnalWorkload(),
+    "bursty": BurstWorkload(),
+    "flash": FlashCrowdWorkload(),
+    "diurnal_bursty": DiurnalWorkload() * BurstWorkload(),
+}
+
+
+def make_workload(name_or_model: str | Workload) -> Workload:
+    """Resolve a preset name (or pass a model through)."""
+    if isinstance(name_or_model, Workload):
+        return name_or_model
+    try:
+        return WORKLOADS[name_or_model]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload {name_or_model!r}; options: {sorted(WORKLOADS)}"
+        ) from None

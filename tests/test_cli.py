@@ -36,10 +36,27 @@ class TestParser:
         assert args.requests == 200
         assert args.cohort == 64
         assert args.json is None
+        assert args.shards == 4
+        assert args.workload == "diurnal"
+
+    def test_serve_shards_and_workload_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--shards", "8", "--workload", "diurnal_bursty"]
+        )
+        assert args.shards == 8
+        assert args.workload == "diurnal_bursty"
+
+    def test_serve_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--workload", "weekly"])
 
     def test_stale_config_available(self):
         args = build_parser().parse_args(["--config", "small_stale", "table1"])
         assert args.config == "small_stale"
+
+    def test_shards_burst_config_available(self):
+        args = build_parser().parse_args(["--config", "shards_burst", "table1"])
+        assert args.config == "shards_burst"
 
 
 class TestExecution:
@@ -97,3 +114,8 @@ class TestExecution:
             assert stats["speedup"] > 0
         assert result["traffic_uncached"]["n_requests"] == 30
         assert "p95_ms" in result["traffic_cached"]
+        assert "latency_by_batch" in result["traffic_cached"]
+        scaling = result["shard_scaling"]["per_shard_count"]
+        assert set(scaling) == {"1", "2", "4"}
+        assert scaling["1"]["scale_vs_1"] == 1.0
+        assert all(entry["simulated_users_per_s"] > 0 for entry in scaling.values())

@@ -10,6 +10,7 @@ from repro.experiments import (
     METHOD_NAMES,
     ML10M_FX,
     ML20M_NF,
+    SHARDS_BURST,
     SMALL,
     SMALL_STALE,
     format_metric_rows,
@@ -20,6 +21,7 @@ from repro.experiments import (
     scaled_copy,
 )
 from repro.experiments.configs import ExperimentConfig
+from repro.serving import ShardedRecommendationService
 
 
 class TestConfigs:
@@ -58,6 +60,19 @@ class TestConfigs:
         copy = scaled_copy(SMALL, budget=5)
         assert copy.budget == 5
         assert copy.name == SMALL.name
+
+    def test_shards_burst_config_turns_deployment_axes_on(self):
+        assert SMALL.n_shards == 1 and SMALL.background_workload is None
+        assert SHARDS_BURST.n_shards == 4
+        assert SHARDS_BURST.shard_routing == "consistent"
+        assert SHARDS_BURST.background_workload == "diurnal_bursty"
+        assert SHARDS_BURST.serving.ttl_injections > 0
+
+    def test_deployment_fields_validate(self):
+        with pytest.raises(ConfigurationError):
+            scaled_copy(SMALL, n_shards=0)
+        with pytest.raises(ConfigurationError):
+            scaled_copy(SMALL, shard_routing="ring")
 
 
 class TestPreparedExperiment:
@@ -147,6 +162,42 @@ class TestStaleScenarioEndToEnd:
         service = stale_prep.blackbox.service
         assert service.cache.stats.lookups > 0  # rewards read through the cache
         assert service.stats.n_injections > 0
+
+
+class TestShardedScenarioEndToEnd:
+    """SHARDS_BURST runs unmodified attack methods against a 4-shard
+    deployment with organic background contention."""
+
+    @pytest.fixture(scope="class")
+    def sharded_prep(self):
+        config = scaled_copy(
+            SHARDS_BURST,
+            n_target_items=1,
+            pinsage_kwargs={"n_factors": 8, "lr": 0.02, "n_epochs": 5, "patience": 5},
+            mf_kwargs={"n_factors": 8, "n_epochs": 5},
+        )
+        return prepare_experiment(config)
+
+    def test_platform_is_sharded(self, sharded_prep):
+        service = sharded_prep.blackbox.service
+        assert isinstance(service, ShardedRecommendationService)
+        assert service.n_shards == 4
+        assert service.cache is None  # shards own the caches
+        assert all(shard.cache is not None for shard in service.shards)
+
+    def test_attack_method_runs_with_background_contention(self, sharded_prep):
+        outcome = run_method(sharded_prep, "RandomAttack", budget=6)
+        assert np.isfinite(outcome.metrics["hr@20"])
+        service = sharded_prep.blackbox.service
+        # Injections were broadcast on the bus to all four shards.
+        assert service.stats.n_injections > 0
+        assert service.bus.n_deliveries >= 4
+        cache_stats = service.cache_stats()
+        assert cache_stats is not None and cache_stats.lookups > 0
+        # Background organic traffic actually contended for the platform.
+        assert any(
+            shard.stats.n_requests > 0 for shard in service.shards
+        )
 
 
 class TestReporting:

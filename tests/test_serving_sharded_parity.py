@@ -1,0 +1,169 @@
+"""Parity harness: sharded serving is element-wise identical to single.
+
+The sharded deployment restructures the hottest path in the repo, so its
+headline guarantee is behavioural: for every recommender and every shard
+count, a seeded interleaving of queries, injections, and invalidations
+produces *exactly* the top-k lists the single
+``RecommendationService`` serves — same items, same order, same scoring
+fan-out.  The black-box attack semantics (what the paper's attacker can
+observe) are therefore independent of the deployment shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import InteractionDataset
+from repro.recsys import (
+    ItemKNN,
+    MatrixFactorization,
+    NeuralCF,
+    PinSageRecommender,
+    PopularityRecommender,
+)
+from repro.serving import (
+    RecommendationService,
+    ServingConfig,
+    ShardedRecommendationService,
+)
+from repro.utils.rng import make_rng
+
+N_USERS = 40
+N_ITEMS = 50
+SHARD_COUNTS = (1, 2, 4, 7)
+
+
+def _dataset() -> InteractionDataset:
+    rng = make_rng(711)
+    profiles = [
+        [int(v) for v in rng.choice(N_ITEMS, size=int(rng.integers(3, 10)), replace=False)]
+        for _ in range(N_USERS)
+    ]
+    return InteractionDataset(profiles, n_items=N_ITEMS, name="parity")
+
+
+@pytest.fixture(scope="module")
+def fitted_models():
+    """All five recommenders, fitted once on the same tiny dataset."""
+    dataset = _dataset()
+    return {
+        "popularity": PopularityRecommender().fit(dataset.copy()),
+        "itemknn": ItemKNN().fit(dataset.copy()),
+        "mf": MatrixFactorization(n_factors=4, n_epochs=5, seed=3).fit(dataset.copy()),
+        "neural_cf": NeuralCF(n_factors=4, n_epochs=1, seed=3).fit(dataset.copy()),
+        "pinsage": PinSageRecommender(
+            n_factors=8, n_epochs=6, patience=3, seed=3
+        ).fit(dataset.copy()),
+    }
+
+
+def _script(seed: int, n_ops: int = 24) -> list[tuple]:
+    """Seeded interleaving of queries (dups allowed, injected users too)
+    and injections; identical for both deployments by construction."""
+    rng = make_rng(seed)
+    ops: list[tuple] = []
+    n_users = N_USERS
+    for _ in range(n_ops):
+        if rng.random() < 0.3:
+            profile = rng.choice(N_ITEMS, size=int(rng.integers(2, 6)), replace=False)
+            ops.append(("inject", [int(v) for v in profile]))
+            n_users += 1
+        else:
+            batch = int(rng.integers(1, 6))
+            users = [int(v) for v in rng.integers(0, n_users, size=batch)]
+            ops.append(("query", users, int(rng.integers(1, 6))))
+    return ops
+
+
+def _replay(service, ops) -> list[list[list[int]]]:
+    outputs = []
+    for op in ops:
+        if op[0] == "inject":
+            service.inject(op[1])
+        else:
+            outputs.append([items.tolist() for items in service.query(op[1], op[2])])
+    return outputs
+
+
+@pytest.mark.parametrize("ttl_injections", [0, 2], ids=["strict", "ttl2"])
+@pytest.mark.parametrize(
+    "model_name", ["popularity", "itemknn", "mf", "neural_cf", "pinsage"]
+)
+def test_sharded_topk_identical_to_single(fitted_models, model_name, ttl_injections):
+    model = fitted_models[model_name]
+    config = ServingConfig(cache_capacity=256, ttl_injections=ttl_injections)
+    ops = _script(seed=100 + ttl_injections)
+
+    single = RecommendationService(model, config=config)
+    base = single.snapshot()
+    expected = _replay(single, ops)
+    expected_scored = single.stats.n_users_scored
+    single.restore(base)
+
+    for n_shards in SHARD_COUNTS:
+        sharded = ShardedRecommendationService(model, n_shards=n_shards, config=config)
+        got = _replay(sharded, ops)
+        assert got == expected, f"{model_name}: shard count {n_shards} diverged"
+        # Same model fan-out too: per-shard dedup/caching does not change
+        # how many users hit the model.
+        assert sharded.stats.n_users_scored == expected_scored
+        sharded.restore(base)
+
+
+def test_consistent_hash_routing_parity(fitted_models):
+    """The routing scheme must not be observable in served results."""
+    model = fitted_models["mf"]
+    config = ServingConfig(cache_capacity=256)
+    ops = _script(seed=7)
+    single = RecommendationService(model, config=config)
+    base = single.snapshot()
+    expected = _replay(single, ops)
+    single.restore(base)
+    for n_shards in (2, 7):
+        sharded = ShardedRecommendationService(
+            model, n_shards=n_shards, config=config, routing="consistent"
+        )
+        assert _replay(sharded, ops) == expected
+        sharded.restore(base)
+
+
+def test_uncached_sharded_parity(fitted_models):
+    """Transparent posture (no cache): fan-out/merge alone is invisible."""
+    model = fitted_models["itemknn"]
+    ops = _script(seed=13)
+    single = RecommendationService(model)
+    base = single.snapshot()
+    expected = _replay(single, ops)
+    single.restore(base)
+    sharded = ShardedRecommendationService(model, n_shards=4)
+    assert _replay(sharded, ops) == expected
+    sharded.restore(base)
+
+
+def test_restore_resets_every_shard(fitted_models):
+    """After a restore, a replayed script yields the same outputs again."""
+    model = fitted_models["popularity"]
+    config = ServingConfig(cache_capacity=64, ttl_injections=1)
+    ops = _script(seed=21)
+    sharded = ShardedRecommendationService(model, n_shards=4, config=config)
+    base = sharded.snapshot()
+    first = _replay(sharded, ops)
+    sharded.restore(base)
+    assert _replay(sharded, ops) == first
+    sharded.restore(base)
+    for shard in sharded.shards:
+        assert len(shard.cache) == 0
+
+
+def test_duplicate_users_dedup_within_shard(fitted_models):
+    """Duplicates of one user always land on one shard and cost one scoring."""
+    model = fitted_models["popularity"]
+    sharded = ShardedRecommendationService(
+        model, n_shards=4, config=ServingConfig(cache_capacity=64)
+    )
+    lists = sharded.query([1, 1, 2, 1], k=3)
+    assert len(lists) == 4
+    np.testing.assert_array_equal(lists[0], lists[1])
+    np.testing.assert_array_equal(lists[0], lists[3])
+    assert sharded.stats.n_users_scored == 2

@@ -1,0 +1,181 @@
+"""Property tests for workload models and bursty-arrival rate limiting.
+
+Pinned properties:
+
+* **determinism** — a fixed seed fully determines profiles and arrival
+  schedules (burst placement included);
+* **mean rate** — arrival counts match the configured base rate within
+  tolerance (diurnal cycles average to the base rate over whole periods);
+* **amplitude bound** — no profile value ever exceeds the workload's
+  ``peak_multiplier``; overlapping bursts saturate instead of stacking;
+* **rate limiting under bursts** — feeding a bursty arrival stream
+  through the sliding-window :class:`~repro.serving.RateLimiter` never
+  admits more than the quota in *any* window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, RateLimitExceededError
+from repro.serving import (
+    WORKLOADS,
+    BurstWorkload,
+    CompositeWorkload,
+    DiurnalWorkload,
+    FlashCrowdWorkload,
+    QuotaPolicy,
+    RateLimiter,
+    SteadyWorkload,
+    make_workload,
+    sample_arrivals,
+)
+from repro.utils.rng import make_rng
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SteadyWorkload(level=0.0)
+        with pytest.raises(ConfigurationError):
+            DiurnalWorkload(amplitude=1.0)
+        with pytest.raises(ConfigurationError):
+            DiurnalWorkload(period=1)
+        with pytest.raises(ConfigurationError):
+            BurstWorkload(burst_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            BurstWorkload(amplitude=0.5)
+        with pytest.raises(ConfigurationError):
+            FlashCrowdWorkload(at_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            CompositeWorkload(())
+        with pytest.raises(ConfigurationError):
+            sample_arrivals(SteadyWorkload(), base_rate=0.0, horizon=10)
+        with pytest.raises(ConfigurationError):
+            sample_arrivals(SteadyWorkload(), base_rate=1.0, horizon=0)
+
+    def test_make_workload_resolves_presets_and_rejects_unknown(self):
+        for name in WORKLOADS:
+            assert make_workload(name) is WORKLOADS[name]
+        model = DiurnalWorkload()
+        assert make_workload(model) is model
+        with pytest.raises(ConfigurationError):
+            make_workload("weekly")
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_same_seed_same_schedule(self, name):
+        a = sample_arrivals(WORKLOADS[name], base_rate=4.0, horizon=200, seed=11)
+        b = sample_arrivals(WORKLOADS[name], base_rate=4.0, horizon=200, seed=11)
+        np.testing.assert_array_equal(a.counts, b.counts)
+        np.testing.assert_array_equal(a.multipliers, b.multipliers)
+
+    def test_different_seed_moves_bursts(self):
+        w = BurstWorkload(burst_rate=0.1, duration=4, amplitude=5.0)
+        a = w.profile(400, make_rng(1))
+        b = w.profile(400, make_rng(2))
+        assert not np.array_equal(a, b)
+
+
+class TestMeanRate:
+    def test_steady_arrivals_match_base_rate(self):
+        schedule = sample_arrivals(SteadyWorkload(), base_rate=6.0, horizon=4000, seed=5)
+        assert schedule.counts.mean() == pytest.approx(6.0, rel=0.05)
+
+    def test_diurnal_averages_to_base_rate_over_whole_periods(self):
+        workload = DiurnalWorkload(period=48, amplitude=0.8)
+        # The sinusoid's mean multiplier over whole periods is exactly 1.
+        assert workload.profile(48 * 50, make_rng(0)).mean() == pytest.approx(1.0, abs=1e-12)
+        schedule = sample_arrivals(workload, base_rate=5.0, horizon=48 * 50, seed=9)
+        assert schedule.counts.mean() == pytest.approx(5.0, rel=0.05)
+
+    def test_summary_reports_peak_to_mean(self):
+        schedule = sample_arrivals(
+            FlashCrowdWorkload(amplitude=10.0), base_rate=4.0, horizon=300, seed=2
+        )
+        summary = schedule.summary()
+        assert summary["total_arrivals"] == schedule.total
+        assert summary["peak_to_mean"] > 1.5  # the spike dominates the mean
+
+
+class TestAmplitudeBound:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_profile_never_exceeds_peak_multiplier(self, name):
+        workload = WORKLOADS[name]
+        profile = workload.profile(1000, make_rng(3))
+        assert profile.max() <= workload.peak_multiplier + 1e-12
+        assert profile.min() >= 0.0
+
+    def test_overlapping_bursts_saturate_at_amplitude(self):
+        workload = BurstWorkload(burst_rate=0.6, duration=6, amplitude=3.5)
+        profile = workload.profile(500, make_rng(4))
+        assert profile.max() == pytest.approx(3.5)  # overlaps, yet never above
+        assert set(np.unique(profile)) <= {1.0, 3.5}
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        amplitude=st.floats(min_value=1.0, max_value=20.0),
+        rate=st.floats(min_value=0.0, max_value=1.0),
+        duration=st.integers(min_value=1, max_value=30),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_burst_bound_holds_for_arbitrary_parameters(
+        self, amplitude, rate, duration, seed
+    ):
+        workload = BurstWorkload(burst_rate=rate, duration=duration, amplitude=amplitude)
+        profile = workload.profile(256, make_rng(seed))
+        assert profile.max() <= amplitude + 1e-12
+
+    def test_composite_peak_is_product_and_bound_holds(self):
+        composite = DiurnalWorkload(amplitude=0.5) * BurstWorkload(amplitude=3.0)
+        assert composite.peak_multiplier == pytest.approx(1.5 * 3.0)
+        profile = composite.profile(2000, make_rng(6))
+        assert profile.max() <= composite.peak_multiplier + 1e-12
+
+
+def _arrival_times(schedule) -> list[float]:
+    """Spread each tick's arrivals uniformly inside the tick."""
+    times: list[float] = []
+    for tick, count in enumerate(schedule.counts):
+        times.extend(tick + j / max(int(count), 1) for j in range(int(count)))
+    return times
+
+
+class TestRateLimiterUnderBursts:
+    @pytest.mark.parametrize("limit", [3, 7])
+    def test_no_sliding_window_ever_exceeds_quota(self, limit):
+        """The sliding-window invariant under flash-crowd arrival bursts:
+        for every instant τ, at most ``limit`` queries were admitted in
+        (τ - window, τ] — checked at every admission time."""
+        schedule = sample_arrivals(
+            BurstWorkload(burst_rate=0.2, duration=3, amplitude=8.0),
+            base_rate=2.0,
+            horizon=120,
+            seed=17,
+        )
+        times = _arrival_times(schedule)
+        window = 1.0
+        clock_now = [0.0]
+        limiter = RateLimiter(
+            QuotaPolicy(max_queries_per_window=limit, window_seconds=window),
+            clock=lambda: clock_now[0],
+        )
+        admitted: list[float] = []
+        denied = 0
+        for t in times:
+            clock_now[0] = t
+            try:
+                limiter.admit_query("organic", 1)
+            except RateLimitExceededError:
+                denied += 1
+            else:
+                admitted.append(t)
+        assert denied > 0  # the bursts actually pressed against the quota
+        admitted_arr = np.asarray(admitted)
+        for t in admitted:
+            in_window = np.sum((admitted_arr > t - window) & (admitted_arr <= t))
+            assert in_window <= limit
