@@ -7,7 +7,10 @@ Acceptance targets:
 * the traffic replay reports throughput and latency percentiles, with the
   cached platform scoring strictly fewer users than it serves;
 * the sharded deployment's simulated multi-worker throughput on the MF
-  benchmark cohort reaches >= 2x the 1-shard baseline at 4 shards.
+  benchmark cohort reaches >= 2x the 1-shard baseline at 4 shards;
+* the *measured* wall clock of the thread-parallel execution engine at
+  4 shards beats the serial fan-out by >= 1.5x on the same replay (real
+  threads overlapping real per-shard waits — not the makespan model).
 
 Results are appended to ``benchmarks/results/report.txt`` and dumped to
 ``benchmarks/results/BENCH_serving.json`` so the perf trajectory
@@ -26,6 +29,7 @@ RESULTS_DIR = Path(__file__).parent / "results"
 COHORT = 64
 SPEEDUP_FLOOR = 5.0
 SHARD_SCALE_FLOOR = 2.0  # simulated throughput at 4 shards vs 1 (MF cohort)
+ENGINE_SPEEDUP_FLOOR = 1.5  # measured wall clock, threaded vs serial at 4 shards
 
 
 def test_serving_batch_and_traffic(prep_ml10m, benchmark, report):
@@ -78,8 +82,25 @@ def test_serving_batch_and_traffic(prep_ml10m, benchmark, report):
                 for entry in result["shard_scaling"]["per_shard_count"].values()
             ],
             title=(
-                "Sharded serving — MF cohort, "
+                "Sharded serving (simulated makespan) — MF cohort, "
                 f"workload={result['shard_scaling']['workload']}"
+            ),
+        )
+        + "\n\n"
+        + format_table(
+            ["deployment", "serial wall s", "threaded wall s", "engine speedup"],
+            [
+                [
+                    f"{entry['n_shards']} shard(s)",
+                    entry["measured"]["serial_wall_s"],
+                    entry["measured"]["threaded_wall_s"],
+                    entry["measured"]["speedup_vs_serial"],
+                ]
+                for entry in result["shard_scaling"]["per_shard_count"].values()
+            ],
+            title=(
+                "Sharded serving (measured wall clock) — shard RPC latency "
+                f"{result['shard_scaling']['shard_latency_s'] * 1e3:g} ms"
             ),
         )
     )
@@ -102,3 +123,12 @@ def test_serving_batch_and_traffic(prep_ml10m, benchmark, report):
     # at 4 shards clears the acceptance floor on the MF benchmark cohort.
     four = result["shard_scaling"]["per_shard_count"]["4"]
     assert four["scale_vs_1"] >= SHARD_SCALE_FLOOR, four
+    # And the real execution engine must too: measured wall clock of the
+    # threaded fan-out beats the serial loop on the identical replay.
+    # What this gates: that the engine genuinely overlaps per-shard work
+    # (the modelled RPC waits everywhere, plus GIL-releasing BLAS scoring
+    # on multi-core hosts).  On a single-core runner the win is latency
+    # hiding alone — compute cannot parallelise there, so a compute-only
+    # floor would be unsatisfiable; the latency knob is what keeps this
+    # assertion meaningful across host shapes (see shard_latency_s).
+    assert four["measured"]["speedup_vs_serial"] >= ENGINE_SPEEDUP_FLOOR, four

@@ -25,10 +25,12 @@ from repro.serving import (
 )
 
 
-def build_platform(dataset, serving_config, n_shards=1, background=None):
+def build_platform(dataset, serving_config, n_shards=1, background=None, engine="serial"):
     model = PopularityRecommender().fit(dataset.copy())
     if n_shards > 1:
-        service = ShardedRecommendationService(model, n_shards=n_shards, config=serving_config)
+        service = ShardedRecommendationService(
+            model, n_shards=n_shards, config=serving_config, engine=engine
+        )
     else:
         service = RecommendationService(model, config=serving_config)
     blackbox = BlackBoxRecommender(model, service=service)
@@ -57,6 +59,9 @@ def run(env, label):
             f"ground truth HR={truth:.2f}  "
             f"(throttled rounds so far: {env.trace.n_throttled_queries})"
         )
+    service = env.blackbox.service
+    if hasattr(service, "close"):
+        service.close()  # release threaded-engine workers, if any
 
 
 if __name__ == "__main__":
@@ -95,4 +100,16 @@ if __name__ == "__main__":
             background=BackgroundTraffic(workload="diurnal_bursty", seed=5),
         ),
         "4-shard deployment, TTL cache, bursty organic contention",
+    )
+    # Same deployment on the thread-parallel engine: one worker per shard
+    # resolves the slices concurrently, with identical served results.
+    run(
+        build_platform(
+            dataset,
+            ServingConfig(cache_capacity=256, ttl_injections=4),
+            n_shards=4,
+            background=BackgroundTraffic(workload="diurnal_bursty", seed=5),
+            engine="threaded",
+        ),
+        "4-shard deployment on the threaded execution engine",
     )

@@ -9,7 +9,8 @@ Usage (after ``pip install -e .``)::
     repro-bench budget  --config ml10m_fx          # figures 5/6
     repro-bench quality --config ml20m_nf          # X1 gate
     repro-bench method  --config small --method TargetAttack40
-    repro-bench serve   --config small --shards 4 --workload diurnal --json BENCH_serving.json
+    repro-bench serve   --config small --shards 4 --workload diurnal \
+                        --engine both --json BENCH_serving.json
 
 or ``python -m repro.cli <subcommand> ...``.  Every run is deterministic
 given ``--seed``.
@@ -106,6 +107,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "(sweeps the subset of {1, 2, 4, N} up to N)")
     serve.add_argument("--workload", choices=sorted(_WORKLOAD_NAMES), default="diurnal",
                        help="workload model shaping the shard-scaling replay")
+    serve.add_argument("--engine", choices=("both", "serial", "threaded"), default="both",
+                       help="execution engine(s) measured by the shard-scaling sweep: "
+                            "'serial' (sequential fan-out, simulated makespan model), "
+                            "'threaded' (one-worker-per-shard pool, measured wall clock), "
+                            "or 'both' (report them side by side)")
+    serve.add_argument("--shard-latency-ms", type=float, default=2.0,
+                       help="modelled per-slice RPC latency of a remote shard worker "
+                            "(threaded engine overlaps it; excluded from simulated busy time)")
     serve.add_argument("--json", default=None, metavar="PATH",
                        help="write the full result as JSON (e.g. BENCH_serving.json)")
 
@@ -131,6 +140,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         for name in ("requests", "cohort", "k", "repeats", "shards"):
             if getattr(args, name) <= 0:
                 parser.error(f"--{name} must be positive")
+        if args.shard_latency_ms < 0:
+            parser.error("--shard-latency-ms must be non-negative")
         if args.json is not None:
             parent = os.path.dirname(os.path.abspath(args.json)) or "."
             if not os.path.isdir(parent):
@@ -235,10 +246,12 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "serve":
         shard_counts = sorted(c for c in {1, 2, 4, args.shards} if c <= args.shards)
+        engines = ("serial", "threaded") if args.engine == "both" else (args.engine,)
         result = run_serving_benchmark(
             prep, cohort_size=args.cohort, k=args.k,
             n_requests=args.requests, repeats=args.repeats,
             shard_counts=shard_counts, workload=args.workload,
+            engines=engines, shard_latency_s=args.shard_latency_ms / 1e3,
         )
         rows = [
             [name, r["per_user_ms"], r["batch_ms"], r["speedup"]]
@@ -260,7 +273,23 @@ def main(argv: Sequence[str] | None = None) -> int:
         ]
         print(format_table(
             ["deployment", "sim users/s", "scale vs 1", "imbalance"], shard_rows,
-            title=f"Shard scaling — MF cohort, workload={scaling['workload']}",
+            title=f"Shard scaling (simulated makespan) — MF cohort, "
+                  f"workload={scaling['workload']}",
+        ))
+        print()
+        measured_rows = [
+            [f"{entry['n_shards']} shard(s)",
+             entry["measured"].get("serial_wall_s", float("nan")),
+             entry["measured"].get("threaded_wall_s", float("nan")),
+             entry["measured"].get("speedup_vs_serial", float("nan")),
+             entry["measured"].get("threaded_scale_vs_1", float("nan"))]
+            for entry in scaling["per_shard_count"].values()
+        ]
+        print(format_table(
+            ["deployment", "serial wall s", "threaded wall s",
+             "engine speedup", "threaded scale vs 1"], measured_rows,
+            title=f"Shard scaling (measured wall clock) — "
+                  f"shard RPC latency {scaling['shard_latency_s'] * 1e3:g} ms",
         ))
         print()
         if args.json:

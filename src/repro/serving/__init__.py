@@ -14,11 +14,21 @@ and, sharded (``ShardedRecommendationService``)::
 
 See :mod:`repro.serving.service` for the composition,
 :mod:`repro.serving.sharded` for the multi-worker deployment,
-:mod:`repro.serving.workload` for composable demand models, and
-:mod:`repro.serving.traffic` for the organic-load benchmark harness.
+:mod:`repro.serving.engine` for the serial/threaded execution engines
+resolving per-shard work, :mod:`repro.serving.workload` for composable
+demand models, and :mod:`repro.serving.traffic` for the organic-load
+benchmark harness.
 """
 
 from repro.serving.cache import CacheStats, TopKCache
+from repro.serving.engine import (
+    ENGINES,
+    ExecutionEngine,
+    ReadWriteLock,
+    SerialEngine,
+    ThreadedEngine,
+    make_engine,
+)
 from repro.serving.rate_limit import UNLIMITED, QuotaPolicy, RateLimiter
 from repro.serving.service import RecommendationService, ServiceStats, ServingConfig
 from repro.serving.sharded import (
@@ -61,6 +71,12 @@ __all__ = [
     "ShardRouter",
     "ConsistentHashRouter",
     "InvalidationBus",
+    "ExecutionEngine",
+    "SerialEngine",
+    "ThreadedEngine",
+    "make_engine",
+    "ENGINES",
+    "ReadWriteLock",
     "TrafficPattern",
     "TrafficReport",
     "TrafficSimulator",

@@ -1,0 +1,199 @@
+"""Execution engines: how the coordinator resolves per-shard work.
+
+The sharded deployment fans one batched request out into independent
+per-shard resolution tasks (cache lookups, one ``top_k_batch`` over the
+misses, stores, stat recording).  *How* those tasks run is an execution
+policy, not serving semantics, so it lives behind the
+:class:`ExecutionEngine` interface:
+
+* :class:`SerialEngine` — the tasks run in the coordinator thread, one
+  after another.  This is the historical behaviour; per-shard busy times
+  still feed the *simulated* makespan model (parallel wall time = the
+  busiest worker's accumulated busy time).
+* :class:`ThreadedEngine` — a persistent ``ThreadPoolExecutor`` with one
+  worker per shard resolves the slices concurrently.  numpy releases the
+  GIL inside BLAS, and per-shard service latency (the RPC hop a remote
+  shard worker costs in a real deployment) overlaps across shards, so
+  the replay's wall clock is *measured* parallel time rather than a
+  model of it.
+
+Both engines resolve the same task list and return results in task
+order, so merged top-k output is bit-identical across engines — the
+parity harness pins this for every recommender and shard count.
+
+The module also provides :class:`ReadWriteLock`, the coordination
+primitive the sharded service uses to let concurrent queries share the
+model (readers) while injections and episode restores mutate it
+exclusively (writers, with writer preference so a pending injection is
+not starved by a stream of organic queries).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor, wait
+from contextlib import contextmanager
+from typing import Callable, Iterator, Sequence, TypeVar
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ExecutionEngine",
+    "SerialEngine",
+    "ThreadedEngine",
+    "make_engine",
+    "ENGINES",
+    "ReadWriteLock",
+]
+
+T = TypeVar("T")
+
+#: Engine mode names accepted by ``ServingConfig.engine`` / ``make_engine``.
+ENGINES = ("serial", "threaded")
+
+
+class ExecutionEngine:
+    """Strategy for running a list of independent per-shard tasks.
+
+    Implementations must return one result per task, in task order, and
+    propagate the first task exception to the caller.  Tasks touch only
+    their own shard's state (each shard's lock confines its cache, quota
+    windows, and counters to whichever engine thread resolves it), so
+    engines need no knowledge of serving internals.
+    """
+
+    name: str = "?"
+
+    def run(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker resources (idempotent; no-op for serial)."""
+
+    def __enter__(self) -> "ExecutionEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialEngine(ExecutionEngine):
+    """Resolve shard tasks sequentially in the calling thread."""
+
+    name = "serial"
+
+    def run(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
+        return [task() for task in tasks]
+
+
+class ThreadedEngine(ExecutionEngine):
+    """Resolve shard tasks concurrently on a persistent worker pool.
+
+    One worker per shard: a request never produces more than one task per
+    shard, so ``n_workers`` threads are exactly enough to run every slice
+    of a request at once, and the pool is reused across requests (thread
+    startup is not paid on the query path).  Single-task requests skip
+    the pool entirely — handing one task to the calling thread is cheaper
+    than a submit/result round-trip and has identical semantics.
+    """
+
+    name = "threaded"
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers <= 0:
+            raise ConfigurationError("ThreadedEngine needs a positive worker count")
+        self.n_workers = n_workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=n_workers, thread_name_prefix="shard-worker"
+        )
+        self._closed = False
+
+    def run(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
+        if self._closed:
+            raise ConfigurationError("ThreadedEngine is closed")
+        if len(tasks) == 1:
+            return [tasks[0]()]
+        futures = [self._pool.submit(task) for task in tasks]
+        # Drain every sibling before surfacing a failure: the caller may
+        # hold a lock covering all tasks (the sharded query's model read
+        # lock), and releasing it while a slow sibling is still running
+        # would let a subsequent writer mutate shared state under an
+        # in-flight worker.  result() then re-raises the first (by task
+        # order) failure in the caller.
+        wait(futures)
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._pool.shutdown(wait=True)
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        # Safety net for services dropped without close() (e.g. a
+        # config-selected threaded engine inside a long-lived experiment
+        # prep): release the worker threads without blocking collection.
+        try:
+            if not self._closed:
+                self._closed = True
+                self._pool.shutdown(wait=False)
+        except Exception:
+            pass  # interpreter shutdown: executor internals may be gone
+
+
+def make_engine(spec: str | ExecutionEngine, n_workers: int) -> ExecutionEngine:
+    """Resolve an engine mode name (or pass an instance through)."""
+    if isinstance(spec, ExecutionEngine):
+        return spec
+    if spec == "serial":
+        return SerialEngine()
+    if spec == "threaded":
+        return ThreadedEngine(n_workers)
+    raise ConfigurationError(f"engine must be one of {ENGINES} or an ExecutionEngine")
+
+
+class ReadWriteLock:
+    """Readers-writer lock with writer preference.
+
+    Queries acquire the read side (many may score concurrently against
+    the shared model, which is read-only on the query path); injections
+    and episode restores acquire the write side (they mutate the model
+    and every shard's serving state).  A waiting writer blocks *new*
+    readers, so a burst of organic queries cannot starve an injection.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer_active = False
+                self._cond.notify_all()

@@ -10,10 +10,14 @@ of the attack surface; this module lets the reproduction express them.
 ``RateLimiter`` keeps one sliding window per ``(client, operation)`` pair.
 The clock is injectable so tests and deterministic experiment replays can
 drive logical time; by default wall-clock ``time.monotonic`` is used.
+Admission and reset are thread-safe (one internal lock): the sharded
+deployment's threaded engine admits requests from concurrent client
+threads against the same home-shard limiter.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -88,6 +92,7 @@ class RateLimiter:
         self.default_policy = default_policy
         self.per_client = dict(per_client or {})
         self._clock = clock
+        self._lock = threading.Lock()
         self._query_windows: dict[str, deque[float]] = {}
         self._injection_windows: dict[str, deque[float]] = {}
         self._injection_totals: dict[str, int] = {}
@@ -115,45 +120,52 @@ class RateLimiter:
     def admit_query(self, client: str, n_users: int) -> None:
         """Admit one top-k query for ``n_users`` users or raise."""
         policy = self.policy_for(client)
-        if policy.max_users_per_query is not None and n_users > policy.max_users_per_query:
-            self.n_denied_queries += 1
-            raise RateLimitExceededError(
-                f"client {client!r} requested {n_users} users per query "
-                f"(cap {policy.max_users_per_query})"
-            )
-        try:
-            self._admit(
-                self._query_windows, client, policy.max_queries_per_window, policy.window_seconds
-            )
-        except RateLimitExceededError:
-            self.n_denied_queries += 1
-            raise
+        with self._lock:
+            if policy.max_users_per_query is not None and n_users > policy.max_users_per_query:
+                self.n_denied_queries += 1
+                raise RateLimitExceededError(
+                    f"client {client!r} requested {n_users} users per query "
+                    f"(cap {policy.max_users_per_query})"
+                )
+            try:
+                self._admit(
+                    self._query_windows,
+                    client,
+                    policy.max_queries_per_window,
+                    policy.window_seconds,
+                )
+            except RateLimitExceededError:
+                self.n_denied_queries += 1
+                raise
 
     def admit_injection(self, client: str) -> None:
         """Admit one profile injection or raise."""
         policy = self.policy_for(client)
-        total = self._injection_totals.get(client, 0)
-        if policy.max_total_injections is not None and total >= policy.max_total_injections:
-            self.n_denied_injections += 1
-            raise RateLimitExceededError(
-                f"client {client!r} exhausted its {policy.max_total_injections}-injection quota"
-            )
-        try:
-            self._admit(
-                self._injection_windows,
-                client,
-                policy.max_injections_per_window,
-                policy.window_seconds,
-            )
-        except RateLimitExceededError:
-            self.n_denied_injections += 1
-            raise
-        self._injection_totals[client] = total + 1
+        with self._lock:
+            total = self._injection_totals.get(client, 0)
+            if policy.max_total_injections is not None and total >= policy.max_total_injections:
+                self.n_denied_injections += 1
+                raise RateLimitExceededError(
+                    f"client {client!r} exhausted its "
+                    f"{policy.max_total_injections}-injection quota"
+                )
+            try:
+                self._admit(
+                    self._injection_windows,
+                    client,
+                    policy.max_injections_per_window,
+                    policy.window_seconds,
+                )
+            except RateLimitExceededError:
+                self.n_denied_injections += 1
+                raise
+            self._injection_totals[client] = total + 1
 
     def reset(self) -> None:
         """Clear every window and counter (episode boundary helper)."""
-        self._query_windows.clear()
-        self._injection_windows.clear()
-        self._injection_totals.clear()
-        self.n_denied_queries = 0
-        self.n_denied_injections = 0
+        with self._lock:
+            self._query_windows.clear()
+            self._injection_windows.clear()
+            self._injection_totals.clear()
+            self.n_denied_queries = 0
+            self.n_denied_injections = 0

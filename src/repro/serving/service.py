@@ -23,6 +23,7 @@ lists computed against dropped injections.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
@@ -31,6 +32,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, InjectionBlockedError, SnapshotError
 from repro.serving.cache import TopKCache
+from repro.serving.engine import ENGINES
 from repro.serving.rate_limit import UNLIMITED, QuotaPolicy, RateLimiter
 
 if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.recsys
@@ -55,6 +57,11 @@ class ServingConfig:
     default_policy: QuotaPolicy = UNLIMITED
     client_policies: tuple[tuple[str, QuotaPolicy], ...] = ()
     detector_mode: str = "off"  # off | flag | block
+    # How the sharded coordinator resolves per-shard slices: "serial"
+    # (sequential loop; simulated-makespan accounting) or "threaded"
+    # (persistent one-worker-per-shard pool; measured parallel wall
+    # clock).  The single service has no shards and ignores this field.
+    engine: str = "serial"
 
     def __post_init__(self) -> None:
         if self.cache_capacity < 0:
@@ -63,11 +70,18 @@ class ServingConfig:
             raise ConfigurationError("ttl_injections must be non-negative")
         if self.detector_mode not in _DETECTOR_MODES:
             raise ConfigurationError(f"detector_mode must be one of {_DETECTOR_MODES}")
+        if self.engine not in ENGINES:
+            raise ConfigurationError(f"engine must be one of {ENGINES}")
 
 
 @dataclass
 class ServiceStats:
-    """Per-request accounting for throughput/latency reporting."""
+    """Per-request accounting for throughput/latency reporting.
+
+    ``record_request`` is thread-safe: the sharded deployment's threaded
+    engine records the coordinator's stats from whichever client thread
+    issued the request, and each shard's stats from its worker thread.
+    """
 
     n_requests: int = 0
     n_users_served: int = 0
@@ -77,13 +91,17 @@ class ServiceStats:
     n_blocked_injections: int = 0
     wall_times: list[float] = field(default_factory=list)
     batch_sizes: list[int] = field(default_factory=list)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record_request(self, n_users: int, n_scored: int, elapsed: float) -> None:
-        self.n_requests += 1
-        self.n_users_served += n_users
-        self.n_users_scored += n_scored
-        self.wall_times.append(elapsed)
-        self.batch_sizes.append(n_users)
+        with self._lock:
+            self.n_requests += 1
+            self.n_users_served += n_users
+            self.n_users_scored += n_scored
+            self.wall_times.append(elapsed)
+            self.batch_sizes.append(n_users)
 
     def summary(self) -> dict[str, float]:
         """Uniform query-side cost summary (shared with QueryLog reporting)."""
@@ -269,11 +287,23 @@ class RecommendationService:
         )
 
     def restore(self, snapshot: _ServiceSnapshot) -> None:
-        """Roll the platform back; the cache is flushed, never served stale.
+        """Roll the platform back to a clean episode boundary.
 
-        Rate-limiter state rolls back too: snapshot/restore is simulation
-        control, and injections undone by an episode reset must not keep
-        consuming a client's injection quota across episodes.
+        An episode reset is simulation control, so *every* externally
+        observable piece of serving state returns to the
+        freshly-constructed baseline, not just the model:
+
+        * the cache is flushed and its hit/miss/eviction counters reset —
+          a reset platform never serves (or reports) work from a dropped
+          episode;
+        * rate-limiter windows, quotas, and denial counters reset —
+          injections undone by the rollback must not keep consuming a
+          client's quota, and denials from dead episodes must not skew
+          per-episode budget accounting;
+        * request stats reset — makespan/throughput reports never
+          double-count rolled-back traffic;
+        * ``flagged_injections`` is cleared — flagged records reference
+          user ids that no longer exist after the model rollback.
         """
         if not isinstance(snapshot, _ServiceSnapshot):
             raise SnapshotError("restore expects a snapshot from RecommendationService.snapshot")
@@ -291,4 +321,7 @@ class RecommendationService:
             )
         if self.cache is not None:
             self.cache.flush()
+            self.cache.stats.reset()
         self.limiter.reset()
+        self.stats.reset()
+        self.flagged_injections.clear()

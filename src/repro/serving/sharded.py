@@ -26,11 +26,36 @@ identical top-k lists):
   shard's staleness clock in lockstep (identical to the single cache's
   version counter).
 
-Per-shard busy time is accumulated on every request, which lets traffic
-reports compute the *simulated multi-worker makespan*: shards are
-independent workers, so a replay's parallel wall time is the maximum
-per-shard busy time rather than the sum.  The shard-scaling benchmark
-(``repro-bench serve --shards``) reports throughput on that model.
+How a request's per-shard slices execute is an
+:class:`~repro.serving.engine.ExecutionEngine` policy (``serial`` or
+``threaded``, selected by ``ServingConfig.engine`` or the ``engine``
+constructor argument).  Under the *serial* engine, per-shard busy time
+still feeds the historical **simulated** makespan model (parallel wall
+time = the busiest worker's accumulated busy time).  Under the
+*threaded* engine a persistent one-worker-per-shard pool resolves the
+slices concurrently, so a replay's wall clock is **measured** parallel
+time; the shard-scaling benchmark (``repro-bench serve``) reports both
+side by side.
+
+Thread-safety contract (what makes the threaded engine correct):
+
+* every piece of per-shard mutable state — the shard's cache, its quota
+  windows, its :class:`~repro.serving.service.ServiceStats` — is guarded
+  by that shard's lock and touched only while it is held (by the worker
+  resolving the shard's slice, by bus-driven invalidations, and by
+  episode restores);
+* the model is shared read-only on the query path; injections and
+  restores, which mutate it, take the write side of a
+  :class:`~repro.serving.engine.ReadWriteLock` that queries hold for
+  reading, so scoring never races a profile landing.  (One scoped
+  exception to "read-only": some models lazily rebuild an idempotent
+  scoring cache on first use after an injection — ItemKNN's similarity
+  matrix, NeuralCF's fused first-layer tensor.  The build is atomic to
+  publish and identical from every thread, so concurrent workers can at
+  worst duplicate the work, never corrupt it);
+* coordinator-level counters (:class:`ServiceStats`, the
+  :class:`~repro.serving.rate_limit.RateLimiter` admission windows) are
+  internally locked.
 """
 
 from __future__ import annotations
@@ -38,12 +63,15 @@ from __future__ import annotations
 import bisect
 import time
 import zlib
+from functools import partial
+from threading import Lock
 from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.serving.cache import CacheStats, TopKCache
+from repro.serving.engine import ExecutionEngine, ReadWriteLock, make_engine
 from repro.serving.rate_limit import UNLIMITED, RateLimiter
 from repro.serving.service import RecommendationService, ServiceStats, ServingConfig
 
@@ -85,10 +113,18 @@ class ShardRouter:
 class ConsistentHashRouter(ShardRouter):
     """Consistent-hash ring with virtual nodes.
 
-    Keys map to the first ring point clockwise of their hash.  Adding a
-    shard re-routes only the keys that fall into the new shard's arcs
-    (~1/n of the space), where modulo routing would remap almost all of
-    them — the property that makes cache warm-up survive resharding.
+    Keys map to the first ring point at-or-clockwise-after their hash
+    (a key whose hash lands exactly on a ring point belongs to that
+    point).  Adding a shard re-routes only the keys that fall into the
+    new shard's arcs (~1/n of the space), where modulo routing would
+    remap almost all of them — the property that makes cache warm-up
+    survive resharding.
+
+    When two virtual nodes hash-collide, the colliding ring position is
+    owned by exactly one of them — deterministically the lowest shard
+    index — so key placement never depends on sort tie order versus
+    bisection direction.  The ring therefore contains strictly
+    increasing hashes.
     """
 
     def __init__(self, n_shards: int, n_replicas: int = 64) -> None:
@@ -102,11 +138,18 @@ class ConsistentHashRouter(ShardRouter):
             for replica in range(n_replicas)
         ]
         points.sort()
-        self._ring_hashes = [h for h, _ in points]
-        self._ring_shards = [s for _, s in points]
+        self._ring_hashes: list[int] = []
+        self._ring_shards: list[int] = []
+        for hashed, shard in points:
+            if self._ring_hashes and self._ring_hashes[-1] == hashed:
+                # Virtual-node hash collision: tuple sort already placed
+                # the lowest shard index first; keep it, drop the rest.
+                continue
+            self._ring_hashes.append(hashed)
+            self._ring_shards.append(shard)
 
     def _locate(self, hashed: int) -> int:
-        index = bisect.bisect_right(self._ring_hashes, hashed)
+        index = bisect.bisect_left(self._ring_hashes, hashed)
         if index == len(self._ring_hashes):
             index = 0  # wrap around the ring
         return self._ring_shards[index]
@@ -141,9 +184,23 @@ class InvalidationBus:
             callback(int(user_id))
             self.n_deliveries += 1
 
+    def reset(self) -> None:
+        """Forget delivered history (episode boundary; subscriptions persist).
+
+        Events published during a rolled-back episode describe injections
+        that no longer exist, so fan-out reports must not count them.
+        """
+        self.events.clear()
+        self.n_deliveries = 0
+
 
 class _WorkerShard:
-    """One worker: its cache, its quota state, its serving counters."""
+    """One worker: its cache, its quota state, its serving counters.
+
+    ``lock`` guards every mutable field; the engine worker resolving this
+    shard's slice, bus-driven invalidations, and episode restores all
+    hold it, so shard state is consistent under the threaded engine.
+    """
 
     def __init__(
         self,
@@ -153,6 +210,7 @@ class _WorkerShard:
         limiter_kwargs: dict,
     ) -> None:
         self.index = index
+        self.lock = Lock()
         self.cache = (
             TopKCache(capacity=config.cache_capacity, ttl_injections=config.ttl_injections)
             if config.cache_capacity > 0
@@ -164,6 +222,21 @@ class _WorkerShard:
             **limiter_kwargs,
         )
         self.stats = ServiceStats()
+
+    def note_injection(self) -> None:
+        """Bus callback: advance this shard's staleness clock under lock."""
+        with self.lock:
+            if self.cache is not None:
+                self.cache.note_injection()
+
+    def reset(self) -> None:
+        """Return every counter and entry to the freshly-constructed state."""
+        with self.lock:
+            if self.cache is not None:
+                self.cache.flush()
+                self.cache.stats.reset()
+            self.limiter.reset()
+            self.stats.reset()
 
     @property
     def busy_s(self) -> float:
@@ -212,6 +285,19 @@ class ShardedRecommendationService(RecommendationService):
     routing:
         ``"hash"`` (stable modulo hash) or ``"consistent"`` (ring with
         virtual nodes).
+    engine:
+        ``"serial"``, ``"threaded"``, or an
+        :class:`~repro.serving.engine.ExecutionEngine` instance;
+        ``None`` (default) takes the mode from ``config.engine``.  Both
+        engines produce element-wise identical results — the threaded
+        engine changes wall clock, never output.
+    shard_latency_s:
+        Modelled per-slice service latency of a remote shard worker (the
+        RPC hop a coordinator pays per shard it contacts).  The threaded
+        engine overlaps these waits across shards; the serial engine pays
+        them in sequence.  ``0`` (default) disables the model.  The
+        latency is *excluded* from per-shard busy time, so simulated
+        makespan numbers stay pure compute.
     """
 
     def __init__(
@@ -223,6 +309,8 @@ class ShardedRecommendationService(RecommendationService):
         clock: Callable[[], float] = time.perf_counter,
         limiter_clock: Callable[[], float] | None = None,
         routing: str | ShardRouter = "hash",
+        engine: str | ExecutionEngine | None = None,
+        shard_latency_s: float = 0.0,
     ) -> None:
         super().__init__(
             model, config=config, detector=detector, clock=clock, limiter_clock=limiter_clock
@@ -243,7 +331,14 @@ class ShardedRecommendationService(RecommendationService):
             self.router = ConsistentHashRouter(n_shards)
         else:
             raise ConfigurationError(f"routing must be one of {_ROUTINGS} or a ShardRouter")
+        if shard_latency_s < 0:
+            raise ConfigurationError("shard_latency_s must be non-negative")
         self.n_shards = n_shards
+        self.shard_latency_s = float(shard_latency_s)
+        self._engine = make_engine(
+            engine if engine is not None else self.config.engine, n_workers=n_shards
+        )
+        self._model_lock = ReadWriteLock()
         limiter_kwargs = {} if limiter_clock is None else {"clock": limiter_clock}
         per_client = dict(self.config.client_policies)
         per_client.setdefault("evaluator", UNLIMITED)
@@ -253,10 +348,26 @@ class ShardedRecommendationService(RecommendationService):
         ]
         for shard in self.shards:
             if shard.cache is not None:
-                self.bus.subscribe(lambda _uid, cache=shard.cache: cache.note_injection())
+                self.bus.subscribe(lambda _uid, shard=shard: shard.note_injection())
 
     def _make_cache(self):
         return None  # per-shard caches only; see _WorkerShard
+
+    # -- lifecycle -------------------------------------------------------------
+    @property
+    def engine_name(self) -> str:
+        """Execution mode resolving per-shard slices (reporting helper)."""
+        return self._engine.name
+
+    def close(self) -> None:
+        """Release engine workers (idempotent; serial engines are free)."""
+        self._engine.close()
+
+    def __enter__(self) -> "ShardedRecommendationService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- routing helpers ------------------------------------------------------
     def _limiter_for_client(self, client: str) -> RateLimiter:
@@ -280,23 +391,74 @@ class ShardedRecommendationService(RecommendationService):
         Admission happens once, on the client's home shard, exactly as a
         global limiter would count it.  Each shard then resolves its slice
         of the request against its own cache and folds the misses into
-        one ``top_k_batch`` call; merged results come back in request
-        order.  Identical inputs produce element-wise identical lists to
-        the single service (``top_k_batch`` is per-user independent).
+        one ``top_k_batch`` call — sequentially or concurrently depending
+        on the configured engine — and merged results come back in
+        request order.  Identical inputs produce element-wise identical
+        lists to the single service under either engine (``top_k_batch``
+        is per-user independent and per-shard state is confined to the
+        worker holding the shard's lock).
         """
         if k <= 0:
             raise ConfigurationError("k must be positive")
         start = self._clock()
         users = [int(u) for u in user_ids]
-        self._limiter_for_client(client).admit_query(client, len(users))
-        results: list[np.ndarray | None] = [None] * len(users)
         by_shard: dict[int, list[int]] = {}
         for position, user in enumerate(users):
             by_shard.setdefault(self.router.shard_for_user(user), []).append(position)
-        n_scored_total = 0
-        for shard_index, positions in by_shard.items():
-            shard = self.shards[shard_index]
-            shard_users = [users[p] for p in positions]
+        slices = [
+            (
+                positions,
+                partial(
+                    self._resolve_shard,
+                    self.shards[shard_index],
+                    [users[p] for p in positions],
+                    k,
+                    exclude_seen,
+                    use_cache,
+                ),
+            )
+            for shard_index, positions in by_shard.items()
+        ]
+        # Queries share the model for reading; injections/restores write.
+        # Admission and the coordinator's stats record both stay inside
+        # the read hold: a concurrent restore (write side) must not land
+        # between a request's quota admission and its execution, nor
+        # between its resolution and its accounting — either way a
+        # "freshly reset" platform would carry traces of (or grant free
+        # quota to) a pre-reset request.  The limiter's internal lock is
+        # a leaf below the model lock on every path, so ordering is safe.
+        results: list[np.ndarray | None] = [None] * len(users)
+        with self._model_lock.read():
+            self._limiter_for_client(client).admit_query(client, len(users))
+            outcomes = self._engine.run([task for _, task in slices])
+            n_scored_total = 0
+            for (positions, _), (n_scored, shard_results) in zip(slices, outcomes):
+                n_scored_total += n_scored
+                for position, items in zip(positions, shard_results):
+                    results[position] = items
+            self.stats.record_request(len(users), n_scored_total, self._clock() - start)
+        return list(results)
+
+    def _resolve_shard(
+        self,
+        shard: _WorkerShard,
+        shard_users: list[int],
+        k: int,
+        exclude_seen: bool,
+        use_cache: bool,
+    ) -> tuple[int, list[np.ndarray]]:
+        """Resolve one shard's slice (runs on the engine's worker thread).
+
+        The modelled worker RPC latency is slept *outside* the timed
+        region, and the busy clock starts only after the shard lock is
+        held: ``busy_s`` stays pure compute — neither the modelled wait
+        nor lock contention from concurrent clients counts as shard work
+        — so the simulated makespan model is unchanged, while measured
+        wall clock feels both.
+        """
+        if self.shard_latency_s > 0.0:
+            time.sleep(self.shard_latency_s)
+        with shard.lock:
             t0 = self._clock()
             if shard.cache is None or not use_cache:
                 n_scored = len(shard_users)
@@ -318,13 +480,20 @@ class ShardedRecommendationService(RecommendationService):
                         fresh[u] if r is None else r for u, r in zip(shard_users, shard_results)
                     ]
             shard.stats.record_request(len(shard_users), n_scored, self._clock() - t0)
-            n_scored_total += n_scored
-            for position, items in zip(positions, shard_results):
-                results[position] = items
-        self.stats.record_request(len(users), n_scored_total, self._clock() - start)
-        return list(results)
+        return n_scored, shard_results
 
     # -- injection pipeline hooks --------------------------------------------
+    def inject(self, profile: Sequence[int], client: str = "default") -> int:
+        """Register a profile; exclusive with in-flight queries.
+
+        The write lock drains concurrent readers before the model
+        mutates, so a shard worker never scores against a half-applied
+        injection; the bus then advances every shard's staleness clock
+        before the next query can start.
+        """
+        with self._model_lock.write():
+            return super().inject(profile, client=client)
+
     def _admit_injection(self, client: str) -> None:
         self._limiter_for_client(client).admit_injection(client)
 
@@ -332,13 +501,33 @@ class ShardedRecommendationService(RecommendationService):
         self.bus.publish(user_id)
 
     # -- episode management ---------------------------------------------------
+    def snapshot(self):
+        """Capture model state atomically with respect to injections.
+
+        The read side suffices: snapshots only read the model, so they
+        may overlap in-flight queries, but a concurrent ``inject`` (write
+        side) must fully land or not have started — otherwise the
+        captured user count and model state could tear apart and fail the
+        restore-time consistency check.
+        """
+        with self._model_lock.read():
+            return super().snapshot()
+
     def restore(self, snapshot) -> None:
-        """Roll back the model, then flush every shard's serving state."""
-        super().restore(snapshot)
-        for shard in self.shards:
-            if shard.cache is not None:
-                shard.cache.flush()
-            shard.limiter.reset()
+        """Roll back the model, then reset every shard to a clean episode.
+
+        Beyond the base-service reset (coordinator stats, flagged
+        injections), every per-shard cache is flushed *and* its counters
+        zeroed, per-shard limiter windows and denial counts clear, every
+        shard's request stats (the makespan/speedup inputs) zero, and the
+        invalidation bus forgets its delivered history — so no report can
+        double-count work from before the reset.
+        """
+        with self._model_lock.write():
+            super().restore(snapshot)
+            for shard in self.shards:
+                shard.reset()
+            self.bus.reset()
 
     # -- reporting -------------------------------------------------------------
     def cache_stats(self) -> CacheStats | None:

@@ -1,0 +1,203 @@
+"""Episode-reset invariants: restore returns the platform to factory state.
+
+CopyAttack's black-box protocol — and the query-budget accounting of the
+related attacks (knowledge-enhanced black-box, learn-to-generate
+shilling) — assumes ``snapshot → attack episode → restore`` leaves *no*
+trace of the rolled-back episode.  These are regression tests for the
+leaks this repo shipped with (``flagged_injections`` surviving the model
+rollback, per-shard wall-times/counters and bus history double-counting
+work from dead episodes), pinned as a property: after a restore, every
+externally observable serving counter matches a freshly constructed
+service, for arbitrary episode scripts.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import InteractionDataset
+from repro.errors import RateLimitExceededError
+from repro.recsys import PopularityRecommender
+from repro.serving import (
+    QuotaPolicy,
+    RecommendationService,
+    ServingConfig,
+    ShardedRecommendationService,
+)
+from repro.utils.rng import make_rng
+
+N_USERS = 30
+N_ITEMS = 24
+
+
+class _StubDetector:
+    """Deterministic screener: degenerate short profiles get flagged."""
+
+    threshold = 0.5
+
+    def score(self, profile) -> float:
+        return 1.0 if len(profile) <= 2 else 0.0
+
+
+def _model():
+    rng = make_rng(41)
+    profiles = [
+        [int(v) for v in rng.choice(N_ITEMS, size=int(rng.integers(3, 8)), replace=False)]
+        for _ in range(N_USERS)
+    ]
+    return PopularityRecommender().fit(InteractionDataset(profiles, n_items=N_ITEMS))
+
+
+# A config that exercises every counter family: caching (hits/misses/
+# evictions), a tight query cap (denials), an injection quota (denials),
+# and a flagging detector (flagged_injections).
+_CONFIG = ServingConfig(
+    cache_capacity=16,
+    ttl_injections=1,
+    detector_mode="flag",
+    client_policies=(
+        ("attacker", QuotaPolicy(max_users_per_query=4, max_total_injections=6)),
+    ),
+)
+
+
+def _build(model, deployment: str):
+    if deployment == "single":
+        return RecommendationService(model, config=_CONFIG, detector=_StubDetector())
+    return ShardedRecommendationService(
+        model,
+        n_shards=3,
+        config=_CONFIG,
+        detector=_StubDetector(),
+        engine="threaded" if deployment == "sharded_threaded" else "serial",
+    )
+
+
+def _observable_state(service) -> dict:
+    """Every serving counter an experiment report can read."""
+    stats = service.stats
+    state = {
+        "stats": (
+            stats.n_requests,
+            stats.n_users_served,
+            stats.n_users_scored,
+            stats.n_injections,
+            stats.n_flagged_injections,
+            stats.n_blocked_injections,
+            list(stats.wall_times),
+            list(stats.batch_sizes),
+        ),
+        "cache": service.cache_stats(),
+        "flagged": list(service.flagged_injections),
+        "n_users": service.n_users,
+        "coordinator_denials": (
+            service.limiter.n_denied_queries,
+            service.limiter.n_denied_injections,
+        ),
+    }
+    if isinstance(service, ShardedRecommendationService):
+        state["shards"] = service.shard_summaries()
+        state["shard_denials"] = [
+            (shard.limiter.n_denied_queries, shard.limiter.n_denied_injections)
+            for shard in service.shards
+        ]
+        state["bus"] = (list(service.bus.events), service.bus.n_deliveries)
+        state["makespan_s"] = service.makespan_s()
+        state["total_busy_s"] = service.total_busy_s()
+    return state
+
+
+def _run_episode(service, ops) -> None:
+    for op in ops:
+        try:
+            if op[0] == "inject":
+                service.inject(op[1], client="attacker")
+            else:
+                service.query(op[1], k=op[2], client="attacker")
+        except RateLimitExceededError:
+            pass  # denials are part of the episode's observable record
+
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("query"),
+            st.lists(st.integers(0, N_USERS - 1), min_size=1, max_size=6),
+            st.integers(1, 5),
+        ),
+        st.tuples(
+            st.just("inject"),
+            st.lists(st.integers(0, N_ITEMS - 1), min_size=1, max_size=5, unique=True),
+        ),
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+@pytest.mark.timeout(300)
+@pytest.mark.parametrize(
+    "deployment",
+    ["single", "sharded_serial", "sharded_threaded"],
+    ids=["single", "sharded_engine_serial", "sharded_engine_threaded"],
+)
+@settings(max_examples=25, deadline=None)
+@given(ops=_ops)
+def test_restore_matches_fresh_service(deployment, ops):
+    model = _model()
+    service = _build(model, deployment)
+    try:
+        base = service.snapshot()
+        _run_episode(service, ops)
+        service.restore(base)
+        fresh = _build(service.model, deployment)
+        try:
+            assert _observable_state(service) == _observable_state(fresh)
+        finally:
+            if hasattr(fresh, "close"):
+                fresh.close()
+    finally:
+        if hasattr(service, "close"):
+            service.close()
+
+
+@pytest.mark.parametrize("deployment", ["single", "sharded_serial"])
+def test_flagged_injections_cleared_on_restore(deployment):
+    """Flagged records from rolled-back episodes must not survive: they
+    reference user ids that no longer exist after the model rollback."""
+    service = _build(_model(), deployment)
+    base = service.snapshot()
+    flagged_id = service.inject([0, 1], client="attacker")  # short → flagged
+    assert [uid for uid, _ in service.flagged_injections] == [flagged_id]
+    service.restore(base)
+    assert service.flagged_injections == []
+    assert flagged_id >= service.n_users  # the id it referenced is gone
+    if hasattr(service, "close"):
+        service.close()
+
+
+def test_shard_and_bus_accounting_reset_on_restore():
+    """Makespan, speedup, and fan-out inputs must not double-count dead
+    episodes: per-shard wall-times/counters and bus history all zero."""
+    service = ShardedRecommendationService(
+        _model(), n_shards=3, config=ServingConfig(cache_capacity=32)
+    )
+    base = service.snapshot()
+    service.query(list(range(N_USERS)), k=5)
+    service.inject([0, 1, 2])
+    assert service.total_busy_s() > 0.0
+    assert service.bus.events and service.bus.n_deliveries == 3
+    service.restore(base)
+    assert service.makespan_s() == 0.0
+    assert service.total_busy_s() == 0.0
+    assert service.bus.events == [] and service.bus.n_deliveries == 0
+    for shard in service.shards:
+        assert shard.stats.n_requests == 0
+        assert shard.stats.wall_times == []
+        assert shard.cache.stats.hits == shard.cache.stats.misses == 0
+        assert len(shard.cache) == 0
+    # The bus still works after the reset: subscriptions persist.
+    service.inject([3, 4, 5])
+    assert service.bus.n_deliveries == 3

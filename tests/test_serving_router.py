@@ -1,0 +1,114 @@
+"""Routing determinism, including the virtual-node hash-collision case.
+
+``ConsistentHashRouter`` used to keep both colliding ring points and
+locate keys with ``bisect_right``: a key whose hash equalled the collided
+value then skipped *both* virtual nodes, so the owner of that ring
+position depended on sort tie order versus bisection direction.  The
+contract is now explicit — the ring holds strictly increasing hashes, a
+collision is owned by the lowest shard index, and a key that lands
+exactly on a ring point belongs to that point — pinned here with
+collision-constructed rings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.serving.sharded as sharded_mod
+from repro.errors import ConfigurationError
+from repro.serving import ConsistentHashRouter, ShardRouter
+
+
+def _crafted_router(monkeypatch, vnode_hashes: dict[str, int], n_shards: int):
+    """Build a router whose virtual-node hashes are chosen by the test.
+
+    User/client keys keep the real hash unless listed, so the crafted
+    collisions are surgical: only the ring layout is synthetic.
+    """
+    real_hash = sharded_mod._stable_hash
+
+    def fake_hash(key):
+        if isinstance(key, str) and key in vnode_hashes:
+            return vnode_hashes[key]
+        return real_hash(key)
+
+    monkeypatch.setattr(sharded_mod, "_stable_hash", fake_hash)
+    return ConsistentHashRouter(n_shards, n_replicas=1)
+
+
+class TestCollisionTieBreak:
+    def test_collided_point_owned_by_lowest_shard_index(self, monkeypatch):
+        # Both shards' only virtual nodes collide at hash 100; shard 1
+        # additionally owns a distinct point at 200.  Before the fix a key
+        # hashing exactly to 100 bisected past both collided points and
+        # landed on shard 1 — placement contradicted the sort tie order.
+        router = _crafted_router(
+            monkeypatch,
+            {
+                "shard-0#vnode-0": 100,
+                "shard-1#vnode-0": 100,
+                "shard-2#vnode-0": 200,
+            },
+            n_shards=3,
+        )
+        assert router._ring_hashes == [100, 200]  # strictly increasing
+        assert router._ring_shards == [0, 2]  # collision → lowest index wins
+        assert router._locate(100) == 0  # exactly on the collided point
+        assert router._locate(99) == 0
+        assert router._locate(101) == 2
+        assert router._locate(200) == 2
+        assert router._locate(201) == 0  # wraps around the ring
+
+    def test_total_collision_ring_is_deterministic(self, monkeypatch):
+        # Every virtual node collides: the whole ring is one point, owned
+        # by shard 0, and every key routes there.
+        router = _crafted_router(
+            monkeypatch,
+            {"shard-0#vnode-0": 7, "shard-1#vnode-0": 7},
+            n_shards=2,
+        )
+        assert router._ring_hashes == [7]
+        assert router._ring_shards == [0]
+        for user in range(50):
+            assert router.shard_for_user(user) == 0
+        assert router.shard_for_client("organic") == 0
+
+    def test_key_on_ring_point_belongs_to_that_point(self, monkeypatch):
+        router = _crafted_router(
+            monkeypatch,
+            {"shard-0#vnode-0": 10, "shard-1#vnode-0": 20},
+            n_shards=2,
+        )
+        # "At or clockwise-after": hash 20 is shard 1's own point.
+        assert router._locate(20) == 1
+        assert router._locate(19) == 1
+        assert router._locate(21) == 0  # wrap
+
+
+class TestRingInvariants:
+    def test_real_ring_hashes_strictly_increase(self):
+        router = ConsistentHashRouter(n_shards=7, n_replicas=64)
+        hashes = router._ring_hashes
+        assert all(a < b for a, b in zip(hashes, hashes[1:]))
+        assert len(hashes) == len(router._ring_shards)
+
+    def test_routing_is_stable_across_instances(self):
+        a = ConsistentHashRouter(n_shards=5)
+        b = ConsistentHashRouter(n_shards=5)
+        assert [a.shard_for_user(u) for u in range(200)] == [
+            b.shard_for_user(u) for u in range(200)
+        ]
+
+    def test_adding_a_shard_moves_few_keys(self):
+        before = ConsistentHashRouter(n_shards=4)
+        after = ConsistentHashRouter(n_shards=5)
+        keys = range(2000)
+        moved = sum(before.shard_for_user(u) != after.shard_for_user(u) for u in keys)
+        # Consistent hashing moves ~1/5 of the space; modulo would move ~4/5.
+        assert moved / len(keys) < 0.45
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConsistentHashRouter(n_shards=2, n_replicas=0)
+        with pytest.raises(ConfigurationError):
+            ShardRouter(n_shards=0)

@@ -1,12 +1,14 @@
 """Parity harness: sharded serving is element-wise identical to single.
 
 The sharded deployment restructures the hottest path in the repo, so its
-headline guarantee is behavioural: for every recommender and every shard
-count, a seeded interleaving of queries, injections, and invalidations
-produces *exactly* the top-k lists the single
+headline guarantee is behavioural: for every recommender, every shard
+count, and every execution engine (serial loop or the thread-parallel
+worker pool), a seeded interleaving of queries, injections, and
+invalidations produces *exactly* the top-k lists the single
 ``RecommendationService`` serves — same items, same order, same scoring
 fan-out.  The black-box attack semantics (what the paper's attacker can
-observe) are therefore independent of the deployment shape.
+observe) are therefore independent of the deployment shape *and* of how
+the deployment schedules its per-shard work.
 """
 
 from __future__ import annotations
@@ -32,6 +34,7 @@ from repro.utils.rng import make_rng
 N_USERS = 40
 N_ITEMS = 50
 SHARD_COUNTS = (1, 2, 4, 7)
+ENGINES = ("serial", "threaded")
 
 
 def _dataset() -> InteractionDataset:
@@ -86,11 +89,13 @@ def _replay(service, ops) -> list[list[list[int]]]:
     return outputs
 
 
+@pytest.mark.timeout(120)
+@pytest.mark.parametrize("engine", ENGINES, ids=[f"engine_{e}" for e in ENGINES])
 @pytest.mark.parametrize("ttl_injections", [0, 2], ids=["strict", "ttl2"])
 @pytest.mark.parametrize(
     "model_name", ["popularity", "itemknn", "mf", "neural_cf", "pinsage"]
 )
-def test_sharded_topk_identical_to_single(fitted_models, model_name, ttl_injections):
+def test_sharded_topk_identical_to_single(fitted_models, model_name, ttl_injections, engine):
     model = fitted_models[model_name]
     config = ServingConfig(cache_capacity=256, ttl_injections=ttl_injections)
     ops = _script(seed=100 + ttl_injections)
@@ -102,13 +107,17 @@ def test_sharded_topk_identical_to_single(fitted_models, model_name, ttl_injecti
     single.restore(base)
 
     for n_shards in SHARD_COUNTS:
-        sharded = ShardedRecommendationService(model, n_shards=n_shards, config=config)
-        got = _replay(sharded, ops)
-        assert got == expected, f"{model_name}: shard count {n_shards} diverged"
-        # Same model fan-out too: per-shard dedup/caching does not change
-        # how many users hit the model.
-        assert sharded.stats.n_users_scored == expected_scored
-        sharded.restore(base)
+        with ShardedRecommendationService(
+            model, n_shards=n_shards, config=config, engine=engine
+        ) as sharded:
+            got = _replay(sharded, ops)
+            assert got == expected, (
+                f"{model_name}: shard count {n_shards} diverged under {engine} engine"
+            )
+            # Same model fan-out too: per-shard dedup/caching does not change
+            # how many users hit the model.
+            assert sharded.stats.n_users_scored == expected_scored
+            sharded.restore(base)
 
 
 def test_consistent_hash_routing_parity(fitted_models):
@@ -128,7 +137,9 @@ def test_consistent_hash_routing_parity(fitted_models):
         sharded.restore(base)
 
 
-def test_uncached_sharded_parity(fitted_models):
+@pytest.mark.timeout(120)
+@pytest.mark.parametrize("engine", ENGINES, ids=[f"engine_{e}" for e in ENGINES])
+def test_uncached_sharded_parity(fitted_models, engine):
     """Transparent posture (no cache): fan-out/merge alone is invisible."""
     model = fitted_models["itemknn"]
     ops = _script(seed=13)
@@ -136,9 +147,9 @@ def test_uncached_sharded_parity(fitted_models):
     base = single.snapshot()
     expected = _replay(single, ops)
     single.restore(base)
-    sharded = ShardedRecommendationService(model, n_shards=4)
-    assert _replay(sharded, ops) == expected
-    sharded.restore(base)
+    with ShardedRecommendationService(model, n_shards=4, engine=engine) as sharded:
+        assert _replay(sharded, ops) == expected
+        sharded.restore(base)
 
 
 def test_restore_resets_every_shard(fitted_models):
