@@ -113,3 +113,17 @@ if __name__ == "__main__":
         ),
         "4-shard deployment on the threaded execution engine",
     )
+    # And on the process engine: each shard's state is replicated into a
+    # worker process and kept in lockstep by epoch-stamped replication
+    # events (every injection is acknowledged by every replica before the
+    # next query) — still identical served results, now past the GIL.
+    run(
+        build_platform(
+            dataset,
+            ServingConfig(cache_capacity=256, ttl_injections=4),
+            n_shards=4,
+            background=BackgroundTraffic(workload="diurnal_bursty", seed=5),
+            engine="process",
+        ),
+        "4-shard deployment on the process execution engine",
+    )

@@ -9,8 +9,8 @@ Usage (after ``pip install -e .``)::
     repro-bench budget  --config ml10m_fx          # figures 5/6
     repro-bench quality --config ml20m_nf          # X1 gate
     repro-bench method  --config small --method TargetAttack40
-    repro-bench serve   --config small --shards 4 --workload diurnal \
-                        --engine both --json BENCH_serving.json
+    repro-bench serve   --config small --shards 7 --workload diurnal \
+                        --engine all --json BENCH_serving.json
 
 or ``python -m repro.cli <subcommand> ...``.  Every run is deterministic
 given ``--seed``.
@@ -107,11 +107,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "(sweeps the subset of {1, 2, 4, N} up to N)")
     serve.add_argument("--workload", choices=sorted(_WORKLOAD_NAMES), default="diurnal",
                        help="workload model shaping the shard-scaling replay")
-    serve.add_argument("--engine", choices=("both", "serial", "threaded"), default="both",
+    serve.add_argument("--engine", choices=("all", "both", "serial", "threaded", "process"),
+                       default="all",
                        help="execution engine(s) measured by the shard-scaling sweep: "
                             "'serial' (sequential fan-out, simulated makespan model), "
-                            "'threaded' (one-worker-per-shard pool, measured wall clock), "
-                            "or 'both' (report them side by side)")
+                            "'threaded' (one-worker-per-shard thread pool), 'process' "
+                            "(one worker process per shard with replicated state — "
+                            "parallel compute past the GIL), 'both' (serial+threaded), "
+                            "or 'all' (report every engine side by side)")
     serve.add_argument("--shard-latency-ms", type=float, default=2.0,
                        help="modelled per-slice RPC latency of a remote shard worker "
                             "(threaded engine overlaps it; excluded from simulated busy time)")
@@ -246,7 +249,12 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "serve":
         shard_counts = sorted(c for c in {1, 2, 4, args.shards} if c <= args.shards)
-        engines = ("serial", "threaded") if args.engine == "both" else (args.engine,)
+        if args.engine == "all":
+            engines = ("serial", "threaded", "process")
+        elif args.engine == "both":
+            engines = ("serial", "threaded")
+        else:
+            engines = (args.engine,)
         result = run_serving_benchmark(
             prep, cohort_size=args.cohort, k=args.k,
             n_requests=args.requests, repeats=args.repeats,
@@ -281,13 +289,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             [f"{entry['n_shards']} shard(s)",
              entry["measured"].get("serial_wall_s", float("nan")),
              entry["measured"].get("threaded_wall_s", float("nan")),
-             entry["measured"].get("speedup_vs_serial", float("nan")),
-             entry["measured"].get("threaded_scale_vs_1", float("nan"))]
+             entry["measured"].get("process_wall_s", float("nan")),
+             entry["measured"].get("threaded_speedup_vs_serial", float("nan")),
+             entry["measured"].get("process_speedup_vs_serial", float("nan"))]
             for entry in scaling["per_shard_count"].values()
         ]
         print(format_table(
-            ["deployment", "serial wall s", "threaded wall s",
-             "engine speedup", "threaded scale vs 1"], measured_rows,
+            ["deployment", "serial wall s", "threaded wall s", "process wall s",
+             "threaded speedup", "process speedup"], measured_rows,
             title=f"Shard scaling (measured wall clock) — "
                   f"shard RPC latency {scaling['shard_latency_s'] * 1e3:g} ms",
         ))

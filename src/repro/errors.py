@@ -51,3 +51,13 @@ class InjectionBlockedError(ReproError):
 
 class SnapshotError(ReproError):
     """A snapshot is inconsistent with the state it is being restored onto."""
+
+
+class StaleReplicaError(ReproError):
+    """A shard worker's replicated state lags the coordinator's epoch.
+
+    Raised by the process-engine replication protocol when a worker is
+    asked to serve (or apply an event) at an epoch that does not match
+    its own — the detectable-staleness guarantee that keeps replicated
+    shard state in lockstep with the coordinator's model version.
+    """

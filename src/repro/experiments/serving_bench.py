@@ -18,8 +18,9 @@ in ``benchmarks/test_serving.py``:
   throughput and latency percentiles.
 * **shard scaling** — the sharded deployment replayed per shard count,
   reporting the historical *simulated* makespan model and the *measured*
-  wall clock of the real execution engines (serial fan-out vs the
-  thread-parallel worker pool) side by side.
+  wall clock of the real execution engines (serial fan-out, the
+  thread-parallel worker pool, and the process pool with replicated
+  shard state) side by side.
 
 The platform model is snapshotted around the replay so the shared
 prepared experiment is returned to its pre-benchmark state.
@@ -139,14 +140,14 @@ def _min_wall_replay(
 
 def run_shard_scaling(
     model: Recommender,
-    shard_counts: Sequence[int] = (1, 2, 4),
+    shard_counts: Sequence[int] = (1, 2, 4, 7),
     k: int = 20,
     n_requests: int = 120,
     cohort_size: int = 64,
     workload: str = "diurnal",
     seed: int = 0,
     repeats: int = 3,
-    engines: Sequence[str] = ("serial", "threaded"),
+    engines: Sequence[str] = ("serial", "threaded", "process"),
     shard_latency_s: float = 0.002,
 ) -> dict:
     """Throughput scaling of the sharded deployment over ``shard_counts``.
@@ -165,13 +166,15 @@ def run_shard_scaling(
       replay under each requested engine.  ``shard_latency_s`` models the
       per-slice RPC/service latency of a remote shard worker (excluded
       from busy time, so simulated numbers stay pure compute): the
-      threaded engine overlaps those waits — and, on multi-core hosts,
-      the GIL-releasing BLAS scoring — across shards, while the serial
-      engine pays them in sequence.  ``speedup_vs_serial`` is the
-      measured wall-clock ratio of the two engines at the same shard
-      count (the real-execution acceptance number), and measured
-      ``scale_vs_1`` compares threaded users/s against the 1-shard
-      threaded baseline.
+      threaded and process engines overlap those waits — and the
+      GIL-releasing BLAS scoring (threads, multi-core hosts) or *all*
+      python-level scoring (processes) — across shards, while the serial
+      engine pays them in sequence.  ``<engine>_speedup_vs_serial`` is
+      the measured wall-clock ratio of each parallel engine against the
+      serial fan-out at the same shard count (the real-execution
+      acceptance numbers; the legacy ``speedup_vs_serial`` key remains
+      the threaded ratio), and measured ``scale_vs_1`` compares each
+      engine's users/s against its own 1-shard baseline.
 
     Uses whole-cohort requests (``cohort_size`` users each) so per-shard
     work is scoring-dominated rather than per-request overhead.  A
@@ -245,10 +248,17 @@ def run_shard_scaling(
                 measured_baselines[engine] = users_per_s
             baseline = measured_baselines.get(engine, 0.0)
             measured[f"{engine}_scale_vs_1"] = users_per_s / baseline if baseline > 0 else 0.0
-        if "serial" in walls and "threaded" in walls:
-            measured["speedup_vs_serial"] = (
-                walls["serial"] / walls["threaded"] if walls["threaded"] > 0 else 0.0
-            )
+        if "serial" in walls:
+            for other in engines:
+                if other == "serial" or other not in walls:
+                    continue
+                measured[f"{other}_speedup_vs_serial"] = (
+                    walls["serial"] / walls[other] if walls[other] > 0 else 0.0
+                )
+        if "threaded_speedup_vs_serial" in measured:
+            # Legacy key from the two-engine era; CI gates and committed
+            # artifacts read it, so it stays an alias for the threaded ratio.
+            measured["speedup_vs_serial"] = measured["threaded_speedup_vs_serial"]
         entry["measured"] = measured
         results[str(n_shards)] = entry
     return {
@@ -270,9 +280,9 @@ def run_serving_benchmark(
     ncf_factors: int = 48,
     ncf_epochs: int = 2,
     seed: int = 0,
-    shard_counts: Sequence[int] = (1, 2, 4),
+    shard_counts: Sequence[int] = (1, 2, 4, 7),
     workload: str = "diurnal",
-    engines: Sequence[str] = ("serial", "threaded"),
+    engines: Sequence[str] = ("serial", "threaded", "process"),
     shard_latency_s: float = 0.002,
 ) -> dict:
     """Full serving benchmark against a prepared experiment.

@@ -104,6 +104,37 @@ class Recommender:
         top = part[rows, order]
         return list(top)
 
+    # -- serving cache lifecycle --------------------------------------------
+    def prewarm(self):
+        """Rebuild lazy scoring caches now; return their replicable state.
+
+        Some models defer derived scoring state to first use after an
+        injection (ItemKNN's similarity matrix, NeuralCF's fused
+        first-layer tensor).  In a replicated deployment that laziness
+        multiplies: every shard worker would rebuild the identical cache
+        on its first post-injection query.  ``prewarm`` performs the
+        rebuild exactly once — the serving layer calls it post-injection
+        before fan-out — and returns an opaque picklable payload that
+        peer replicas install verbatim via :meth:`apply_prewarm`.
+
+        Models with no lazy scoring state return ``None`` (the default),
+        which :meth:`apply_prewarm` treats as a no-op — as do models
+        whose caches were already warm when called (peers hold an
+        identical copy then, so nothing is worth serializing).
+        """
+        return None
+
+    def apply_prewarm(self, state) -> None:
+        """Install pre-warmed scoring caches built by a peer replica.
+
+        ``state`` is whatever the peer's :meth:`prewarm` returned;
+        ``None`` means the model has nothing to install.
+        """
+
+    def prewarm_stats(self) -> dict[str, int]:
+        """Build counters for the lazy caches (exactly-once test hooks)."""
+        return {}
+
     # -- mutation -----------------------------------------------------------
     def add_user(self, profile: Sequence[int]) -> int:
         """Add a user with ``profile``; update representations inductively."""

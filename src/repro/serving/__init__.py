@@ -14,22 +14,26 @@ and, sharded (``ShardedRecommendationService``)::
 
 See :mod:`repro.serving.service` for the composition,
 :mod:`repro.serving.sharded` for the multi-worker deployment,
-:mod:`repro.serving.engine` for the serial/threaded execution engines
-resolving per-shard work, :mod:`repro.serving.workload` for composable
-demand models, and :mod:`repro.serving.traffic` for the organic-load
-benchmark harness.
+:mod:`repro.serving.engine` for the serial/threaded/process execution
+engines resolving per-shard work, :mod:`repro.serving.replica` for the
+process-engine replication protocol (epoch-stamped events, pre-warm
+fan-out), :mod:`repro.serving.workload` for composable demand models,
+and :mod:`repro.serving.traffic` for the organic-load benchmark
+harness.
 """
 
 from repro.serving.cache import CacheStats, TopKCache
 from repro.serving.engine import (
     ENGINES,
     ExecutionEngine,
+    ProcessEngine,
     ReadWriteLock,
     SerialEngine,
     ThreadedEngine,
     make_engine,
 )
 from repro.serving.rate_limit import UNLIMITED, QuotaPolicy, RateLimiter
+from repro.serving.replica import ReplicationEvent
 from repro.serving.service import RecommendationService, ServiceStats, ServingConfig
 from repro.serving.sharded import (
     ConsistentHashRouter,
@@ -74,6 +78,8 @@ __all__ = [
     "ExecutionEngine",
     "SerialEngine",
     "ThreadedEngine",
+    "ProcessEngine",
+    "ReplicationEvent",
     "make_engine",
     "ENGINES",
     "ReadWriteLock",

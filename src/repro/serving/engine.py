@@ -16,10 +16,22 @@ policy, not serving semantics, so it lives behind the
   shard worker costs in a real deployment) overlaps across shards, so
   the replay's wall clock is *measured* parallel time rather than a
   model of it.
+* :class:`ProcessEngine` — one persistent single-worker
+  ``ProcessPoolExecutor`` **per shard**, so CPU-heavy scoring (MF dot
+  products, NeuralCF forward passes) parallelises past the GIL.  Process
+  workers share no memory with the coordinator, which changes the
+  architecture rather than just the scheduling: the engine only moves
+  picklable messages, and the sharded service replicates each shard's
+  state into its worker and keeps it in lockstep through epoch-stamped
+  replication events (see :mod:`repro.serving.replica`).  Because tasks
+  are *routed* (shard ``i``'s work must reach the worker holding shard
+  ``i``'s replica), the process engine exposes ``submit_to``/``broadcast``
+  instead of the closure-based :meth:`ExecutionEngine.run`.
 
-Both engines resolve the same task list and return results in task
+All engines resolve the same per-shard work and return results in task
 order, so merged top-k output is bit-identical across engines — the
-parity harness pins this for every recommender and shard count.
+engine-conformance suite pins this for every recommender and shard
+count (``tests/test_engine_conformance.py``).
 
 The module also provides :class:`ReadWriteLock`, the coordination
 primitive the sharded service uses to let concurrent queries share the
@@ -30,8 +42,9 @@ not starved by a stream of organic queries).
 
 from __future__ import annotations
 
+import multiprocessing
 import threading
-from concurrent.futures import ThreadPoolExecutor, wait
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor, wait
 from contextlib import contextmanager
 from typing import Callable, Iterator, Sequence, TypeVar
 
@@ -41,6 +54,7 @@ __all__ = [
     "ExecutionEngine",
     "SerialEngine",
     "ThreadedEngine",
+    "ProcessEngine",
     "make_engine",
     "ENGINES",
     "ReadWriteLock",
@@ -49,7 +63,7 @@ __all__ = [
 T = TypeVar("T")
 
 #: Engine mode names accepted by ``ServingConfig.engine`` / ``make_engine``.
-ENGINES = ("serial", "threaded")
+ENGINES = ("serial", "threaded", "process")
 
 
 class ExecutionEngine:
@@ -60,9 +74,21 @@ class ExecutionEngine:
     their own shard's state (each shard's lock confines its cache, quota
     windows, and counters to whichever engine thread resolves it), so
     engines need no knowledge of serving internals.
+
+    ``shares_memory`` declares whether workers see the coordinator's
+    objects directly.  When it is ``False`` (the process engine) the
+    coordinator cannot hand workers closures over shared state — it must
+    replicate shard state into the workers and route picklable messages
+    with :meth:`submit_to`/:meth:`broadcast` instead of :meth:`run`.
     """
 
     name: str = "?"
+    #: Workers observe the coordinator's live objects (threads) rather
+    #: than operating on a serialized replica (processes).
+    shares_memory: bool = True
+    #: Slices of one request may resolve at the same time (so shared
+    #: lazy state must be rebuilt *before* fan-out, not raced during it).
+    concurrent: bool = False
 
     def run(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
         raise NotImplementedError
@@ -98,6 +124,7 @@ class ThreadedEngine(ExecutionEngine):
     """
 
     name = "threaded"
+    concurrent = True
 
     def __init__(self, n_workers: int) -> None:
         if n_workers <= 0:
@@ -140,6 +167,102 @@ class ThreadedEngine(ExecutionEngine):
             pass  # interpreter shutdown: executor internals may be gone
 
 
+class ProcessEngine(ExecutionEngine):
+    """Route per-shard work to one persistent worker *process* per shard.
+
+    Unlike the threaded pool, a worker here owns a private address space:
+    the sharded service installs a replica of the shard's state into it
+    at pool start (see :mod:`repro.serving.replica`) and every subsequent
+    interaction is a picklable message.  One single-worker
+    ``ProcessPoolExecutor`` per shard — rather than one N-worker pool —
+    is what makes routing deterministic: shard ``i``'s messages always
+    land on the process holding shard ``i``'s replica.
+
+    ``start_method`` defaults to ``fork`` where the platform offers it
+    (workers start in milliseconds) and falls back to ``spawn``.  The
+    serialization contract is identical under both: submitted functions
+    and arguments always cross the process boundary through a pickled
+    call pipe, so nothing can accidentally lean on inherited memory.
+    Note for Python >= 3.12: forking after sibling pools have started
+    their executor threads draws a ``DeprecationWarning`` (and 3.14
+    changes the platform default); pass ``start_method="spawn"`` or
+    ``"forkserver"`` there — everything else is start-method agnostic.
+    """
+
+    name = "process"
+    shares_memory = False
+    concurrent = True
+
+    def __init__(self, n_workers: int, start_method: str | None = None) -> None:
+        if n_workers <= 0:
+            raise ConfigurationError("ProcessEngine needs a positive worker count")
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self.n_workers = n_workers
+        self.start_method = start_method
+        context = multiprocessing.get_context(start_method)
+        self._pools = [
+            ProcessPoolExecutor(max_workers=1, mp_context=context)
+            for _ in range(n_workers)
+        ]
+        self._closed = False
+
+    def run(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
+        raise ConfigurationError(
+            "ProcessEngine workers hold replicated shard state and cannot run "
+            "coordinator closures; route picklable calls with submit_to/broadcast"
+        )
+
+    def submit_to(self, worker: int, fn: Callable, /, *args) -> Future:
+        """Submit ``fn(*args)`` to worker ``worker``'s process (non-blocking).
+
+        ``fn`` must be a module-level callable and every argument
+        picklable — the call crosses the process boundary.
+        """
+        if self._closed:
+            raise ConfigurationError("ProcessEngine is closed")
+        return self._pools[worker].submit(fn, *args)
+
+    def call(self, worker: int, fn: Callable, /, *args):
+        """Synchronous :meth:`submit_to` (replication/control round trips)."""
+        return self.submit_to(worker, fn, *args).result()
+
+    def broadcast(self, fn: Callable, /, *args) -> list:
+        """Run ``fn(*args)`` on every worker; results in worker order.
+
+        Like :meth:`gather`, every worker finishes before the first
+        failure (by worker order) is re-raised in the caller.
+        """
+        return self.gather([self.submit_to(i, fn, *args) for i in range(self.n_workers)])
+
+    @staticmethod
+    def gather(futures: Sequence[Future]) -> list:
+        """Drain ``futures`` and return results in submission order.
+
+        Mirrors the threaded engine's drain-before-raise contract: the
+        caller may hold a lock covering every in-flight worker message,
+        so no sibling may still be executing when this returns or raises.
+        """
+        wait(futures)
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            for pool in self._pools:
+                pool.shutdown(wait=True)
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            if not self._closed:
+                self._closed = True
+                for pool in self._pools:
+                    pool.shutdown(wait=False)
+        except Exception:
+            pass  # interpreter shutdown: executor internals may be gone
+
+
 def make_engine(spec: str | ExecutionEngine, n_workers: int) -> ExecutionEngine:
     """Resolve an engine mode name (or pass an instance through)."""
     if isinstance(spec, ExecutionEngine):
@@ -148,6 +271,8 @@ def make_engine(spec: str | ExecutionEngine, n_workers: int) -> ExecutionEngine:
         return SerialEngine()
     if spec == "threaded":
         return ThreadedEngine(n_workers)
+    if spec == "process":
+        return ProcessEngine(n_workers)
     raise ConfigurationError(f"engine must be one of {ENGINES} or an ExecutionEngine")
 
 

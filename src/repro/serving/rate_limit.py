@@ -99,6 +99,23 @@ class RateLimiter:
         self.n_denied_queries = 0
         self.n_denied_injections = 0
 
+    def __getstate__(self) -> dict:
+        """Pickle policies, windows, and counters; not the in-process lock.
+
+        Process-engine workers receive the shard's limiter as part of
+        the replicated serving state, so the object must serialize; the
+        lock is recreated fresh on load.  A caller-supplied closure
+        ``clock`` would still fail to pickle — by design: deterministic
+        fake clocks are single-process test instruments.
+        """
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     def policy_for(self, client: str) -> QuotaPolicy:
         return self.per_client.get(client, self.default_policy)
 

@@ -1,0 +1,328 @@
+"""Worker-side shard replica protocol for the process execution engine.
+
+A process-engine worker shares no memory with the coordinator, so the
+shard it serves is a **replica**: the model, the shard's
+:class:`~repro.serving.cache.TopKCache`, its
+:class:`~repro.serving.rate_limit.RateLimiter` policies, and its
+:class:`~repro.serving.service.ServiceStats` are serialized into the
+worker process at pool start (:func:`install_replica`) and kept in
+lockstep afterwards through explicit replication messages:
+
+* every injection is an epoch-stamped :class:`ReplicationEvent` — the
+  worker applies the same ``add_user`` the coordinator applied, installs
+  the coordinator's pre-warmed scoring caches instead of rebuilding them
+  (:meth:`~repro.recsys.base.Recommender.apply_prewarm`), advances its
+  staleness clock, and acknowledges the new epoch;
+* every episode restore is a ``resync`` event carrying the rolled-back
+  model, which replaces the replica wholesale and resets serving state;
+* every query slice carries the coordinator's current epoch, and a
+  worker whose replica lags (or leads) raises
+  :class:`~repro.errors.StaleReplicaError` instead of silently serving a
+  stale model version — the detectability guarantee the replication
+  property tests pin.
+
+The functions in this module are the only code that runs inside worker
+processes.  They are module-level (picklable by reference), take only
+picklable arguments, and return small result records
+(:class:`SliceResult` / :class:`ReplicaAck`) that the coordinator folds
+into its per-shard mirrors so reports and conformance counters are
+engine-independent.
+
+:func:`resolve_slice` — the cache-lookup/batch-score/store step — is
+shared with the in-memory engines' resolution path, so a slice resolves
+through byte-identical logic whether the shard lives in the coordinator
+process or in a worker replica.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, StaleReplicaError
+from repro.serving.cache import TopKCache
+from repro.serving.rate_limit import RateLimiter
+from repro.serving.service import ServiceStats, ServingConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.recsys.base import Recommender
+
+__all__ = [
+    "ReplicationEvent",
+    "SliceResult",
+    "ReplicaAck",
+    "resolve_slice",
+    "install_replica",
+    "query_slice",
+    "apply_event",
+    "probe_replica",
+]
+
+
+@dataclass(frozen=True)
+class ReplicationEvent:
+    """One epoch-stamped state change broadcast to every shard.
+
+    ``kind`` is ``"inject"`` (a profile landed: ``user_id``/``profile``
+    are set, ``prewarm`` carries the coordinator's freshly rebuilt lazy
+    scoring caches) or ``"resync"`` (an episode restore: ``model_blob``
+    is the pickled rolled-back model that replaces each replica
+    wholesale).  ``epoch`` is the model version the event produces; a
+    replica must be at exactly ``epoch - 1`` to apply an ``inject`` and
+    acknowledges ``epoch`` once applied.
+    """
+
+    kind: str
+    epoch: int
+    user_id: int | None = None
+    profile: tuple[int, ...] | None = None
+    prewarm: object = None
+    model_blob: bytes | None = None
+
+
+@dataclass(frozen=True)
+class CacheSnapshot:
+    """Counter view of a replica's cache, mirrored back to the coordinator.
+
+    ``seq`` is the replica's state-change sequence number (every applied
+    slice or event increments it): snapshots from one replica can arrive
+    at the coordinator out of order when concurrent client threads
+    complete their fan-outs in a different order than the worker served
+    them, and the mirror must only ever move forward.
+    """
+
+    seq: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    version: int = 0
+    n_entries: int = 0
+
+
+@dataclass(frozen=True)
+class SliceResult:
+    """Outcome of one query slice resolved inside a worker replica."""
+
+    n_scored: int
+    results: list[np.ndarray]
+    elapsed: float
+    epoch: int
+    model_n_users: int
+    cache: CacheSnapshot | None
+
+
+@dataclass(frozen=True)
+class ReplicaAck:
+    """Acknowledgement that a replica applied a replication event."""
+
+    shard_index: int
+    epoch: int
+    model_n_users: int
+    cache: CacheSnapshot | None
+
+
+def resolve_slice(
+    model: "Recommender",
+    cache: TopKCache | None,
+    users: Sequence[int],
+    k: int,
+    exclude_seen: bool,
+    use_cache: bool,
+) -> tuple[int, list[np.ndarray]]:
+    """Resolve one shard's slice: cache lookups, one batch over the misses.
+
+    This is the single definition of slice semantics.  The in-memory
+    engines call it from the coordinator process under the shard's lock;
+    process workers call it against their replica — so cache hit/miss
+    counters and served lists are identical across engines by
+    construction, not by parallel maintenance of two code paths.
+    """
+    if cache is None or not use_cache:
+        return len(users), model.top_k_batch(users, k, exclude_seen=exclude_seen)
+    results = [cache.lookup(u, k, exclude_seen) for u in users]
+    missing = sorted({u for u, r in zip(users, results) if r is None})
+    if missing:
+        fresh = dict(zip(missing, model.top_k_batch(missing, k, exclude_seen=exclude_seen)))
+        for u, items in fresh.items():
+            cache.store(u, k, exclude_seen, items)
+        results = [fresh[u] if r is None else r for u, r in zip(users, results)]
+    return len(missing), results
+
+
+class _ReplicaState:
+    """Everything one worker process holds for its shard."""
+
+    def __init__(
+        self,
+        shard_index: int,
+        model: "Recommender",
+        config: ServingConfig,
+        epoch: int,
+        shard_latency_s: float,
+    ) -> None:
+        self.shard_index = shard_index
+        self.model = model
+        self.config = config
+        self.epoch = epoch
+        self.shard_latency_s = shard_latency_s
+        self.seq = 0  # state-change counter; see CacheSnapshot.seq
+        self.cache = (
+            TopKCache(capacity=config.cache_capacity, ttl_injections=config.ttl_injections)
+            if config.cache_capacity > 0
+            else None
+        )
+        # Replicated alongside the cache so the worker owns the complete
+        # shard serving state; admission itself stays at the coordinator
+        # front door (a client's admissions must serialize *before*
+        # fan-out), so these windows see no traffic in this deployment.
+        self.limiter = RateLimiter(
+            default_policy=config.default_policy,
+            per_client=dict(config.client_policies),
+        )
+        self.stats = ServiceStats()
+
+    def cache_snapshot(self) -> CacheSnapshot | None:
+        if self.cache is None:
+            return None
+        stats = self.cache.stats
+        return CacheSnapshot(
+            seq=self.seq,
+            hits=stats.hits,
+            misses=stats.misses,
+            evictions=stats.evictions,
+            invalidations=stats.invalidations,
+            version=self.cache.version,
+            n_entries=len(self.cache),
+        )
+
+    def ack(self) -> ReplicaAck:
+        return ReplicaAck(
+            shard_index=self.shard_index,
+            epoch=self.epoch,
+            model_n_users=self.model.dataset.n_users,
+            cache=self.cache_snapshot(),
+        )
+
+
+#: The one replica this worker process serves (single-worker pools mean
+#: exactly one shard's state per process).
+_REPLICA: _ReplicaState | None = None
+
+
+def _require_replica() -> _ReplicaState:
+    if _REPLICA is None:
+        raise ConfigurationError("replica worker used before install_replica")
+    return _REPLICA
+
+
+def install_replica(
+    shard_index: int,
+    model_blob: bytes,
+    config: ServingConfig,
+    epoch: int,
+    shard_latency_s: float,
+) -> ReplicaAck:
+    """Deserialize the shard's state into this worker (pool start).
+
+    ``model_blob`` is pickled once by the coordinator and shipped to
+    every worker, so N replicas cost one serialization.
+    """
+    global _REPLICA
+    _REPLICA = _ReplicaState(
+        shard_index=shard_index,
+        model=pickle.loads(model_blob),
+        config=config,
+        epoch=epoch,
+        shard_latency_s=shard_latency_s,
+    )
+    return _REPLICA.ack()
+
+
+def query_slice(
+    expected_epoch: int,
+    users: list[int],
+    k: int,
+    exclude_seen: bool,
+    use_cache: bool,
+) -> SliceResult:
+    """Resolve one slice against the replica at ``expected_epoch``.
+
+    The modelled shard-worker RPC latency is slept before the timed
+    region and the busy clock covers only resolution, matching the
+    in-memory engines' accounting (busy time stays pure compute).
+    """
+    state = _require_replica()
+    if state.epoch != expected_epoch:
+        raise StaleReplicaError(
+            f"shard {state.shard_index} replica is at epoch {state.epoch}, "
+            f"coordinator expected {expected_epoch}"
+        )
+    if state.shard_latency_s > 0.0:
+        time.sleep(state.shard_latency_s)
+    t0 = time.perf_counter()
+    n_scored, results = resolve_slice(state.model, state.cache, users, k, exclude_seen, use_cache)
+    elapsed = time.perf_counter() - t0
+    state.stats.record_request(len(users), n_scored, elapsed)
+    state.seq += 1
+    return SliceResult(
+        n_scored=n_scored,
+        results=results,
+        elapsed=elapsed,
+        epoch=state.epoch,
+        model_n_users=state.model.dataset.n_users,
+        cache=state.cache_snapshot(),
+    )
+
+
+def apply_event(event: ReplicationEvent) -> ReplicaAck:
+    """Apply one replication event to this worker's replica."""
+    state = _require_replica()
+    if event.kind == "inject":
+        if event.epoch != state.epoch + 1:
+            raise StaleReplicaError(
+                f"shard {state.shard_index} replica at epoch {state.epoch} received "
+                f"out-of-order injection epoch {event.epoch}"
+            )
+        user_id = state.model.add_user(list(event.profile))
+        if user_id != event.user_id:
+            raise StaleReplicaError(
+                f"shard {state.shard_index} replica assigned user id {user_id} "
+                f"to an injection the coordinator recorded as {event.user_id}"
+            )
+        state.model.apply_prewarm(event.prewarm)
+        if state.cache is not None:
+            state.cache.note_injection()
+        state.epoch = event.epoch
+    elif event.kind == "resync":
+        state.model = pickle.loads(event.model_blob)
+        if state.cache is not None:
+            # Entries and counters clear; the monotonic staleness clock
+            # keeps ticking, matching the coordinator-side shard reset
+            # (TTL freshness is relative, so only entries must go).
+            state.cache.flush()
+            state.cache.stats.reset()
+        state.limiter.reset()
+        state.stats.reset()
+        state.epoch = event.epoch
+    else:
+        raise ConfigurationError(f"unknown replication event kind {event.kind!r}")
+    state.seq += 1
+    return state.ack()
+
+
+def probe_replica() -> dict:
+    """Diagnostic view of the replica (epoch checks, pre-warm accounting)."""
+    state = _require_replica()
+    return {
+        "shard": state.shard_index,
+        "epoch": state.epoch,
+        "n_users": state.model.dataset.n_users,
+        "n_requests": state.stats.n_requests,
+        "cache_entries": len(state.cache) if state.cache is not None else 0,
+        "prewarm": state.model.prewarm_stats(),
+    }

@@ -58,9 +58,12 @@ class ServingConfig:
     client_policies: tuple[tuple[str, QuotaPolicy], ...] = ()
     detector_mode: str = "off"  # off | flag | block
     # How the sharded coordinator resolves per-shard slices: "serial"
-    # (sequential loop; simulated-makespan accounting) or "threaded"
-    # (persistent one-worker-per-shard pool; measured parallel wall
-    # clock).  The single service has no shards and ignores this field.
+    # (sequential loop; simulated-makespan accounting), "threaded"
+    # (persistent one-worker-per-shard thread pool; measured parallel
+    # wall clock), or "process" (one worker process per shard holding a
+    # replicated shard state, kept in lockstep by epoch-stamped
+    # replication events — parallel compute past the GIL).  The single
+    # service has no shards and ignores this field.
     engine: str = "serial"
 
     def __post_init__(self) -> None:
@@ -94,6 +97,21 @@ class ServiceStats:
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
+
+    def __getstate__(self) -> dict:
+        """Pickle counters only: thread locks cannot cross process bounds.
+
+        Process-engine workers receive their ``ServiceStats`` as part of
+        the replicated shard state, so the object must serialize; the
+        lock is an in-process concern and is recreated fresh on load.
+        """
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def record_request(self, n_users: int, n_scored: int, elapsed: float) -> None:
         with self._lock:

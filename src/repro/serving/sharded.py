@@ -27,15 +27,48 @@ identical top-k lists):
   version counter).
 
 How a request's per-shard slices execute is an
-:class:`~repro.serving.engine.ExecutionEngine` policy (``serial`` or
-``threaded``, selected by ``ServingConfig.engine`` or the ``engine``
-constructor argument).  Under the *serial* engine, per-shard busy time
-still feeds the historical **simulated** makespan model (parallel wall
-time = the busiest worker's accumulated busy time).  Under the
-*threaded* engine a persistent one-worker-per-shard pool resolves the
-slices concurrently, so a replay's wall clock is **measured** parallel
-time; the shard-scaling benchmark (``repro-bench serve``) reports both
-side by side.
+:class:`~repro.serving.engine.ExecutionEngine` policy (``serial``,
+``threaded``, or ``process``, selected by ``ServingConfig.engine`` or
+the ``engine`` constructor argument).  Under the *serial* engine,
+per-shard busy time still feeds the historical **simulated** makespan
+model (parallel wall time = the busiest worker's accumulated busy
+time).  Under the *threaded* engine a persistent one-worker-per-shard
+pool resolves the slices concurrently, so a replay's wall clock is
+**measured** parallel time; the shard-scaling benchmark
+(``repro-bench serve``) reports both side by side.
+
+Under the *process* engine the shards stop sharing memory entirely:
+each shard's serving state (a model replica, its cache, its limiter
+policies, its stats) is serialized into a persistent worker process at
+pool start, and the coordinator keeps the replicas in lockstep through
+an epoch-stamped replication protocol (see :mod:`repro.serving.replica`):
+
+* the coordinator's model is the source of truth; its version is a
+  monotonically increasing **epoch** (bumped by every injection and
+  every episode restore);
+* every injection publishes a :class:`~repro.serving.replica.ReplicationEvent`
+  on the :class:`InvalidationBus` carrying the profile, the new epoch,
+  and the coordinator's freshly **pre-warmed** lazy scoring caches
+  (:meth:`~repro.recsys.base.Recommender.prewarm` — built exactly once,
+  installed verbatim by every replica instead of N duplicate rebuilds);
+* every restore publishes a ``resync`` event shipping the rolled-back
+  model wholesale;
+* every query slice carries the coordinator's epoch, and a replica
+  whose state lags raises
+  :class:`~repro.errors.StaleReplicaError` instead of silently serving
+  a pre-injection model version — staleness is *detectable*, never
+  silent (acknowledged epochs are pinned by a hypothesis property
+  test);
+* per-shard stats and cache counters accrue inside the workers and are
+  shipped back with every slice result and replication ack, then merged
+  into coordinator-side mirror shards, so reports and the
+  engine-conformance counters are identical across engines.
+
+Client admission (rate limiting) stays at the coordinator front door in
+every mode: a client's admissions must serialize *before* fan-out for
+per-shard quota state to be observationally identical to one global
+limiter, so the home-shard limiter mirrors are authoritative and the
+replicated worker-side limiters see no traffic in this deployment.
 
 Thread-safety contract (what makes the threaded engine correct):
 
@@ -61,6 +94,7 @@ Thread-safety contract (what makes the threaded engine correct):
 from __future__ import annotations
 
 import bisect
+import pickle
 import time
 import zlib
 from functools import partial
@@ -69,10 +103,12 @@ from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, StaleReplicaError
+from repro.serving import replica as replica_proto
 from repro.serving.cache import CacheStats, TopKCache
 from repro.serving.engine import ExecutionEngine, ReadWriteLock, make_engine
 from repro.serving.rate_limit import UNLIMITED, RateLimiter
+from repro.serving.replica import CacheSnapshot, ReplicationEvent
 from repro.serving.service import RecommendationService, ServiceStats, ServingConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -162,27 +198,41 @@ class ConsistentHashRouter(ShardRouter):
 
 
 class InvalidationBus:
-    """Broadcasts injection events to every subscribed shard.
+    """Broadcasts replication events to every subscribed shard.
 
-    The bus is the mechanism that keeps per-shard staleness clocks in
-    lockstep with the single-cache version counter: one published event
-    reaches *every* subscriber exactly once, in subscription order.
-    ``events``/``n_deliveries`` exist so tests can assert the fan-out.
+    The bus is the mechanism that keeps per-shard state in lockstep with
+    the coordinator's model version: one published
+    :class:`~repro.serving.replica.ReplicationEvent` reaches *every*
+    subscriber exactly once, in subscription order.  For in-memory
+    shards an ``inject`` event advances the shard's staleness clock; for
+    process-engine replicas the subscriber forwards the event into the
+    worker (apply the injection + pre-warmed caches, or resync the whole
+    model after a restore) and waits for the epoch acknowledgement.
+
+    ``events``/``n_deliveries`` track *injection* fan-out so tests and
+    reports can assert it; ``n_resyncs`` counts restore-driven resync
+    broadcasts separately (episode control, not episode-observable
+    traffic).
     """
 
     def __init__(self) -> None:
-        self._subscribers: list[Callable[[int], None]] = []
+        self._subscribers: list[Callable[[ReplicationEvent], None]] = []
         self.events: list[int] = []  # user ids of published injections
         self.n_deliveries = 0
+        self.n_resyncs = 0
 
-    def subscribe(self, callback: Callable[[int], None]) -> None:
+    def subscribe(self, callback: Callable[[ReplicationEvent], None]) -> None:
         self._subscribers.append(callback)
 
-    def publish(self, user_id: int) -> None:
-        self.events.append(int(user_id))
+    def publish(self, event: ReplicationEvent) -> None:
+        if event.kind == "inject":
+            self.events.append(int(event.user_id))
+        else:
+            self.n_resyncs += 1
         for callback in self._subscribers:
-            callback(int(user_id))
-            self.n_deliveries += 1
+            callback(event)
+            if event.kind == "inject":
+                self.n_deliveries += 1
 
     def reset(self) -> None:
         """Forget delivered history (episode boundary; subscriptions persist).
@@ -192,6 +242,7 @@ class InvalidationBus:
         """
         self.events.clear()
         self.n_deliveries = 0
+        self.n_resyncs = 0
 
 
 class _WorkerShard:
@@ -200,6 +251,14 @@ class _WorkerShard:
     ``lock`` guards every mutable field; the engine worker resolving this
     shard's slice, bus-driven invalidations, and episode restores all
     hold it, so shard state is consistent under the threaded engine.
+
+    Under the process engine this object is the coordinator-side
+    **mirror** of a replica living in a worker process (``remote`` is
+    set): the cache here holds no entries — the replica's counters are
+    shipped back with every slice result and replication ack and folded
+    in via :meth:`apply_snapshot`, so reporting reads one shape of shard
+    regardless of engine.  The limiter is always coordinator-side and
+    authoritative (admission happens before fan-out).
     """
 
     def __init__(
@@ -211,6 +270,9 @@ class _WorkerShard:
     ) -> None:
         self.index = index
         self.lock = Lock()
+        self.remote = False
+        self.n_replica_entries = 0  # replica cache size (remote mirrors only)
+        self._snapshot_seq = -1  # newest replica snapshot folded in so far
         self.cache = (
             TopKCache(capacity=config.cache_capacity, ttl_injections=config.ttl_injections)
             if config.cache_capacity > 0
@@ -229,6 +291,32 @@ class _WorkerShard:
             if self.cache is not None:
                 self.cache.note_injection()
 
+    def apply_snapshot(self, snapshot: CacheSnapshot | None) -> None:
+        """Fold a replica's reported cache counters into this mirror.
+
+        Snapshots are absolute counter states, so the mirror only moves
+        forward: concurrent client threads can complete their fan-outs in
+        a different order than the worker served them, and an older
+        snapshot arriving late must not roll the mirror back.
+        """
+        with self.lock:
+            if self.cache is not None and snapshot is not None:
+                if snapshot.seq <= self._snapshot_seq:
+                    return
+                self._snapshot_seq = snapshot.seq
+                stats = self.cache.stats
+                stats.hits = snapshot.hits
+                stats.misses = snapshot.misses
+                stats.evictions = snapshot.evictions
+                stats.invalidations = snapshot.invalidations
+                self.n_replica_entries = snapshot.n_entries
+
+    def record_remote_slice(self, result: replica_proto.SliceResult, n_users: int) -> None:
+        """Mirror one worker-resolved slice: request stats + cache counters."""
+        with self.lock:
+            self.stats.record_request(n_users, result.n_scored, result.elapsed)
+        self.apply_snapshot(result.cache)
+
     def reset(self) -> None:
         """Return every counter and entry to the freshly-constructed state."""
         with self.lock:
@@ -237,6 +325,7 @@ class _WorkerShard:
                 self.cache.stats.reset()
             self.limiter.reset()
             self.stats.reset()
+            self.n_replica_entries = 0
 
     @property
     def busy_s(self) -> float:
@@ -259,7 +348,8 @@ class _WorkerShard:
     def summary(self) -> dict[str, float]:
         out = {"shard": float(self.index), **self.counters()}
         if self.cache is not None:
-            out["cache_entries"] = float(len(self.cache))
+            entries = self.n_replica_entries if self.remote else len(self.cache)
+            out["cache_entries"] = float(entries)
         return out
 
 
@@ -286,18 +376,19 @@ class ShardedRecommendationService(RecommendationService):
         ``"hash"`` (stable modulo hash) or ``"consistent"`` (ring with
         virtual nodes).
     engine:
-        ``"serial"``, ``"threaded"``, or an
+        ``"serial"``, ``"threaded"``, ``"process"``, or an
         :class:`~repro.serving.engine.ExecutionEngine` instance;
-        ``None`` (default) takes the mode from ``config.engine``.  Both
-        engines produce element-wise identical results — the threaded
-        engine changes wall clock, never output.
+        ``None`` (default) takes the mode from ``config.engine``.  Every
+        engine produces element-wise identical results — engines change
+        wall clock (and, for ``process``, where shard state physically
+        lives), never output; the engine-conformance suite pins this.
     shard_latency_s:
         Modelled per-slice service latency of a remote shard worker (the
         RPC hop a coordinator pays per shard it contacts).  The threaded
-        engine overlaps these waits across shards; the serial engine pays
-        them in sequence.  ``0`` (default) disables the model.  The
-        latency is *excluded* from per-shard busy time, so simulated
-        makespan numbers stay pure compute.
+        and process engines overlap these waits across shards; the
+        serial engine pays them in sequence.  ``0`` (default) disables
+        the model.  The latency is *excluded* from per-shard busy time,
+        so simulated makespan numbers stay pure compute.
     """
 
     def __init__(
@@ -338,17 +429,40 @@ class ShardedRecommendationService(RecommendationService):
         self._engine = make_engine(
             engine if engine is not None else self.config.engine, n_workers=n_shards
         )
-        self._model_lock = ReadWriteLock()
-        limiter_kwargs = {} if limiter_clock is None else {"clock": limiter_clock}
-        per_client = dict(self.config.client_policies)
-        per_client.setdefault("evaluator", UNLIMITED)
-        self.bus = InvalidationBus()
-        self.shards = [
-            _WorkerShard(i, self.config, per_client, limiter_kwargs) for i in range(n_shards)
-        ]
-        for shard in self.shards:
-            if shard.cache is not None:
-                self.bus.subscribe(lambda _uid, shard=shard: shard.note_injection())
+        # Anything failing past this point (shard/engine mismatch, an
+        # unpicklable model surfacing during replica installation) would
+        # leak live worker pools: the caller never receives a service
+        # handle to close, so release the engine before re-raising.
+        try:
+            self._remote = not self._engine.shares_memory
+            if self._remote and getattr(self._engine, "n_workers", n_shards) != n_shards:
+                raise ConfigurationError(
+                    f"process engine holds {self._engine.n_workers} shard replicas, "
+                    f"service has {n_shards} shards"
+                )
+            # Model version: bumped by every injection and every restore.
+            # Process-engine replicas acknowledge each epoch they apply,
+            # and every query slice is checked against it
+            # (StaleReplicaError on mismatch), so a lagging replica is
+            # detectable, never silent.
+            self._epoch = 0
+            self._model_lock = ReadWriteLock()
+            limiter_kwargs = {} if limiter_clock is None else {"clock": limiter_clock}
+            per_client = dict(self.config.client_policies)
+            per_client.setdefault("evaluator", UNLIMITED)
+            self.bus = InvalidationBus()
+            self.shards = [
+                _WorkerShard(i, self.config, per_client, limiter_kwargs)
+                for i in range(n_shards)
+            ]
+            for shard in self.shards:
+                shard.remote = self._remote
+                self.bus.subscribe(partial(self._on_replication_event, shard))
+            if self._remote:
+                self._install_replicas()
+        except Exception:
+            self._engine.close()
+            raise
 
     def _make_cache(self):
         return None  # per-shard caches only; see _WorkerShard
@@ -359,9 +473,83 @@ class ShardedRecommendationService(RecommendationService):
         """Execution mode resolving per-shard slices (reporting helper)."""
         return self._engine.name
 
+    @property
+    def epoch(self) -> int:
+        """Current model version (injections + restores since construction)."""
+        return self._epoch
+
     def close(self) -> None:
         """Release engine workers (idempotent; serial engines are free)."""
         self._engine.close()
+
+    # -- replication (process engine) -----------------------------------------
+    def _install_replicas(self) -> None:
+        """Serialize each shard's state into its worker at pool start.
+
+        The model is pickled once and shipped to every worker together
+        with the serving config (from which the worker rebuilds its
+        cache, limiter, and stats) — the shard state leaves the
+        coordinator's address space here and is only ever touched through
+        replication messages afterwards.  Lazy scoring caches are
+        pre-warmed *before* serialization so the blob ships warm: no
+        worker ever pays a cold rebuild on its first slice.
+        """
+        self._model.prewarm()
+        blob = pickle.dumps(self._model)
+        futures = [
+            self._engine.submit_to(
+                shard.index,
+                replica_proto.install_replica,
+                shard.index,
+                blob,
+                self.config,
+                self._epoch,
+                self.shard_latency_s,
+            )
+            for shard in self.shards
+        ]
+        for shard, ack in zip(self.shards, self._engine.gather(futures)):
+            self._verify_replica(ack.epoch, ack.model_n_users, shard.index)
+
+    def _verify_replica(self, epoch: int, model_n_users: int, shard_index: int) -> None:
+        """Cross-check a replica's reported version against the coordinator."""
+        if epoch != self._epoch or model_n_users != self._model.dataset.n_users:
+            raise StaleReplicaError(
+                f"shard {shard_index} replica reports epoch {epoch} / "
+                f"{model_n_users} users; coordinator is at epoch {self._epoch} / "
+                f"{self._model.dataset.n_users} users"
+            )
+
+    def _on_replication_event(self, shard: _WorkerShard, event: ReplicationEvent) -> None:
+        """Bus subscriber: advance one mirror's staleness clock."""
+        if event.kind == "inject":
+            shard.note_injection()
+
+    def _replicate(self, event: ReplicationEvent) -> None:
+        """Broadcast one state change: bus first, then all workers at once.
+
+        The bus fan-out ticks every coordinator-side mirror (and records
+        the event for observability); under the process engine the event
+        is then submitted to *every* worker before any acknowledgement
+        is awaited, so an injection pays one parallel round trip instead
+        of ``n_shards`` sequential ones while holding the write lock.
+        Acks are verified in shard order after the gather.
+        """
+        self.bus.publish(event)
+        if self._remote:
+            futures = [
+                self._engine.submit_to(shard.index, replica_proto.apply_event, event)
+                for shard in self.shards
+            ]
+            for shard, ack in zip(self.shards, self._engine.gather(futures)):
+                self._verify_replica(ack.epoch, ack.model_n_users, shard.index)
+                shard.apply_snapshot(ack.cache)
+
+    def replica_probe(self) -> list[dict]:
+        """Diagnostic view of every worker replica (process engine only)."""
+        if not self._remote:
+            raise ConfigurationError("replica_probe requires the process engine")
+        return self._engine.broadcast(replica_proto.probe_replica)
 
     def __enter__(self) -> "ShardedRecommendationService":
         return self
@@ -394,9 +582,10 @@ class ShardedRecommendationService(RecommendationService):
         one ``top_k_batch`` call — sequentially or concurrently depending
         on the configured engine — and merged results come back in
         request order.  Identical inputs produce element-wise identical
-        lists to the single service under either engine (``top_k_batch``
-        is per-user independent and per-shard state is confined to the
-        worker holding the shard's lock).
+        lists to the single service under every engine (``top_k_batch``
+        is per-user independent, and per-shard state is confined to the
+        worker resolving the shard — lock-guarded in-process, or a
+        replica in its own process).
         """
         if k <= 0:
             raise ConfigurationError("k must be positive")
@@ -406,17 +595,7 @@ class ShardedRecommendationService(RecommendationService):
         for position, user in enumerate(users):
             by_shard.setdefault(self.router.shard_for_user(user), []).append(position)
         slices = [
-            (
-                positions,
-                partial(
-                    self._resolve_shard,
-                    self.shards[shard_index],
-                    [users[p] for p in positions],
-                    k,
-                    exclude_seen,
-                    use_cache,
-                ),
-            )
+            (shard_index, positions, [users[p] for p in positions])
             for shard_index, positions in by_shard.items()
         ]
         # Queries share the model for reading; injections/restores write.
@@ -430,14 +609,65 @@ class ShardedRecommendationService(RecommendationService):
         results: list[np.ndarray | None] = [None] * len(users)
         with self._model_lock.read():
             self._limiter_for_client(client).admit_query(client, len(users))
-            outcomes = self._engine.run([task for _, task in slices])
+            if self._remote:
+                outcomes = self._resolve_remote(slices, k, exclude_seen, use_cache)
+            else:
+                outcomes = self._engine.run(
+                    [
+                        partial(
+                            self._resolve_shard,
+                            self.shards[shard_index],
+                            slice_users,
+                            k,
+                            exclude_seen,
+                            use_cache,
+                        )
+                        for shard_index, _, slice_users in slices
+                    ]
+                )
             n_scored_total = 0
-            for (positions, _), (n_scored, shard_results) in zip(slices, outcomes):
+            for (_, positions, _), (n_scored, shard_results) in zip(slices, outcomes):
                 n_scored_total += n_scored
                 for position, items in zip(positions, shard_results):
                     results[position] = items
             self.stats.record_request(len(users), n_scored_total, self._clock() - start)
         return list(results)
+
+    def _resolve_remote(
+        self,
+        slices: list[tuple[int, list[int], list[int]]],
+        k: int,
+        exclude_seen: bool,
+        use_cache: bool,
+    ) -> list[tuple[int, list[np.ndarray]]]:
+        """Fan slices out to the worker replicas and mirror their counters.
+
+        Every slice message carries the coordinator's current epoch; a
+        replica that is not exactly at that version raises
+        :class:`~repro.errors.StaleReplicaError` rather than serving a
+        stale model, and the coordinator re-checks the epoch and user
+        count echoed in each result.  Per-shard stats and cache counters
+        accrue in the worker and are folded into the coordinator-side
+        mirrors here, so reports are engine-independent.
+        """
+        futures = [
+            self._engine.submit_to(
+                shard_index,
+                replica_proto.query_slice,
+                self._epoch,
+                slice_users,
+                k,
+                exclude_seen,
+                use_cache,
+            )
+            for shard_index, _, slice_users in slices
+        ]
+        outcomes: list[tuple[int, list[np.ndarray]]] = []
+        for (shard_index, _, slice_users), result in zip(slices, self._engine.gather(futures)):
+            self._verify_replica(result.epoch, result.model_n_users, shard_index)
+            self.shards[shard_index].record_remote_slice(result, len(slice_users))
+            outcomes.append((result.n_scored, result.results))
+        return outcomes
 
     def _resolve_shard(
         self,
@@ -460,25 +690,9 @@ class ShardedRecommendationService(RecommendationService):
             time.sleep(self.shard_latency_s)
         with shard.lock:
             t0 = self._clock()
-            if shard.cache is None or not use_cache:
-                n_scored = len(shard_users)
-                shard_results = self._model.top_k_batch(shard_users, k, exclude_seen=exclude_seen)
-            else:
-                shard_results = [shard.cache.lookup(u, k, exclude_seen) for u in shard_users]
-                missing = sorted({u for u, r in zip(shard_users, shard_results) if r is None})
-                n_scored = len(missing)
-                if missing:
-                    fresh = dict(
-                        zip(
-                            missing,
-                            self._model.top_k_batch(missing, k, exclude_seen=exclude_seen),
-                        )
-                    )
-                    for u, items in fresh.items():
-                        shard.cache.store(u, k, exclude_seen, items)
-                    shard_results = [
-                        fresh[u] if r is None else r for u, r in zip(shard_users, shard_results)
-                    ]
+            n_scored, shard_results = replica_proto.resolve_slice(
+                self._model, shard.cache, shard_users, k, exclude_seen, use_cache
+            )
             shard.stats.record_request(len(shard_users), n_scored, self._clock() - t0)
         return n_scored, shard_results
 
@@ -498,7 +712,35 @@ class ShardedRecommendationService(RecommendationService):
         self._limiter_for_client(client).admit_injection(client)
 
     def _invalidate_after_injection(self, user_id: int) -> None:
-        self.bus.publish(user_id)
+        """Advance the epoch, pre-warm once if needed, and replicate.
+
+        When the engine resolves slices concurrently, the coordinator
+        rebuilds every lazy scoring cache the injection invalidated
+        (:meth:`~repro.recsys.base.Recommender.prewarm`) *before*
+        fan-out — still inside the write lock — so engine workers never
+        race two duplicate rebuilds on their first post-injection
+        slices, and process replicas install the shipped state instead
+        of performing N rebuilds.  Under the serial engine the rebuild
+        stays lazy (the historical cost profile: an injection burst with
+        no interleaved query pays one rebuild at the next query, not
+        one per injection).
+        """
+        self._epoch += 1
+        prewarm = None
+        if self._engine.concurrent:
+            state = self._model.prewarm()
+            if self._remote:
+                prewarm = state
+        profile = tuple(int(v) for v in self._model.dataset.user_profile(int(user_id)))
+        self._replicate(
+            ReplicationEvent(
+                kind="inject",
+                epoch=self._epoch,
+                user_id=int(user_id),
+                profile=profile,
+                prewarm=prewarm,
+            )
+        )
 
     # -- episode management ---------------------------------------------------
     def snapshot(self):
@@ -522,11 +764,31 @@ class ShardedRecommendationService(RecommendationService):
         shard's request stats (the makespan/speedup inputs) zero, and the
         invalidation bus forgets its delivered history — so no report can
         double-count work from before the reset.
+
+        Under the process engine the rollback must also cross the
+        process boundary: the restore bumps the epoch and publishes a
+        ``resync`` replication event carrying the rolled-back model, so
+        every worker replaces its replica wholesale and acknowledges the
+        new version before the next query can start.  The bus history is
+        cleared *after* the resync broadcast — episode control leaves no
+        trace, exactly like the in-memory reset.
         """
         with self._model_lock.write():
             super().restore(snapshot)
             for shard in self.shards:
                 shard.reset()
+            self._epoch += 1
+            if self._remote:
+                # Ship the rolled-back model warm (the rollback dropped
+                # its lazy caches), so no replica pays a cold rebuild.
+                self._model.prewarm()
+                self._replicate(
+                    ReplicationEvent(
+                        kind="resync",
+                        epoch=self._epoch,
+                        model_blob=pickle.dumps(self._model),
+                    )
+                )
             self.bus.reset()
 
     # -- reporting -------------------------------------------------------------

@@ -1,0 +1,215 @@
+"""Engine-conformance suite: one contract, every execution engine.
+
+This is the single source of truth for what an execution engine must
+preserve (it replaces the ad-hoc per-engine parity tests that grew one
+engine at a time).  For every recommender family, every shard count in
+{1, 2, 4, 7}, and every engine in ``ENGINES`` — the serial loop, the
+thread pool, and the process pool with replicated shard state — a seeded
+interleaving of queries and injections must produce, versus the single
+``RecommendationService``:
+
+* **element-wise identical top-k lists** (same items, same order);
+* **identical merged ``ServiceStats`` counters** (requests, users
+  served, users scored, injections) — the scoring fan-out is an engine
+  invariant, not a scheduling accident;
+* **identical cache hit/miss/invalidation counters** — under the
+  process engine these accrue inside worker replicas and are mirrored
+  back, so this pins the whole replication/mirroring pipeline, not just
+  the merge.
+
+Any future engine (async, distributed) drops into this class by being
+added to ``repro.serving.ENGINES``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import InteractionDataset
+from repro.recsys import (
+    ItemKNN,
+    MatrixFactorization,
+    NeuralCF,
+    PinSageRecommender,
+    PopularityRecommender,
+)
+from repro.serving import (
+    ENGINES,
+    RecommendationService,
+    ServingConfig,
+    ShardedRecommendationService,
+)
+from repro.utils.rng import make_rng
+
+N_USERS = 40
+N_ITEMS = 50
+SHARD_COUNTS = (1, 2, 4, 7)
+MODEL_NAMES = ("popularity", "itemknn", "mf", "neural_cf", "pinsage")
+
+
+def _dataset() -> InteractionDataset:
+    rng = make_rng(711)
+    profiles = [
+        [int(v) for v in rng.choice(N_ITEMS, size=int(rng.integers(3, 10)), replace=False)]
+        for _ in range(N_USERS)
+    ]
+    return InteractionDataset(profiles, n_items=N_ITEMS, name="conformance")
+
+
+@pytest.fixture(scope="module")
+def fitted_models():
+    """All five recommenders, fitted once on the same tiny dataset."""
+    dataset = _dataset()
+    return {
+        "popularity": PopularityRecommender().fit(dataset.copy()),
+        "itemknn": ItemKNN().fit(dataset.copy()),
+        "mf": MatrixFactorization(n_factors=4, n_epochs=5, seed=3).fit(dataset.copy()),
+        "neural_cf": NeuralCF(n_factors=4, n_epochs=1, seed=3).fit(dataset.copy()),
+        "pinsage": PinSageRecommender(
+            n_factors=8, n_epochs=6, patience=3, seed=3
+        ).fit(dataset.copy()),
+    }
+
+
+def _script(seed: int, n_ops: int = 24) -> list[tuple]:
+    """Seeded interleaving of queries (dups allowed, injected users too)
+    and injections; identical for every deployment by construction."""
+    rng = make_rng(seed)
+    ops: list[tuple] = []
+    n_users = N_USERS
+    for _ in range(n_ops):
+        if rng.random() < 0.3:
+            profile = rng.choice(N_ITEMS, size=int(rng.integers(2, 6)), replace=False)
+            ops.append(("inject", [int(v) for v in profile]))
+            n_users += 1
+        else:
+            batch = int(rng.integers(1, 6))
+            users = [int(v) for v in rng.integers(0, n_users, size=batch)]
+            ops.append(("query", users, int(rng.integers(1, 6))))
+    return ops
+
+
+def _replay(service, ops) -> list[list[list[int]]]:
+    outputs = []
+    for op in ops:
+        if op[0] == "inject":
+            service.inject(op[1])
+        else:
+            outputs.append([items.tolist() for items in service.query(op[1], op[2])])
+    return outputs
+
+
+def _stats_counters(service) -> tuple[int, int, int, int]:
+    """The merged ServiceStats counters an engine must not perturb."""
+    stats = service.stats
+    return (
+        stats.n_requests,
+        stats.n_users_served,
+        stats.n_users_scored,
+        stats.n_injections,
+    )
+
+
+def _cache_counters(service) -> tuple[int, int, int] | None:
+    """Merged cache counters (evictions excluded: per-shard LRU order is
+    the one documented divergence from a single global cache, and the
+    conformance script never reaches capacity pressure anyway)."""
+    stats = service.cache_stats()
+    if stats is None:
+        return None
+    return (stats.hits, stats.misses, stats.invalidations)
+
+
+@pytest.fixture(scope="module")
+def single_reference(fitted_models):
+    """Memoised single-service expectations per (model, ttl) pair.
+
+    Returns ``(ops, base_snapshot, outputs, stats, cache)``; the model is
+    restored to ``base_snapshot`` before the getter returns, so the
+    caller always starts from the reference state.
+    """
+    memo: dict[tuple[str, int], tuple] = {}
+
+    def get(model_name: str, ttl_injections: int):
+        key = (model_name, ttl_injections)
+        if key not in memo:
+            config = ServingConfig(cache_capacity=256, ttl_injections=ttl_injections)
+            ops = _script(seed=100 + ttl_injections)
+            single = RecommendationService(fitted_models[model_name], config=config)
+            base = single.snapshot()
+            outputs = _replay(single, ops)
+            expectation = (ops, base, outputs, _stats_counters(single), _cache_counters(single))
+            single.restore(base)
+            memo[key] = expectation
+        return memo[key]
+
+    return get
+
+
+@pytest.mark.timeout(600)
+@pytest.mark.parametrize("engine", ENGINES, ids=[f"engine_{e}" for e in ENGINES])
+@pytest.mark.parametrize("ttl_injections", [0, 2], ids=["strict", "ttl2"])
+@pytest.mark.parametrize("model_name", MODEL_NAMES)
+class TestEngineConformance:
+    def test_topk_stats_and_cache_conform(
+        self, fitted_models, single_reference, model_name, ttl_injections, engine
+    ):
+        model = fitted_models[model_name]
+        ops, base, expected, expected_stats, expected_cache = single_reference(
+            model_name, ttl_injections
+        )
+        config = ServingConfig(cache_capacity=256, ttl_injections=ttl_injections)
+        for n_shards in SHARD_COUNTS:
+            with ShardedRecommendationService(
+                model, n_shards=n_shards, config=config, engine=engine
+            ) as sharded:
+                got = _replay(sharded, ops)
+                assert got == expected, (
+                    f"{model_name}: top-k diverged at {n_shards} shards under {engine}"
+                )
+                assert _stats_counters(sharded) == expected_stats, (
+                    f"{model_name}: ServiceStats diverged at {n_shards} shards "
+                    f"under {engine}"
+                )
+                assert _cache_counters(sharded) == expected_cache, (
+                    f"{model_name}: cache counters diverged at {n_shards} shards "
+                    f"under {engine}"
+                )
+                sharded.restore(base)
+
+
+@pytest.mark.timeout(300)
+@pytest.mark.parametrize("engine", ENGINES, ids=[f"engine_{e}" for e in ENGINES])
+def test_uncached_conformance(fitted_models, engine):
+    """Transparent posture (no cache): fan-out/merge alone is invisible,
+    whichever engine schedules it."""
+    model = fitted_models["itemknn"]
+    ops = _script(seed=13)
+    single = RecommendationService(model)
+    base = single.snapshot()
+    expected = _replay(single, ops)
+    expected_stats = _stats_counters(single)
+    single.restore(base)
+    with ShardedRecommendationService(model, n_shards=4, engine=engine) as sharded:
+        assert _replay(sharded, ops) == expected
+        assert _stats_counters(sharded) == expected_stats
+        sharded.restore(base)
+
+
+@pytest.mark.timeout(300)
+@pytest.mark.parametrize("engine", ENGINES, ids=[f"engine_{e}" for e in ENGINES])
+def test_replay_after_restore_conforms(fitted_models, engine):
+    """restore → identical replay, on every engine (process resync included)."""
+    model = fitted_models["popularity"]
+    config = ServingConfig(cache_capacity=64, ttl_injections=1)
+    ops = _script(seed=21)
+    with ShardedRecommendationService(
+        model, n_shards=4, config=config, engine=engine
+    ) as sharded:
+        base = sharded.snapshot()
+        first = _replay(sharded, ops)
+        first_stats = _stats_counters(sharded)
+        sharded.restore(base)
+        assert _replay(sharded, ops) == first
+        assert _stats_counters(sharded) == first_stats
+        sharded.restore(base)

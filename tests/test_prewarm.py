@@ -1,0 +1,175 @@
+"""Pre-warm semantics: eager cache rebuilds change cost, never results.
+
+``Recommender.prewarm()`` rebuilds the lazy scoring caches (ItemKNN's
+similarity matrix, NeuralCF's fused first-layer tensor) exactly once
+post-injection so replicated shard workers install the result instead of
+each paying the rebuild.  Three families of guarantees:
+
+* **equivalence** — prewarm-then-``top_k_batch`` is element-wise
+  identical to cold lazy scoring, before and after injections, and a
+  peer that installs a transferred pre-warm state scores identically to
+  one that rebuilt locally;
+* **exactly-once** — build counters prove the rebuild happens once per
+  injection on the coordinator and *zero* times across N process shard
+  workers (and once total for the shared-memory engines, however many
+  shards query it);
+* **idempotence** — a second ``prewarm()`` with a warm cache is free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import InteractionDataset
+from repro.recsys import ItemKNN, NeuralCF, PopularityRecommender
+from repro.serving import ServingConfig, ShardedRecommendationService
+from repro.utils.rng import make_rng
+
+N_USERS = 30
+N_ITEMS = 36
+
+
+def _dataset() -> InteractionDataset:
+    rng = make_rng(91)
+    profiles = [
+        [int(v) for v in rng.choice(N_ITEMS, size=int(rng.integers(3, 9)), replace=False)]
+        for _ in range(N_USERS)
+    ]
+    return InteractionDataset(profiles, n_items=N_ITEMS)
+
+
+def _itemknn_pair():
+    dataset = _dataset()
+    return ItemKNN().fit(dataset.copy()), ItemKNN().fit(dataset.copy())
+
+
+def _ncf_pair():
+    dataset = _dataset()
+    return (
+        NeuralCF(n_factors=4, n_epochs=1, seed=5).fit(dataset.copy()),
+        NeuralCF(n_factors=4, n_epochs=1, seed=5).fit(dataset.copy()),
+    )
+
+
+@pytest.mark.parametrize("pair_factory", [_itemknn_pair, _ncf_pair], ids=["itemknn", "neural_cf"])
+class TestPrewarmEquivalence:
+    def test_prewarm_matches_cold_lazy_scoring(self, pair_factory):
+        warm, cold = pair_factory()
+        users = list(range(N_USERS))
+        warm.prewarm()
+        for a, b in zip(warm.top_k_batch(users, 8), cold.top_k_batch(users, 8)):
+            np.testing.assert_array_equal(a, b)
+
+    def test_prewarm_matches_cold_after_injection(self, pair_factory):
+        warm, cold = pair_factory()
+        profile = [0, 3, 5, 7]
+        warm.add_user(profile)
+        cold.add_user(profile)
+        warm.prewarm()  # the post-injection rebuild the serving layer performs
+        users = list(range(N_USERS + 1))
+        for a, b in zip(warm.top_k_batch(users, 8), cold.top_k_batch(users, 8)):
+            np.testing.assert_array_equal(a, b)
+
+    def test_transferred_state_scores_identically_without_rebuild(self, pair_factory):
+        builder, receiver = pair_factory()
+        state = builder.prewarm()
+        assert state is not None
+        before = dict(receiver.prewarm_stats())
+        receiver.apply_prewarm(state)
+        users = list(range(N_USERS))
+        for a, b in zip(receiver.top_k_batch(users, 8), builder.top_k_batch(users, 8)):
+            np.testing.assert_array_equal(a, b)
+        # Installing plus scoring never triggered a local build.
+        assert receiver.prewarm_stats() == before
+
+    def test_prewarm_is_idempotent(self, pair_factory):
+        model, _ = pair_factory()
+        assert model.prewarm() is not None  # cold: built and shippable
+        counts = dict(model.prewarm_stats())
+        # Warm: no rebuild, and nothing worth serializing to peers — a
+        # replication event for an uninvalidated cache stays small.
+        assert model.prewarm() is None
+        assert model.prewarm_stats() == counts
+
+
+def test_models_without_lazy_caches_return_none():
+    model = PopularityRecommender().fit(_dataset())
+    assert model.prewarm() is None
+    model.apply_prewarm(None)  # no-op by contract
+    assert model.prewarm_stats() == {}
+
+
+def _build_total(model) -> int:
+    return sum(model.prewarm_stats().values())
+
+
+class TestExactlyOncePerInjection:
+    """Counter-based proof that the rebuild never multiplies across workers."""
+
+    N_SHARDS = 3
+    N_INJECTIONS = 4
+
+    def _inject_and_query_all_shards(self, service) -> None:
+        rng = make_rng(17)
+        for _ in range(self.N_INJECTIONS):
+            profile = [int(v) for v in rng.choice(N_ITEMS, size=4, replace=False)]
+            service.inject(profile)
+            # Touch every shard so any cold replica would rebuild now.
+            service.query(list(range(N_USERS)), k=6)
+
+    @pytest.mark.timeout(120)
+    def test_itemknn_builds_once_per_injection_across_process_workers(self):
+        model = ItemKNN().fit(_dataset())
+        with ShardedRecommendationService(
+            model,
+            n_shards=self.N_SHARDS,
+            config=ServingConfig(cache_capacity=64),
+            engine="process",
+        ) as service:
+            coordinator_before = model.n_sim_builds
+            installed = [p["prewarm"]["sim_builds"] for p in service.replica_probe()]
+            self._inject_and_query_all_shards(service)
+            # Coordinator: exactly one rebuild per injection, no more.
+            assert model.n_sim_builds - coordinator_before == self.N_INJECTIONS
+            # Workers: zero rebuilds — every replica installed the
+            # coordinator's pre-warmed matrix instead of recomputing it.
+            after = [p["prewarm"]["sim_builds"] for p in service.replica_probe()]
+            assert [a - b for a, b in zip(after, installed)] == [0] * self.N_SHARDS
+
+    @pytest.mark.timeout(120)
+    def test_neural_cf_fused_tensor_never_rebuilds_across_process_workers(self):
+        """NeuralCF's fused tensor is parameter-only (injections cannot
+        invalidate it), so across any number of injections and workers
+        it is built at most once — at install pre-warm — ever."""
+        model = NeuralCF(n_factors=4, n_epochs=1, seed=5).fit(_dataset())
+        with ShardedRecommendationService(
+            model,
+            n_shards=self.N_SHARDS,
+            config=ServingConfig(cache_capacity=64),
+            engine="process",
+        ) as service:
+            assert model.n_fused_builds == 1  # install pre-warm built it
+            installed = [p["prewarm"]["fused_builds"] for p in service.replica_probe()]
+            self._inject_and_query_all_shards(service)
+            assert model.n_fused_builds == 1  # injections never invalidate it
+            after = [p["prewarm"]["fused_builds"] for p in service.replica_probe()]
+            assert after == installed
+
+    @pytest.mark.parametrize("engine", ["serial", "threaded"])
+    def test_shared_memory_engines_build_once_per_injection(self, engine):
+        """In-memory shards share the model, so each injection costs one
+        rebuild however many shards query it — eagerly before fan-out
+        under the threaded engine (no two workers can race a duplicate
+        build), lazily at the next query under the serial engine (the
+        historical cost profile)."""
+        model = ItemKNN().fit(_dataset())
+        with ShardedRecommendationService(
+            model,
+            n_shards=self.N_SHARDS,
+            config=ServingConfig(cache_capacity=64),
+            engine=engine,
+        ) as service:
+            before = model.n_sim_builds
+            self._inject_and_query_all_shards(service)
+            assert model.n_sim_builds - before == self.N_INJECTIONS

@@ -10,6 +10,7 @@ invariant the serving reports rely on.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 
@@ -17,9 +18,10 @@ import numpy as np
 import pytest
 
 from repro.data import InteractionDataset
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, StaleReplicaError
 from repro.recsys import PopularityRecommender
 from repro.serving import (
+    ProcessEngine,
     ReadWriteLock,
     SerialEngine,
     ServingConfig,
@@ -27,6 +29,7 @@ from repro.serving import (
     ThreadedEngine,
     make_engine,
 )
+from repro.serving import replica as replica_proto
 from repro.utils.rng import make_rng
 
 N_USERS = 48
@@ -111,12 +114,119 @@ class TestEngineUnits:
         threaded = make_engine("threaded", n_workers=3)
         assert isinstance(threaded, ThreadedEngine) and threaded.n_workers == 3
         threaded.close()
+        process = make_engine("process", n_workers=2)
+        assert isinstance(process, ProcessEngine) and process.n_workers == 2
+        process.close()
         passthrough = SerialEngine()
         assert make_engine(passthrough, n_workers=1) is passthrough
         with pytest.raises(ConfigurationError):
             make_engine("async", n_workers=2)
         with pytest.raises(ConfigurationError):
             ThreadedEngine(n_workers=0)
+        with pytest.raises(ConfigurationError):
+            ProcessEngine(n_workers=0)
+
+
+@pytest.mark.timeout(120)
+class TestProcessEngineUnits:
+    def test_rejects_coordinator_closures(self):
+        """run() is the shared-memory contract; process workers hold
+        replicated state and only accept routed picklable messages."""
+        engine = ProcessEngine(n_workers=1)
+        try:
+            with pytest.raises(ConfigurationError, match="replicated shard state"):
+                engine.run([lambda: 1])
+        finally:
+            engine.close()
+
+    def test_submit_routes_to_distinct_processes(self):
+        engine = ProcessEngine(n_workers=2)
+        try:
+            pids = {engine.call(worker, os.getpid) for worker in (0, 1)}
+            assert len(pids) == 2 and os.getpid() not in pids
+            # Routing is sticky: the same worker index is the same process.
+            assert engine.call(0, os.getpid) == engine.call(0, os.getpid)
+        finally:
+            engine.close()
+
+    def test_broadcast_reaches_every_worker_in_order(self):
+        engine = ProcessEngine(n_workers=3)
+        try:
+            pids = engine.broadcast(os.getpid)
+            assert len(pids) == 3 and len(set(pids)) == 3
+        finally:
+            engine.close()
+
+    def test_closed_engine_rejects_work(self):
+        engine = ProcessEngine(n_workers=1)
+        engine.close()
+        engine.close()  # idempotent
+        with pytest.raises(ConfigurationError):
+            engine.submit_to(0, os.getpid)
+
+    def test_worker_count_must_match_shards(self):
+        """Replicated state is partitioned per worker, so a mismatched
+        pool cannot be tolerated the way a threaded pool could — and a
+        failed construction must not leak the worker processes (the
+        caller never gets a service handle to close)."""
+        engine = ProcessEngine(n_workers=2)
+        try:
+            with pytest.raises(ConfigurationError, match="replicas"):
+                ShardedRecommendationService(_model(), n_shards=3, engine=engine)
+            with pytest.raises(ConfigurationError):  # engine was released
+                engine.submit_to(0, os.getpid)
+        finally:
+            engine.close()
+
+    def test_uninstalled_replica_rejects_queries(self):
+        engine = ProcessEngine(n_workers=1)
+        try:
+            with pytest.raises(ConfigurationError, match="install_replica"):
+                engine.call(0, replica_proto.query_slice, 0, [0], 3, True, True)
+        finally:
+            engine.close()
+
+
+@pytest.mark.timeout(120)
+class TestReplicationStaleness:
+    """The epoch counter makes a lagging replica detectable, never silent."""
+
+    def test_wrong_epoch_query_raises(self):
+        with ShardedRecommendationService(
+            _model(), n_shards=2, engine="process"
+        ) as service:
+            engine = service._engine
+            # A coordinator that believes it is ahead of (or behind) the
+            # replica must get a refusal, not a stale list.
+            for bad_epoch in (service.epoch + 1, service.epoch + 5):
+                with pytest.raises(StaleReplicaError, match="epoch"):
+                    engine.call(0, replica_proto.query_slice, bad_epoch, [0], 3, True, True)
+            # The replica itself is undamaged: the correct epoch still serves.
+            result = engine.call(0, replica_proto.query_slice, service.epoch, [0], 3, True, True)
+            assert result.epoch == service.epoch
+
+    def test_out_of_order_replication_raises(self):
+        """An inject event skipping an epoch means a lost update — the
+        replica must refuse it rather than apply on a diverged base."""
+        with ShardedRecommendationService(
+            _model(), n_shards=2, engine="process"
+        ) as service:
+            skipped = replica_proto.ReplicationEvent(
+                kind="inject",
+                epoch=service.epoch + 2,  # skips epoch + 1
+                user_id=service.n_users,
+                profile=(0, 1, 2),
+            )
+            with pytest.raises(StaleReplicaError, match="out-of-order"):
+                service._engine.call(0, replica_proto.apply_event, skipped)
+
+    def test_unknown_event_kind_rejected(self):
+        with ShardedRecommendationService(
+            _model(), n_shards=1, engine="process"
+        ) as service:
+            bogus = replica_proto.ReplicationEvent(kind="gossip", epoch=1)
+            with pytest.raises(ConfigurationError, match="unknown replication"):
+                service._engine.call(0, replica_proto.apply_event, bogus)
 
 
 class TestEngineSelection:
@@ -135,6 +245,18 @@ class TestEngineSelection:
             model, n_shards=2, config=ServingConfig(engine="serial"), engine="threaded"
         ) as service:
             assert service.engine_name == "threaded"
+
+    def test_config_selects_process_engine(self):
+        with ShardedRecommendationService(
+            _model(), n_shards=2, config=ServingConfig(engine="process")
+        ) as service:
+            assert service.engine_name == "process"
+            assert [probe["shard"] for probe in service.replica_probe()] == [0, 1]
+
+    def test_replica_probe_requires_process_engine(self):
+        with ShardedRecommendationService(_model(), n_shards=2) as service:
+            with pytest.raises(ConfigurationError, match="process engine"):
+                service.replica_probe()
 
     def test_invalid_config_engine_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -307,5 +429,89 @@ class TestThreadedStress:
             service.restore(base)
             assert service.n_users == N_USERS
             assert [items.tolist() for items in service.query(users, k=5)] == before
+        finally:
+            service.close()
+
+
+@pytest.mark.timeout(120)
+class TestProcessStress:
+    """Concurrent client threads against worker-process replicas.
+
+    Multiple coordinator threads submit slices into the per-shard pools
+    while an injector publishes replication events through the write
+    lock.  The invariants are the same counter identities the threaded
+    stress pins, plus the replication-specific ones: every replica ends
+    at the coordinator's epoch, and mirrored per-shard accounting sums
+    exactly to the coordinator totals despite living in other processes.
+    """
+
+    N_QUERY_THREADS = 3
+    QUERIES_PER_THREAD = 20
+    N_INJECTIONS = 8
+
+    def test_counters_and_epochs_consistent_under_contention(self):
+        model = _model()
+        service = ShardedRecommendationService(
+            model, n_shards=3, config=ServingConfig(cache_capacity=128), engine="process"
+        )
+        errors: list[BaseException] = []
+        start = threading.Barrier(self.N_QUERY_THREADS + 1)
+
+        def querier(seed: int) -> None:
+            rng = make_rng(seed)
+            try:
+                start.wait()
+                for _ in range(self.QUERIES_PER_THREAD):
+                    batch = int(rng.integers(1, 7))
+                    users = [int(v) for v in rng.integers(0, N_USERS, size=batch)]
+                    lists = service.query(users, k=int(rng.integers(1, 6)))
+                    assert len(lists) == batch
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        def injector() -> None:
+            rng = make_rng(999)
+            try:
+                start.wait()
+                for _ in range(self.N_INJECTIONS):
+                    profile = rng.choice(N_ITEMS, size=4, replace=False)
+                    service.inject([int(v) for v in profile])
+                    time.sleep(0.001)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        try:
+            threads = [
+                threading.Thread(target=querier, args=(300 + i,))
+                for i in range(self.N_QUERY_THREADS)
+            ] + [threading.Thread(target=injector)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors, errors
+            n_requests = self.N_QUERY_THREADS * self.QUERIES_PER_THREAD
+            assert service.stats.n_requests == n_requests
+            assert service.stats.n_injections == self.N_INJECTIONS
+            assert service.epoch == self.N_INJECTIONS
+            # Mirrored shard accounting sums to the coordinator totals.
+            assert service.stats.n_users_served == sum(
+                shard.stats.n_users_served for shard in service.shards
+            )
+            assert service.stats.n_users_scored == sum(
+                shard.stats.n_users_scored for shard in service.shards
+            )
+            assert len(service.bus.events) == self.N_INJECTIONS
+            assert service.bus.n_deliveries == self.N_INJECTIONS * service.n_shards
+            # Every replica acknowledged every epoch and user count.
+            for probe in service.replica_probe():
+                assert probe["epoch"] == service.epoch
+                assert probe["n_users"] == service.n_users
+            # Quiescent ground truth: strict invalidation means whatever
+            # survived the run is fresh on every replica.
+            for user in range(0, N_USERS, 7):
+                np.testing.assert_array_equal(
+                    service.query([user], k=5)[0], service.model.top_k(user, k=5)
+                )
         finally:
             service.close()

@@ -9,10 +9,20 @@ rollback, per-shard wall-times/counters and bus history double-counting
 work from dead episodes), pinned as a property: after a restore, every
 externally observable serving counter matches a freshly constructed
 service, for arbitrary episode scripts.
+
+The process engine extends the property across process boundaries: a
+restore must also roll back every worker's *replica* (model, cache
+entries, stats) through the resync replication event, and the
+epoch-acknowledgement protocol must guarantee that no replica ever
+serves a recommendation from a pre-injection model version once the
+injection's epoch is acknowledged — pinned here for arbitrary
+inject/query/restore interleavings by comparing every served list
+against the coordinator model's ground truth (strict staleness mode).
 """
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -71,7 +81,7 @@ def _build(model, deployment: str):
         n_shards=3,
         config=_CONFIG,
         detector=_StubDetector(),
-        engine="threaded" if deployment == "sharded_threaded" else "serial",
+        engine=deployment.removeprefix("sharded_"),
     )
 
 
@@ -201,3 +211,109 @@ def test_shard_and_bus_accounting_reset_on_restore():
     # The bus still works after the reset: subscriptions persist.
     service.inject([3, 4, 5])
     assert service.bus.n_deliveries == 3
+
+
+# -- process engine: the properties must hold across process boundaries ------
+#
+# Worker pools are expensive relative to an example, so one platform is
+# built per module and reused: each example starts from a restore, which
+# is sound precisely because "restore ≡ fresh" is the property under
+# test — a leak would fail the comparison (and keep failing, since it
+# would contaminate the shared platform's baseline too).
+
+
+@pytest.fixture(scope="module")
+def process_platform():
+    """A persistent process-engine deployment plus its factory baselines."""
+    service = _build(_model(), "sharded_process")
+    base = service.snapshot()
+    fresh = _build(service.model, "sharded_process")
+    fresh_state = _observable_state(fresh)
+    fresh.close()
+    yield service, base, fresh_state
+    service.close()
+
+
+@pytest.mark.timeout(300)
+@settings(max_examples=25, deadline=None)
+@given(ops=_ops)
+def test_process_restore_matches_fresh_service(process_platform, ops):
+    """``restore ≡ fresh service`` holds when shard state lives in workers."""
+    service, base, fresh_state = process_platform
+    service.restore(base)  # start clean even if a previous example failed
+    _run_episode(service, ops)
+    service.restore(base)
+    assert _observable_state(service) == fresh_state
+
+
+_epoch_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("query"),
+            st.lists(st.integers(0, N_USERS - 1), min_size=1, max_size=5),
+            st.integers(1, 5),
+        ),
+        st.tuples(
+            st.just("inject"),
+            st.lists(st.integers(0, N_ITEMS - 1), min_size=1, max_size=5, unique=True),
+        ),
+        st.tuples(st.just("restore")),
+    ),
+    min_size=1,
+    max_size=15,
+)
+
+
+@pytest.fixture(scope="module")
+def epoch_platform():
+    """Strict-mode process deployment with an unthrottled client."""
+    service = ShardedRecommendationService(
+        _model(), n_shards=3, config=ServingConfig(cache_capacity=32), engine="process"
+    )
+    base = service.snapshot()
+    yield service, base
+    service.close()
+
+
+@pytest.mark.timeout(300)
+@settings(max_examples=25, deadline=None)
+@given(ops=_epoch_ops)
+def test_acknowledged_epochs_are_never_served_stale(epoch_platform, ops):
+    """No replica serves a pre-injection model version once its epoch acks.
+
+    ``inject`` returns only after every worker acknowledged the new
+    epoch, and ``restore`` only after every worker resynced, so in
+    strict staleness mode *every* subsequently served list must equal
+    the coordinator model's current ground truth — for arbitrary
+    interleavings.  A replica that lagged would either serve a stale
+    list (caught by the ground-truth comparison) or raise
+    ``StaleReplicaError`` (caught by the test failing on the exception);
+    silent staleness has no remaining place to hide.
+    """
+    service, base = epoch_platform
+    service.restore(base)
+    epochs_acked = service.epoch
+    try:
+        for op in ops:
+            if op[0] == "inject":
+                service.inject(op[1])
+                assert service.epoch == epochs_acked + 1
+            elif op[0] == "restore":
+                service.restore(base)
+            else:
+                _, users, k = op
+                served = service.query(users, k)
+                for user, items in zip(users, served):
+                    np.testing.assert_array_equal(
+                        items,
+                        service.model.top_k(user, k),
+                        err_msg=f"user {user} served a stale list at epoch {service.epoch}",
+                    )
+            epochs_acked = service.epoch
+            # Every replica acknowledged exactly the coordinator's epoch
+            # and user count — the lockstep the protocol guarantees.
+            for probe in service.replica_probe():
+                assert probe["epoch"] == service.epoch
+                assert probe["n_users"] == service.n_users
+    finally:
+        service.restore(base)
