@@ -11,6 +11,7 @@ Usage (after ``pip install -e .``)::
     repro-bench method  --config small --method TargetAttack40
     repro-bench serve   --config small --shards 7 --workload diurnal \
                         --engine all --json BENCH_serving.json
+    repro-bench profile --config small --shards 4 --engine serial
 
 or ``python -m repro.cli <subcommand> ...``.  Every run is deterministic
 given ``--seed``.
@@ -36,6 +37,7 @@ from repro.experiments import (
     prepare_experiment,
     run_budget_sweep,
     run_depth_sweep,
+    run_hotpath_profile,
     run_method,
     run_popularity_sweep,
     run_serving_benchmark,
@@ -121,6 +123,29 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--json", default=None, metavar="PATH",
                        help="write the full result as JSON (e.g. BENCH_serving.json)")
 
+    profile = sub.add_parser(
+        "profile",
+        help="serving hot-path profile (per-stage wall-clock timers + cProfile)",
+    )
+    profile.add_argument("--requests", type=int, default=200, help="replay requests")
+    profile.add_argument("--cohort", type=int, default=64, help="users per request")
+    profile.add_argument("--k", type=int, default=20)
+    profile.add_argument("--shards", type=int, default=4)
+    profile.add_argument("--engine", choices=("serial", "threaded"), default="serial",
+                         help="in-memory engine to profile (stage timers cannot cross "
+                              "the process boundary; under 'threaded' stage totals sum "
+                              "across workers)")
+    profile.add_argument("--cache-capacity", type=int, default=4096,
+                         help="per-shard top-k cache entries (0 disables caching)")
+    profile.add_argument("--ttl", type=int, default=0,
+                         help="cache staleness horizon in injections (0 = strict)")
+    profile.add_argument("--inject-every", type=int, default=0,
+                         help="interleave one injection every N requests (0 = query-only)")
+    profile.add_argument("--top", type=int, default=12,
+                         help="cProfile rows to report (by self time)")
+    profile.add_argument("--json", default=None, metavar="PATH",
+                         help="write the full profile as JSON")
+
     return parser
 
 
@@ -145,6 +170,16 @@ def main(argv: Sequence[str] | None = None) -> int:
                 parser.error(f"--{name} must be positive")
         if args.shard_latency_ms < 0:
             parser.error("--shard-latency-ms must be non-negative")
+        if args.json is not None:
+            parent = os.path.dirname(os.path.abspath(args.json)) or "."
+            if not os.path.isdir(parent):
+                parser.error(f"--json directory does not exist: {parent}")
+    if args.command == "profile":
+        for name in ("requests", "cohort", "k", "shards", "top"):
+            if getattr(args, name) <= 0:
+                parser.error(f"--{name} must be positive")
+        if args.cache_capacity < 0 or args.ttl < 0 or args.inject_every < 0:
+            parser.error("--cache-capacity, --ttl, and --inject-every must be non-negative")
         if args.json is not None:
             parent = os.path.dirname(os.path.abspath(args.json)) or "."
             if not os.path.isdir(parent):
@@ -301,6 +336,55 @@ def main(argv: Sequence[str] | None = None) -> int:
                   f"shard RPC latency {scaling['shard_latency_s'] * 1e3:g} ms",
         ))
         print()
+        if args.json:
+            import json
+
+            with open(args.json, "w") as handle:
+                json.dump(result, handle, indent=2, sort_keys=True)
+            print(f"wrote {args.json}")
+        return 0
+
+    if args.command == "profile":
+        result = run_hotpath_profile(
+            prep.mf,
+            n_shards=args.shards,
+            engine=args.engine,
+            n_requests=args.requests,
+            cohort_size=args.cohort,
+            k=args.k,
+            cache_capacity=args.cache_capacity,
+            ttl_injections=args.ttl,
+            inject_every=args.inject_every,
+            seed=config.seed,
+            top=args.top,
+        )
+        plain = result["uninstrumented"]
+        print(
+            f"hot path — {args.shards} shard(s), {args.engine} engine, "
+            f"{args.cohort}-user cohorts, cache={args.cache_capacity}: "
+            f"{plain['users_per_s']:.0f} users/s "
+            f"({plain['requests_per_s']:.0f} req/s, uninstrumented)"
+        )
+        print()
+        stage_rows = [
+            [stage, entry["total_s"] * 1e3, int(entry["calls"]),
+             entry.get("ns_per_user", 0.0), entry["share"]]
+            for stage, entry in result["stages"]["stages"].items()
+        ]
+        print(format_table(
+            ["stage", "total ms", "calls", "ns/user", "share"], stage_rows,
+            title="per-stage wall clock (instrumented replay)",
+        ))
+        print()
+        func_rows = [
+            [row["function"][-72:], row["ncalls"],
+             row["tottime_s"] * 1e3, row["cumtime_s"] * 1e3]
+            for row in result["top_functions"]
+        ]
+        print(format_table(
+            ["function", "ncalls", "tottime ms", "cumtime ms"], func_rows,
+            title=f"cProfile top {args.top} by self time",
+        ))
         if args.json:
             import json
 

@@ -48,6 +48,7 @@ class InteractionDataset:
         self._n_items = int(n_items)
         self._profiles: list[tuple[int, ...]] = []
         self._profile_sets: list[frozenset[int]] = []
+        self._profile_arrays: list[np.ndarray] = []
         self._item_users: list[list[int]] = [[] for _ in range(self._n_items)]
         for profile in profiles:
             self._append_profile(profile)
@@ -91,6 +92,9 @@ class InteractionDataset:
         user_id = len(self._profiles)
         self._profiles.append(items)
         self._profile_sets.append(frozenset(items))
+        array = np.asarray(items, dtype=np.int64)
+        array.setflags(write=False)
+        self._profile_arrays.append(array)
         for v in items:
             self._item_users[v].append(user_id)
         return user_id
@@ -119,6 +123,15 @@ class InteractionDataset:
     def user_profile_set(self, user_id: int) -> frozenset[int]:
         """Set view of a user's profile for O(1) membership tests."""
         return self._profile_sets[user_id]
+
+    def user_profile_array(self, user_id: int) -> np.ndarray:
+        """Read-only ``int64`` array view of ``P_u``.
+
+        Built once per profile at append time so the serving hot path
+        (``top_k_batch``'s seen-item masking) never pays a per-user
+        tuple→ndarray conversion per request.
+        """
+        return self._profile_arrays[user_id]
 
     def item_users(self, item_id: int) -> tuple[int, ...]:
         """The item profile ``P_v``: users who interacted with ``item_id``."""
@@ -175,6 +188,9 @@ class InteractionDataset:
         clone = InteractionDataset([], n_items=self._n_items, name=self.name)
         clone._profiles = list(self._profiles)
         clone._profile_sets = list(self._profile_sets)
+        # Profile arrays are immutable (read-only flags), so sharing the
+        # objects across copies is safe and keeps copies cheap.
+        clone._profile_arrays = list(self._profile_arrays)
         clone._item_users = [list(users) for users in self._item_users]
         return clone
 

@@ -19,6 +19,7 @@ from repro.experiments.fig5_budget import (
 from repro.experiments.reporting import format_metric_rows, format_query_stats, format_table
 from repro.experiments.serving_bench import (
     measure_cohort_speedup,
+    run_hotpath_profile,
     run_serving_benchmark,
     run_shard_scaling,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "format_metric_rows",
     "format_query_stats",
     "measure_cohort_speedup",
+    "run_hotpath_profile",
     "run_serving_benchmark",
     "run_shard_scaling",
 ]

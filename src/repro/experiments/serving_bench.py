@@ -41,11 +41,18 @@ from repro.serving import (
     RecommendationService,
     ServingConfig,
     ShardedRecommendationService,
+    StageTimers,
     TrafficPattern,
     TrafficSimulator,
+    profile_callable,
 )
 
-__all__ = ["measure_cohort_speedup", "run_shard_scaling", "run_serving_benchmark"]
+__all__ = [
+    "measure_cohort_speedup",
+    "run_hotpath_profile",
+    "run_shard_scaling",
+    "run_serving_benchmark",
+]
 
 
 def measure_cohort_speedup(
@@ -268,6 +275,94 @@ def run_shard_scaling(
         "engines": list(engines),
         "shard_latency_s": shard_latency_s,
         "per_shard_count": results,
+    }
+
+
+def run_hotpath_profile(
+    model: Recommender,
+    n_shards: int = 4,
+    engine: str = "serial",
+    n_requests: int = 200,
+    cohort_size: int = 64,
+    k: int = 20,
+    cache_capacity: int = 4096,
+    ttl_injections: int = 0,
+    inject_every: int = 0,
+    workload: str | None = None,
+    seed: int = 0,
+    shard_latency_s: float = 0.0,
+    top: int = 12,
+) -> dict:
+    """Profile the serving hot path: per-stage timers plus cProfile.
+
+    Replays one fixed-cohort traffic pattern twice against a fresh
+    sharded deployment (restored to the same snapshot in between): once
+    uninstrumented — the honest throughput number — and once with a
+    :class:`~repro.serving.profiling.StageTimers` attached and cProfile
+    running, which attributes the wall clock to the five hot-path stages
+    (admission / routing / cache / scoring / merge) and to the top
+    functions by self time.  Backs the ``repro-bench profile``
+    subcommand.
+
+    Stage timers live in coordinator memory, so ``engine`` must be an
+    in-memory engine (``serial`` or ``threaded``); under ``threaded``
+    the stage totals sum across concurrent shard workers (cumulative
+    busy time, not elapsed wall clock).
+    """
+    if engine not in ("serial", "threaded"):
+        raise ConfigurationError(
+            f"run_hotpath_profile requires an in-memory engine (serial/threaded), got {engine!r}"
+        )
+    config = ServingConfig(
+        cache_capacity=cache_capacity, ttl_injections=ttl_injections, engine=engine
+    )
+    pattern = TrafficPattern(
+        n_requests=n_requests,
+        k=k,
+        min_batch=cohort_size,
+        max_batch=cohort_size,
+        seed=seed,
+        inject_every=inject_every,
+        workload=workload,
+    )
+    with ShardedRecommendationService(
+        model, n_shards=n_shards, config=config, shard_latency_s=shard_latency_s
+    ) as service:
+        base = service.snapshot()
+        plain = TrafficSimulator(pattern).run(service)
+        service.restore(base)
+        timers = StageTimers()
+        service.profiler = timers
+        try:
+            profiled, top_rows = profile_callable(
+                lambda: TrafficSimulator(pattern).run(service), top=top
+            )
+        finally:
+            service.profiler = None
+        service.restore(base)
+    return {
+        "engine": engine,
+        "n_shards": n_shards,
+        "n_requests": n_requests,
+        "cohort_size": cohort_size,
+        "k": k,
+        "cache_capacity": cache_capacity,
+        "ttl_injections": ttl_injections,
+        "inject_every": inject_every,
+        "shard_latency_s": shard_latency_s,
+        "uninstrumented": {
+            "duration_s": plain.duration_s,
+            "users_per_s": plain.users_per_s,
+            "requests_per_s": plain.requests_per_s,
+            "n_users_served": plain.n_users_served,
+            "cache_hit_rate": plain.cache_hit_rate,
+        },
+        "instrumented": {
+            "duration_s": profiled.duration_s,
+            "users_per_s": profiled.users_per_s,
+        },
+        "stages": timers.summary(n_users_served=profiled.n_users_served),
+        "top_functions": top_rows,
     }
 
 

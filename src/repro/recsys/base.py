@@ -90,9 +90,11 @@ class Recommender:
         if all_scores.dtype != np.float64:
             all_scores = all_scores.astype(np.float64)
         if exclude_seen:
-            profiles = [
-                np.asarray(self.dataset.user_profile(int(u)), dtype=np.int64) for u in users
-            ]
+            # Pre-built read-only profile arrays from the dataset: list
+            # indexing only, no per-user tuple→ndarray conversion on the
+            # serving hot path.
+            profile_of = self.dataset.user_profile_array
+            profiles = [profile_of(u) for u in users.tolist()]
             lengths = np.fromiter((p.size for p in profiles), dtype=np.int64, count=users.size)
             if int(lengths.sum()):
                 rows_flat = np.repeat(np.arange(users.size), lengths)

@@ -32,14 +32,22 @@ from repro.serving.engine import (
     ThreadedEngine,
     make_engine,
 )
+from repro.serving.profiling import STAGES, StageTimers, profile_callable
 from repro.serving.rate_limit import UNLIMITED, QuotaPolicy, RateLimiter
 from repro.serving.replica import ReplicationEvent
-from repro.serving.service import RecommendationService, ServiceStats, ServingConfig
+from repro.serving.service import (
+    RecommendationService,
+    ServiceStats,
+    ServingConfig,
+    resolve_slice,
+)
 from repro.serving.sharded import (
     ConsistentHashRouter,
     InvalidationBus,
     ShardedRecommendationService,
     ShardRouter,
+    group_by_shard,
+    scatter_to_request_order,
 )
 from repro.serving.traffic import (
     BackgroundTraffic,
@@ -75,6 +83,12 @@ __all__ = [
     "ShardRouter",
     "ConsistentHashRouter",
     "InvalidationBus",
+    "resolve_slice",
+    "group_by_shard",
+    "scatter_to_request_order",
+    "StageTimers",
+    "STAGES",
+    "profile_callable",
     "ExecutionEngine",
     "SerialEngine",
     "ThreadedEngine",

@@ -24,7 +24,8 @@ Keys are ``(user_id, k, exclude_seen)``; eviction is least-recently-used.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from typing import Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -122,6 +123,80 @@ class TopKCache:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
 
+    def lookup_batch(
+        self, user_ids: Sequence[int], k: int, exclude_seen: bool = True
+    ) -> tuple[list[np.ndarray | None], np.ndarray]:
+        """Batched :meth:`lookup` over ``user_ids`` in one pass.
+
+        Returns ``(results, miss_positions)``: one entry per requested
+        user (``None`` on miss) plus the positions that missed, ready to
+        index the caller's user array.  Observationally identical to a
+        scalar ``lookup`` loop — same hit/miss/invalidation counters,
+        same LRU recency updates, in the same order — but the key tuple
+        and the TTL horizon are built/checked once per batch instead of
+        once per user, and the stats counters are written once at the
+        end.
+        """
+        k = int(k)
+        exclude_seen = bool(exclude_seen)
+        entries = self._entries
+        min_version = self._version - self.ttl_injections
+        hits = misses = invalidations = 0
+        results: list[np.ndarray | None] = []
+        miss_positions: list[int] = []
+        for position, user_id in enumerate(user_ids):
+            key = (int(user_id), k, exclude_seen)
+            entry = entries.get(key)
+            if entry is not None:
+                if entry[1] >= min_version:
+                    entries.move_to_end(key)
+                    hits += 1
+                    results.append(entry[0])
+                    continue
+                # Stale under the TTL horizon: drop and treat as a miss.
+                del entries[key]
+                invalidations += 1
+            misses += 1
+            results.append(None)
+            miss_positions.append(position)
+        stats = self.stats
+        stats.hits += hits
+        stats.misses += misses
+        stats.invalidations += invalidations
+        return results, np.asarray(miss_positions, dtype=np.int64)
+
+    def store_batch(
+        self,
+        user_ids: Sequence[int],
+        k: int,
+        exclude_seen: bool,
+        items_per_user: Sequence[np.ndarray],
+    ) -> None:
+        """Batched :meth:`store` of one list per user in ``user_ids``.
+
+        Eviction pressure is applied after every insert (not once at the
+        end), so interleaving with re-stores of resident keys evicts
+        exactly what the scalar loop would; the eviction counter is
+        written once per batch.
+        """
+        k = int(k)
+        exclude_seen = bool(exclude_seen)
+        entries = self._entries
+        version = self._version
+        capacity = self.capacity
+        evictions = 0
+        for user_id, items in zip(user_ids, items_per_user):
+            items = items.copy()
+            items.setflags(write=False)
+            key = (int(user_id), k, exclude_seen)
+            entries[key] = (items, version)
+            entries.move_to_end(key)
+            while len(entries) > capacity:
+                entries.popitem(last=False)
+                evictions += 1
+        if evictions:
+            self.stats.evictions += evictions
+
     def note_injection(self) -> None:
         """Advance the version; flush everything in strict mode."""
         self._version += 1
@@ -136,8 +211,17 @@ class TopKCache:
             self._entries.clear()
 
     def staleness(self, user_id: int, k: int, exclude_seen: bool = True) -> int | None:
-        """Injections elapsed since the entry was stored (None if absent)."""
+        """Injections elapsed since the entry was stored.
+
+        ``None`` if the key is absent *or* the entry has aged past the
+        TTL horizon — an expired entry would never be served (``lookup``
+        counts it as an invalidation plus a miss), so reporting its age
+        as if it were live misrepresented cache contents.
+        """
         entry = self._entries.get((int(user_id), int(k), bool(exclude_seen)))
         if entry is None:
             return None
-        return self._version - entry[1]
+        age = self._version - entry[1]
+        if age > self.ttl_injections:
+            return None
+        return age

@@ -46,7 +46,7 @@ import numpy as np
 from repro.errors import ConfigurationError, StaleReplicaError
 from repro.serving.cache import TopKCache
 from repro.serving.rate_limit import RateLimiter
-from repro.serving.service import ServiceStats, ServingConfig
+from repro.serving.service import ServiceStats, ServingConfig, resolve_slice
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.recsys.base import Recommender
@@ -126,32 +126,11 @@ class ReplicaAck:
     cache: CacheSnapshot | None
 
 
-def resolve_slice(
-    model: "Recommender",
-    cache: TopKCache | None,
-    users: Sequence[int],
-    k: int,
-    exclude_seen: bool,
-    use_cache: bool,
-) -> tuple[int, list[np.ndarray]]:
-    """Resolve one shard's slice: cache lookups, one batch over the misses.
-
-    This is the single definition of slice semantics.  The in-memory
-    engines call it from the coordinator process under the shard's lock;
-    process workers call it against their replica — so cache hit/miss
-    counters and served lists are identical across engines by
-    construction, not by parallel maintenance of two code paths.
-    """
-    if cache is None or not use_cache:
-        return len(users), model.top_k_batch(users, k, exclude_seen=exclude_seen)
-    results = [cache.lookup(u, k, exclude_seen) for u in users]
-    missing = sorted({u for u, r in zip(users, results) if r is None})
-    if missing:
-        fresh = dict(zip(missing, model.top_k_batch(missing, k, exclude_seen=exclude_seen)))
-        for u, items in fresh.items():
-            cache.store(u, k, exclude_seen, items)
-        results = [fresh[u] if r is None else r for u, r in zip(users, results)]
-    return len(missing), results
+# resolve_slice — the single definition of slice semantics — lives in
+# repro.serving.service (the single service's query path routes through
+# it too, and service cannot import from here without a cycle).  It is
+# re-exported so worker-process call sites keep importing it from the
+# replica protocol module.
 
 
 class _ReplicaState:
@@ -245,7 +224,7 @@ def install_replica(
 
 def query_slice(
     expected_epoch: int,
-    users: list[int],
+    users: Sequence[int] | np.ndarray,
     k: int,
     exclude_seen: bool,
     use_cache: bool,

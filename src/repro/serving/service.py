@@ -37,8 +37,9 @@ from repro.serving.rate_limit import UNLIMITED, QuotaPolicy, RateLimiter
 
 if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.recsys
     from repro.recsys.base import Recommender
+    from repro.serving.profiling import StageTimers
 
-__all__ = ["RecommendationService", "ServingConfig", "ServiceStats"]
+__all__ = ["RecommendationService", "ServingConfig", "ServiceStats", "resolve_slice"]
 
 _DETECTOR_MODES = ("off", "flag", "block")
 
@@ -151,6 +152,65 @@ class ServiceStats:
         self.batch_sizes = []
 
 
+def resolve_slice(
+    model: "Recommender",
+    cache: TopKCache | None,
+    users: Sequence[int] | np.ndarray,
+    k: int,
+    exclude_seen: bool,
+    use_cache: bool,
+    profiler: "StageTimers | None" = None,
+) -> tuple[int, list[np.ndarray]]:
+    """Resolve one slice of users: batched cache pass, one batch of misses.
+
+    This is the **single definition of slice semantics**, shared by every
+    resolution path: the single service's query, the sharded in-memory
+    engines (which call it from the coordinator process under the
+    shard's lock), and process-engine worker replicas — so cache
+    hit/miss counters and served lists are identical across deployments
+    by construction, not by parallel maintenance of duplicate code
+    paths.
+
+    The hot path is vectorised: one :meth:`TopKCache.lookup_batch` pass
+    over the slice, miss users deduplicated with ``np.unique`` (which
+    reproduces the historical ``sorted(set(...))`` scoring order
+    exactly, keeping LRU insertion order identical), one
+    ``top_k_batch`` over the unique misses, one
+    :meth:`TopKCache.store_batch`.  Returns ``(n_scored, results)``
+    where ``n_scored`` counts deduplicated model-scored users.
+
+    ``profiler`` (a :class:`~repro.serving.profiling.StageTimers`)
+    splits the slice wall clock into ``cache`` and ``scoring`` stages;
+    ``None`` keeps the path uninstrumented.
+    """
+    users = np.asarray(users, dtype=np.int64)
+    if cache is None or not use_cache:
+        if profiler is None:
+            return int(users.size), model.top_k_batch(users, k, exclude_seen=exclude_seen)
+        t0 = time.perf_counter()
+        results = model.top_k_batch(users, k, exclude_seen=exclude_seen)
+        profiler.add("scoring", time.perf_counter() - t0, int(users.size))
+        return int(users.size), results
+    t0 = time.perf_counter() if profiler is not None else 0.0
+    results, miss_positions = cache.lookup_batch(users.tolist(), k, exclude_seen)
+    if profiler is not None:
+        profiler.add("cache", time.perf_counter() - t0, int(users.size))
+    if miss_positions.size == 0:
+        return 0, results
+    unique_users, inverse = np.unique(users[miss_positions], return_inverse=True)
+    t0 = time.perf_counter() if profiler is not None else 0.0
+    fresh = model.top_k_batch(unique_users, k, exclude_seen=exclude_seen)
+    if profiler is not None:
+        profiler.add("scoring", time.perf_counter() - t0, int(unique_users.size))
+        t0 = time.perf_counter()
+    cache.store_batch(unique_users.tolist(), k, exclude_seen, fresh)
+    for position, fresh_index in zip(miss_positions.tolist(), inverse.tolist()):
+        results[position] = fresh[fresh_index]
+    if profiler is not None:
+        profiler.add("cache", time.perf_counter() - t0, int(unique_users.size))
+    return int(unique_users.size), results
+
+
 @dataclass(frozen=True)
 class _ServiceSnapshot:
     """Model snapshot plus the user count it must restore to."""
@@ -194,6 +254,11 @@ class RecommendationService:
         )
         self.stats = ServiceStats()
         self.flagged_injections: list[tuple[int, float]] = []
+        # Optional hot-path instrumentation: attach a
+        # repro.serving.profiling.StageTimers to split query wall clock
+        # into admission/routing/cache/scoring/merge stages.  None keeps
+        # the query path uninstrumented (one attribute check per stage).
+        self.profiler: "StageTimers | None" = None
 
     def _make_cache(self) -> TopKCache | None:
         """Coordinator-level cache (the sharded deployment keeps none)."""
@@ -234,23 +299,18 @@ class RecommendationService:
         if k <= 0:
             raise ConfigurationError("k must be positive")
         start = self._clock()
-        users = [int(u) for u in user_ids]
-        self.limiter.admit_query(client, len(users))
-        if self.cache is None or not use_cache:
-            n_scored = len(users)
-            results = self._model.top_k_batch(users, k, exclude_seen=exclude_seen)
+        users = np.asarray(user_ids, dtype=np.int64)
+        profiler = self.profiler
+        if profiler is None:
+            self.limiter.admit_query(client, int(users.size))
         else:
-            results = [self.cache.lookup(u, k, exclude_seen) for u in users]
-            missing = sorted({u for u, r in zip(users, results) if r is None})
-            n_scored = len(missing)
-            if missing:
-                fresh = dict(
-                    zip(missing, self._model.top_k_batch(missing, k, exclude_seen=exclude_seen))
-                )
-                for u, items in fresh.items():
-                    self.cache.store(u, k, exclude_seen, items)
-                results = [fresh[u] if r is None else r for u, r in zip(users, results)]
-        self.stats.record_request(len(users), n_scored, self._clock() - start)
+            t0 = time.perf_counter()
+            self.limiter.admit_query(client, int(users.size))
+            profiler.add("admission", time.perf_counter() - t0, int(users.size))
+        n_scored, results = resolve_slice(
+            self._model, self.cache, users, k, exclude_seen, use_cache, profiler=profiler
+        )
+        self.stats.record_request(int(users.size), n_scored, self._clock() - start)
         return list(results)
 
     def inject(self, profile: Sequence[int], client: str = "default") -> int:

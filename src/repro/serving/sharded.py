@@ -119,6 +119,8 @@ __all__ = [
     "ConsistentHashRouter",
     "InvalidationBus",
     "ShardedRecommendationService",
+    "group_by_shard",
+    "scatter_to_request_order",
 ]
 
 _ROUTINGS = ("hash", "consistent")
@@ -128,6 +130,33 @@ def _stable_hash(key: str | int) -> int:
     """Process-stable 32-bit hash (Python's ``hash`` is salted per run)."""
     data = key.to_bytes(8, "little", signed=True) if isinstance(key, int) else key.encode()
     return zlib.crc32(data)
+
+
+def _build_crc32_table() -> np.ndarray:
+    """The standard CRC-32 byte table (reflected polynomial 0xEDB88320)."""
+    table = np.arange(256, dtype=np.uint32)
+    for _ in range(8):
+        table = np.where(table & 1, np.uint32(0xEDB88320) ^ (table >> 1), table >> 1)
+    return table.astype(np.uint32)
+
+
+_CRC32_TABLE = _build_crc32_table()
+
+
+def _stable_hash_array(user_ids: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`_stable_hash` over an int64 user-id array.
+
+    Bit-identical to ``zlib.crc32`` of each id's 8 little-endian signed
+    bytes (the scalar path), computed as eight table-driven byte rounds
+    over the whole array — one numpy pass per byte instead of one Python
+    call per user.
+    """
+    raw = np.ascontiguousarray(user_ids, dtype=np.int64).view(np.uint64)
+    crc = np.full(raw.shape, 0xFFFFFFFF, dtype=np.uint32)
+    for shift in range(0, 64, 8):
+        byte = ((raw >> np.uint64(shift)) & np.uint64(0xFF)).astype(np.uint32)
+        crc = _CRC32_TABLE[(crc ^ byte) & np.uint32(0xFF)] ^ (crc >> np.uint32(8))
+    return crc ^ np.uint32(0xFFFFFFFF)
 
 
 class ShardRouter:
@@ -140,6 +169,16 @@ class ShardRouter:
 
     def shard_for_user(self, user_id: int) -> int:
         return _stable_hash(int(user_id)) % self.n_shards
+
+    def shards_for_users(self, user_ids: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`shard_for_user` over an array of user ids.
+
+        One CRC pass and one modulo over the whole array; element-wise
+        identical to the scalar method (pinned by the router equivalence
+        tests), so the two paths are interchangeable on the hot path.
+        """
+        hashes = _stable_hash_array(np.asarray(user_ids, dtype=np.int64))
+        return (hashes % np.uint32(self.n_shards)).astype(np.int64)
 
     def shard_for_client(self, client: str) -> int:
         """Home shard holding the client's rate-limiter state."""
@@ -183,6 +222,10 @@ class ConsistentHashRouter(ShardRouter):
                 continue
             self._ring_hashes.append(hashed)
             self._ring_shards.append(shard)
+        # Array views of the ring for the vectorised lookup path
+        # (np.searchsorted side="left" ≡ bisect_left on these).
+        self._ring_hash_array = np.asarray(self._ring_hashes, dtype=np.uint32)
+        self._ring_shard_array = np.asarray(self._ring_shards, dtype=np.int64)
 
     def _locate(self, hashed: int) -> int:
         index = bisect.bisect_left(self._ring_hashes, hashed)
@@ -193,8 +236,65 @@ class ConsistentHashRouter(ShardRouter):
     def shard_for_user(self, user_id: int) -> int:
         return self._locate(_stable_hash(int(user_id)))
 
+    def shards_for_users(self, user_ids: np.ndarray) -> np.ndarray:
+        """Vectorised ring lookup: one CRC pass, one ``searchsorted``."""
+        hashes = _stable_hash_array(np.asarray(user_ids, dtype=np.int64))
+        index = np.searchsorted(self._ring_hash_array, hashes, side="left")
+        index[index == self._ring_hash_array.size] = 0  # wrap around the ring
+        return self._ring_shard_array[index]
+
     def shard_for_client(self, client: str) -> int:
         return self._locate(_stable_hash(client))
+
+
+def group_by_shard(
+    router: ShardRouter, users: np.ndarray
+) -> tuple[np.ndarray, list[tuple[int, np.ndarray, np.ndarray]]]:
+    """Group request positions by owning shard in one argsort pass.
+
+    Returns ``(order, slices)``: ``order`` is the request positions
+    sorted by shard (the scatter index for
+    :func:`scatter_to_request_order`), and ``slices`` is one
+    ``(shard_index, positions, slice_users)`` triple per non-empty
+    shard, where ``positions``/``slice_users`` are contiguous views into
+    the sorted arrays.  The sort is *stable*, so users keep their
+    request order within each shard — the property that makes per-shard
+    cache hit/miss sequences identical to the historical per-user
+    ``setdefault`` grouping loop.
+    """
+    if users.size == 0:
+        return np.empty(0, dtype=np.int64), []
+    shards = router.shards_for_users(users)
+    order = np.argsort(shards, kind="stable")
+    sorted_shards = shards[order]
+    sorted_users = users[order]
+    boundaries = np.flatnonzero(sorted_shards[1:] != sorted_shards[:-1]) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [sorted_shards.size]))
+    slices = [
+        (int(sorted_shards[start]), order[start:end], sorted_users[start:end])
+        for start, end in zip(starts.tolist(), ends.tolist())
+    ]
+    return order, slices
+
+
+def scatter_to_request_order(
+    order: np.ndarray, per_slice_results: Sequence[Sequence[np.ndarray]]
+) -> list[np.ndarray]:
+    """Merge per-slice top-k rows back into request order in one scatter.
+
+    Every row of a request shares the same length (``min(k, n_items)``),
+    so the slice results stack into one 2-D block and a single
+    fancy-indexed assignment restores request order — replacing the
+    historical per-position Python merge loop.  ``order`` is the
+    position array from :func:`group_by_shard`; slice results must be
+    concatenated in the same slice order.
+    """
+    blocks = [np.asarray(rows, dtype=np.int64) for rows in per_slice_results]
+    stacked = blocks[0] if len(blocks) == 1 else np.concatenate(blocks, axis=0)
+    merged = np.empty_like(stacked)
+    merged[order] = stacked
+    return list(merged)
 
 
 class InvalidationBus:
@@ -590,14 +690,21 @@ class ShardedRecommendationService(RecommendationService):
         if k <= 0:
             raise ConfigurationError("k must be positive")
         start = self._clock()
-        users = [int(u) for u in user_ids]
-        by_shard: dict[int, list[int]] = {}
-        for position, user in enumerate(users):
-            by_shard.setdefault(self.router.shard_for_user(user), []).append(position)
-        slices = [
-            (shard_index, positions, [users[p] for p in positions])
-            for shard_index, positions in by_shard.items()
-        ]
+        users = np.asarray(user_ids, dtype=np.int64)
+        n_users = int(users.size)
+        profiler = self.profiler
+        # Routing: one vectorised hash pass + stable argsort grouping
+        # (single-shard deployments skip the router — everything is one
+        # slice in request order, and the scatter below is skipped too).
+        t0 = time.perf_counter() if profiler is not None else 0.0
+        if n_users == 0:
+            order, slices = np.empty(0, dtype=np.int64), []
+        elif self.n_shards == 1:
+            order, slices = None, [(0, None, users)]
+        else:
+            order, slices = group_by_shard(self.router, users)
+        if profiler is not None:
+            profiler.add("routing", time.perf_counter() - t0, n_users)
         # Queries share the model for reading; injections/restores write.
         # Admission and the coordinator's stats record both stay inside
         # the read hold: a concurrent restore (write side) must not land
@@ -606,9 +713,11 @@ class ShardedRecommendationService(RecommendationService):
         # "freshly reset" platform would carry traces of (or grant free
         # quota to) a pre-reset request.  The limiter's internal lock is
         # a leaf below the model lock on every path, so ordering is safe.
-        results: list[np.ndarray | None] = [None] * len(users)
         with self._model_lock.read():
-            self._limiter_for_client(client).admit_query(client, len(users))
+            t0 = time.perf_counter() if profiler is not None else 0.0
+            self._limiter_for_client(client).admit_query(client, n_users)
+            if profiler is not None:
+                profiler.add("admission", time.perf_counter() - t0, n_users)
             if self._remote:
                 outcomes = self._resolve_remote(slices, k, exclude_seen, use_cache)
             else:
@@ -625,17 +734,25 @@ class ShardedRecommendationService(RecommendationService):
                         for shard_index, _, slice_users in slices
                     ]
                 )
-            n_scored_total = 0
-            for (_, positions, _), (n_scored, shard_results) in zip(slices, outcomes):
-                n_scored_total += n_scored
-                for position, items in zip(positions, shard_results):
-                    results[position] = items
-            self.stats.record_request(len(users), n_scored_total, self._clock() - start)
-        return list(results)
+            n_scored_total = sum(n_scored for n_scored, _ in outcomes)
+            t0 = time.perf_counter() if profiler is not None else 0.0
+            if not outcomes:
+                results: list[np.ndarray] = []
+            elif len(outcomes) == 1:
+                # One slice ⇒ its users kept request order (stable sort).
+                results = list(outcomes[0][1])
+            else:
+                results = scatter_to_request_order(
+                    order, [shard_results for _, shard_results in outcomes]
+                )
+            if profiler is not None:
+                profiler.add("merge", time.perf_counter() - t0, n_users)
+            self.stats.record_request(n_users, n_scored_total, self._clock() - start)
+        return results
 
     def _resolve_remote(
         self,
-        slices: list[tuple[int, list[int], list[int]]],
+        slices: list[tuple[int, np.ndarray | None, np.ndarray]],
         k: int,
         exclude_seen: bool,
         use_cache: bool,
@@ -672,7 +789,7 @@ class ShardedRecommendationService(RecommendationService):
     def _resolve_shard(
         self,
         shard: _WorkerShard,
-        shard_users: list[int],
+        shard_users: np.ndarray,
         k: int,
         exclude_seen: bool,
         use_cache: bool,
@@ -691,7 +808,13 @@ class ShardedRecommendationService(RecommendationService):
         with shard.lock:
             t0 = self._clock()
             n_scored, shard_results = replica_proto.resolve_slice(
-                self._model, shard.cache, shard_users, k, exclude_seen, use_cache
+                self._model,
+                shard.cache,
+                shard_users,
+                k,
+                exclude_seen,
+                use_cache,
+                profiler=self.profiler,
             )
             shard.stats.record_request(len(shard_users), n_scored, self._clock() - t0)
         return n_scored, shard_results

@@ -249,21 +249,34 @@ class TrafficSimulator:
             else None
         )
 
-        start = self._clock()
+        # The whole request stream is sampled *before* the clock starts:
+        # weighted no-replacement draws cost O(n_users) each, and folding
+        # that load-generator work into the timed region understated
+        # serving throughput (the replay measures the service, not the
+        # simulator).  Draw order matches the historical per-iteration
+        # loop exactly, so the issued stream is unchanged.
+        plan: list[tuple[list[int] | None, np.ndarray, int]] = []
         for request_idx in range(n_requests):
+            inject_profile: list[int] | None = None
             if pattern.inject_every and (request_idx + 1) % pattern.inject_every == 0:
                 profile = rng.choice(
                     service.n_items,
                     size=min(pattern.injection_profile_length, service.n_items),
                     replace=False,
                 )
+                inject_profile = [int(v) for v in profile]
+            batch = min(int(rng.integers(pattern.min_batch, pattern.max_batch + 1)), n_users)
+            users = rng.choice(n_users, size=batch, replace=False, p=weights)
+            plan.append((inject_profile, users, batch))
+
+        start = self._clock()
+        for inject_profile, users, batch in plan:
+            if inject_profile is not None:
                 try:
-                    service.inject([int(v) for v in profile], client=client)
+                    service.inject(inject_profile, client=client)
                     n_injections += 1
                 except RateLimitExceededError:
                     n_rate_limited += 1
-            batch = min(int(rng.integers(pattern.min_batch, pattern.max_batch + 1)), n_users)
-            users = rng.choice(n_users, size=batch, replace=False, p=weights)
             t0 = self._clock()
             try:
                 service.query(users, pattern.k, client=client)

@@ -119,3 +119,45 @@ class TestExecution:
         assert set(scaling) == {"1", "2", "4"}
         assert scaling["1"]["scale_vs_1"] == 1.0
         assert all(entry["simulated_users_per_s"] > 0 for entry in scaling.values())
+
+
+class TestProfileSubcommand:
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.command == "profile"
+        assert args.requests == 200
+        assert args.cohort == 64
+        assert args.k == 20
+        assert args.shards == 4
+        assert args.engine == "serial"
+        assert args.top == 12
+
+    def test_profile_rejects_process_engine(self):
+        # The profiler attaches in-process stage timers; a process-pool
+        # engine would silently profile only the coordinator.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "--engine", "process"])
+
+    def test_profile_rejects_nonpositive_requests(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--config", "small", "profile", "--requests", "0"])
+
+    def test_profile_runs_and_writes_json(self, capsys, tmp_path):
+        path = tmp_path / "PROFILE_hotpath.json"
+        code = main([
+            "--config", "small", "--quiet",
+            "profile", "--requests", "20", "--cohort", "16", "--shards", "2",
+            "--json", str(path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "users/s" in out
+        assert "routing" in out and "scoring" in out
+        result = json.loads(path.read_text())
+        assert result["n_shards"] == 2
+        assert result["uninstrumented"]["users_per_s"] > 0
+        stages = result["stages"]["stages"]
+        assert set(stages) >= {"admission", "routing", "cache", "scoring", "merge"}
+        assert result["top_functions"], "cProfile rows should not be empty"
+        total_share = sum(entry["share"] for entry in stages.values())
+        assert total_share == pytest.approx(1.0, abs=1e-6)

@@ -170,3 +170,99 @@ class TestTTLStalenessBound:
         service.restore(base)
         assert len(service.cache) == 0
         np.testing.assert_array_equal(service.query([0], 4)[0], model.top_k(0, 4))
+
+
+class TestStalenessReporting:
+    def test_expired_resident_entry_reports_none(self):
+        """Regression: an entry aged past the TTL horizon used to report
+        its raw age even though a lookup would never serve it (it counts
+        as invalidation + miss); `staleness` must say None, like absent."""
+        cache = TopKCache(capacity=8, ttl_injections=1)
+        cache.store(0, 5, True, np.array([1]))
+        cache.note_injection()
+        assert cache.staleness(0, 5, True) == 1  # at the horizon: servable
+        cache.note_injection()
+        assert len(cache) == 1  # still resident — lazily invalidated
+        assert cache.staleness(0, 5, True) is None  # but never servable
+        assert cache.lookup(0, 5, True) is None
+
+    def test_absent_key_reports_none(self):
+        assert TopKCache().staleness(42, 5, True) is None
+
+
+# A batch script drives one cache through interleaved batched lookups,
+# stores of whatever missed, and injections; the mirror cache replays the
+# identical operations through the scalar methods.
+_batch_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("lookup"),
+            st.lists(st.integers(0, 9), min_size=0, max_size=8),
+        ),
+        st.tuples(st.just("inject"), st.none()),
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+class TestBatchScalarEquivalence:
+    """lookup_batch/store_batch are observationally identical to scalar
+    loops: same returned lists, same four counters, same LRU key order.
+    The vectorized serving path relies on this to keep the engine
+    conformance invariants (bit-identical counters across engines)."""
+
+    @given(_batch_ops, st.sampled_from([0, 2]), st.sampled_from([2, 4, 64]))
+    @settings(max_examples=60, deadline=None)
+    def test_interleaved_ops_match(self, ops, ttl, capacity):
+        k = 5
+        batched = TopKCache(capacity=capacity, ttl_injections=ttl)
+        scalar = TopKCache(capacity=capacity, ttl_injections=ttl)
+        for kind, payload in ops:
+            if kind == "inject":
+                batched.note_injection()
+                scalar.note_injection()
+                continue
+            users = payload
+            got, miss_positions = batched.lookup_batch(users, k, True)
+            expected = [scalar.lookup(u, k, True) for u in users]
+            assert len(got) == len(expected)
+            for g, e in zip(got, expected):
+                if e is None:
+                    assert g is None
+                else:
+                    np.testing.assert_array_equal(g, e)
+            assert miss_positions.tolist() == [
+                i for i, e in enumerate(expected) if e is None
+            ]
+            # Store a fresh list for every *distinct* missed user, in
+            # first-miss order — exactly what resolve_slice does.
+            missed: list[int] = []
+            for position in miss_positions.tolist():
+                if users[position] not in missed:
+                    missed.append(users[position])
+            rows = [np.arange(k) + u for u in missed]
+            batched.store_batch(missed, k, True, rows)
+            for u, row in zip(missed, rows):
+                scalar.store(u, k, True, row)
+            assert batched.stats == scalar.stats
+            assert list(batched._entries.keys()) == list(scalar._entries.keys())
+        assert batched.stats == scalar.stats
+        assert len(batched) == len(scalar)
+
+    def test_store_batch_evicts_per_insert(self):
+        """Eviction pressure applies after each insert, so re-storing a
+        resident key mid-batch cannot push the count over capacity."""
+        cache = TopKCache(capacity=2)
+        cache.store_batch([0, 1, 0, 2, 3], 5, True, [np.array([i]) for i in range(5)])
+        assert len(cache) == 2
+        assert list(cache._entries.keys()) == [(2, 5, True), (3, 5, True)]
+        assert cache.stats.evictions == 2
+
+    def test_lookup_batch_returns_stored_rows_readonly(self):
+        cache = TopKCache(capacity=4)
+        cache.store_batch([7], 3, True, [np.array([1, 2, 3])])
+        (row,), misses = cache.lookup_batch([7], 3, True)
+        assert misses.size == 0
+        with pytest.raises(ValueError):
+            row[0] = 99

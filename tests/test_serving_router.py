@@ -12,6 +12,7 @@ collision-constructed rings.
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 import repro.serving.sharded as sharded_mod
@@ -112,3 +113,67 @@ class TestRingInvariants:
             ConsistentHashRouter(n_shards=2, n_replicas=0)
         with pytest.raises(ConfigurationError):
             ShardRouter(n_shards=0)
+
+
+class TestVectorizedRoutingEquivalence:
+    """``shards_for_users`` must be element-wise identical to the scalar
+    path — the sharded coordinator routes whole request arrays through
+    it, so any divergence silently re-homes users (wrong cache, wrong
+    rate-limiter state) without failing a single scalar test."""
+
+    # Extremes bracket the int64 domain the CRC byte-decomposition walks.
+    EDGE_IDS = [0, 1, -1, 2**31 - 1, 2**31, 2**63 - 1, -(2**63)]
+
+    def _ids(self):
+        rng = np.random.default_rng(11)
+        sampled = rng.integers(-(2**62), 2**62, size=512).tolist()
+        return np.asarray(self.EDGE_IDS + sampled, dtype=np.int64)
+
+    def test_crc_array_matches_zlib(self):
+        users = self._ids()
+        expected = [sharded_mod._stable_hash(int(u)) for u in users]
+        got = sharded_mod._stable_hash_array(users)
+        assert got.dtype == np.uint32
+        assert got.tolist() == expected
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 4, 7, 13])
+    def test_hash_router_batch_equals_scalar(self, n_shards):
+        router = ShardRouter(n_shards)
+        users = self._ids()
+        expected = [router.shard_for_user(int(u)) for u in users]
+        assert router.shards_for_users(users).tolist() == expected
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 4, 7, 13])
+    def test_consistent_router_batch_equals_scalar(self, n_shards):
+        router = ConsistentHashRouter(n_shards)
+        users = self._ids()
+        expected = [router.shard_for_user(int(u)) for u in users]
+        assert router.shards_for_users(users).tolist() == expected
+
+    def test_noncontiguous_input_accepted(self):
+        # Strided views cannot be reinterpret-cast; the router must copy,
+        # not crash, when handed a slice of a larger request array.
+        router = ConsistentHashRouter(4)
+        base = self._ids()
+        view = base[::2]
+        assert not view.flags["C_CONTIGUOUS"]
+        expected = [router.shard_for_user(int(u)) for u in view]
+        assert router.shards_for_users(view).tolist() == expected
+
+    def test_empty_batch(self):
+        for router in (ShardRouter(3), ConsistentHashRouter(3)):
+            out = router.shards_for_users(np.empty(0, dtype=np.int64))
+            assert out.shape == (0,)
+
+    def test_ring_wrap_hits_first_point(self, monkeypatch):
+        # A key hashing past the last ring point must wrap to the ring's
+        # first point in the vectorized path exactly as _locate does.
+        router = _crafted_router(
+            monkeypatch,
+            {"shard-0#vnode-0": 10, "shard-1#vnode-0": 20},
+            n_shards=2,
+        )
+        wrapping = [u for u in range(5000) if sharded_mod._stable_hash(u) > 20][:8]
+        assert wrapping, "expected some user hash above the crafted ring"
+        users = np.asarray(wrapping, dtype=np.int64)
+        assert router.shards_for_users(users).tolist() == [0] * len(wrapping)
