@@ -11,7 +11,9 @@ Usage (after ``pip install -e .``)::
     repro-bench method  --config small --method TargetAttack40
     repro-bench serve   --config small --shards 7 --workload diurnal \
                         --engine all --json BENCH_serving.json
-    repro-bench profile --config small --shards 4 --engine serial
+    repro-bench latency --config small --shards 4 --engines threaded async \
+                        --json BENCH_latency.json
+    repro-bench profile --config small --shards 4 --engine async
 
 or ``python -m repro.cli <subcommand> ...``.  Every run is deterministic
 given ``--seed``.
@@ -38,12 +40,14 @@ from repro.experiments import (
     run_budget_sweep,
     run_depth_sweep,
     run_hotpath_profile,
+    run_latency_curve,
     run_method,
     run_popularity_sweep,
     run_serving_benchmark,
     run_table2,
     scaled_copy,
 )
+from repro.serving import OVERLOAD_POLICIES
 from repro.serving import WORKLOADS as _WORKLOAD_NAMES
 from repro.utils import enable_console_logging
 
@@ -109,19 +113,55 @@ def build_parser() -> argparse.ArgumentParser:
                             "(sweeps the subset of {1, 2, 4, N} up to N)")
     serve.add_argument("--workload", choices=sorted(_WORKLOAD_NAMES), default="diurnal",
                        help="workload model shaping the shard-scaling replay")
-    serve.add_argument("--engine", choices=("all", "both", "serial", "threaded", "process"),
+    serve.add_argument("--engine",
+                       choices=("all", "both", "serial", "threaded", "process", "async"),
                        default="all",
                        help="execution engine(s) measured by the shard-scaling sweep: "
                             "'serial' (sequential fan-out, simulated makespan model), "
                             "'threaded' (one-worker-per-shard thread pool), 'process' "
                             "(one worker process per shard with replicated state — "
-                            "parallel compute past the GIL), 'both' (serial+threaded), "
+                            "parallel compute past the GIL), 'async' (event-loop "
+                            "coroutine fan-out), 'both' (serial+threaded), "
                             "or 'all' (report every engine side by side)")
     serve.add_argument("--shard-latency-ms", type=float, default=2.0,
                        help="modelled per-slice RPC latency of a remote shard worker "
                             "(threaded engine overlaps it; excluded from simulated busy time)")
     serve.add_argument("--json", default=None, metavar="PATH",
                        help="write the full result as JSON (e.g. BENCH_serving.json)")
+
+    latency = sub.add_parser(
+        "latency",
+        help="open-loop latency-throughput curve per engine (async admission front)",
+    )
+    latency.add_argument("--requests", type=int, default=180, help="requests per point")
+    latency.add_argument("--cohort", type=int, default=64, help="users per request")
+    latency.add_argument("--k", type=int, default=20)
+    latency.add_argument("--shards", type=int, default=4)
+    latency.add_argument("--engines", nargs="+", choices=("serial", "threaded", "async"),
+                         default=["threaded", "async"],
+                         help="in-memory engines to sweep (curves share request plans)")
+    latency.add_argument("--workloads", nargs="+", choices=sorted(_WORKLOAD_NAMES),
+                         default=["steady", "flash"],
+                         help="arrival shapes for the open-loop replay")
+    latency.add_argument("--loads", type=float, nargs="+",
+                         default=[8000, 16000, 32000, 48000, 64000],
+                         help="offered loads to sweep, users/s")
+    latency.add_argument("--queue", type=int, default=64,
+                         help="bounded admission-queue capacity")
+    latency.add_argument("--policy", choices=OVERLOAD_POLICIES, default="block",
+                         help="overload policy when the queue is full")
+    latency.add_argument("--timeout-s", type=float, default=2.0,
+                         help="admission timeout for the block policy (0 = wait forever)")
+    latency.add_argument("--concurrency", type=int, default=16,
+                         help="max requests in service at once")
+    latency.add_argument("--shard-latency-ms", type=float, default=2.0,
+                         help="modelled per-slice RPC latency of a remote shard worker")
+    latency.add_argument("--cache-capacity", type=int, default=4096,
+                         help="per-shard top-k cache entries (0 disables caching)")
+    latency.add_argument("--slo-p99-ms", type=float, default=50.0,
+                         help="p99 queueing-latency SLO for max_load_within_slo")
+    latency.add_argument("--json", default=None, metavar="PATH",
+                         help="write the full result as JSON (e.g. BENCH_latency.json)")
 
     profile = sub.add_parser(
         "profile",
@@ -131,10 +171,12 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--cohort", type=int, default=64, help="users per request")
     profile.add_argument("--k", type=int, default=20)
     profile.add_argument("--shards", type=int, default=4)
-    profile.add_argument("--engine", choices=("serial", "threaded"), default="serial",
+    profile.add_argument("--engine", choices=("serial", "threaded", "async"),
+                         default="serial",
                          help="in-memory engine to profile (stage timers cannot cross "
                               "the process boundary; under 'threaded' stage totals sum "
-                              "across workers)")
+                              "across workers; 'async' replays through the admission "
+                              "front so the queue-wait stage is populated)")
     profile.add_argument("--cache-capacity", type=int, default=4096,
                          help="per-shard top-k cache entries (0 disables caching)")
     profile.add_argument("--ttl", type=int, default=0,
@@ -180,6 +222,24 @@ def main(argv: Sequence[str] | None = None) -> int:
                 parser.error(f"--{name} must be positive")
         if args.cache_capacity < 0 or args.ttl < 0 or args.inject_every < 0:
             parser.error("--cache-capacity, --ttl, and --inject-every must be non-negative")
+        if args.engine == "async" and args.inject_every:
+            parser.error("--inject-every is not supported with --engine async")
+        if args.json is not None:
+            parent = os.path.dirname(os.path.abspath(args.json)) or "."
+            if not os.path.isdir(parent):
+                parser.error(f"--json directory does not exist: {parent}")
+    if args.command == "latency":
+        for name in ("requests", "cohort", "k", "shards", "queue", "concurrency"):
+            if getattr(args, name) <= 0:
+                parser.error(f"--{name} must be positive")
+        if any(load <= 0 for load in args.loads):
+            parser.error("--loads entries must be positive")
+        if args.shard_latency_ms < 0 or args.timeout_s < 0:
+            parser.error("--shard-latency-ms and --timeout-s must be non-negative")
+        if args.cache_capacity < 0:
+            parser.error("--cache-capacity must be non-negative")
+        if args.slo_p99_ms <= 0:
+            parser.error("--slo-p99-ms must be positive")
         if args.json is not None:
             parent = os.path.dirname(os.path.abspath(args.json)) or "."
             if not os.path.isdir(parent):
@@ -285,7 +345,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "serve":
         shard_counts = sorted(c for c in {1, 2, 4, args.shards} if c <= args.shards)
         if args.engine == "all":
-            engines = ("serial", "threaded", "process")
+            engines = ("serial", "threaded", "process", "async")
         elif args.engine == "both":
             engines = ("serial", "threaded")
         else:
@@ -336,6 +396,59 @@ def main(argv: Sequence[str] | None = None) -> int:
                   f"shard RPC latency {scaling['shard_latency_s'] * 1e3:g} ms",
         ))
         print()
+        if args.json:
+            import json
+
+            with open(args.json, "w") as handle:
+                json.dump(result, handle, indent=2, sort_keys=True)
+            print(f"wrote {args.json}")
+        return 0
+
+    if args.command == "latency":
+        result = run_latency_curve(
+            prep.mf,
+            n_shards=args.shards,
+            engines=tuple(args.engines),
+            workloads=tuple(dict.fromkeys(args.workloads)),
+            offered_loads=tuple(args.loads),
+            n_requests=args.requests,
+            cohort_size=args.cohort,
+            k=args.k,
+            shard_latency_s=args.shard_latency_ms / 1e3,
+            cache_capacity=args.cache_capacity,
+            max_queue=args.queue,
+            policy=args.policy,
+            admission_timeout_s=None if args.timeout_s == 0 else args.timeout_s,
+            max_concurrency=args.concurrency,
+            seed=config.seed,
+            slo_p99_ms=args.slo_p99_ms,
+        )
+        for engine, entry in result["engines"].items():
+            for workload, curve in entry["workloads"].items():
+                rows = [
+                    [point["offered_users_per_s"],
+                     point["achieved_users_per_s"],
+                     point["latency"]["p50_ms"],
+                     point["latency"]["p95_ms"],
+                     point["latency"]["p99_ms"],
+                     point["n_shed"] + point["n_timed_out"]
+                     + point["n_rate_limited"]]
+                    for point in curve["points"]
+                ]
+                print(format_table(
+                    ["offered users/s", "achieved users/s",
+                     "p50 ms", "p95 ms", "p99 ms", "denied"], rows,
+                    title=f"latency curve — {engine} engine, {workload} workload "
+                          f"(knee ≈ {curve['knee_users_per_s']:.0f} users/s)",
+                ))
+                print()
+            peak = entry["peak"]
+            print(
+                f"{engine} peak (all-at-once burst): "
+                f"{peak['users_per_s']:.0f} users/s, "
+                f"p99 arrival→completion {peak['latency']['p99_ms']:.1f} ms"
+            )
+            print()
         if args.json:
             import json
 

@@ -20,6 +20,7 @@ from repro.experiments.reporting import format_metric_rows, format_query_stats, 
 from repro.experiments.serving_bench import (
     measure_cohort_speedup,
     run_hotpath_profile,
+    run_latency_curve,
     run_serving_benchmark,
     run_shard_scaling,
 )
@@ -63,6 +64,7 @@ __all__ = [
     "format_query_stats",
     "measure_cohort_speedup",
     "run_hotpath_profile",
+    "run_latency_curve",
     "run_serving_benchmark",
     "run_shard_scaling",
 ]

@@ -38,18 +38,22 @@ from repro.recsys.base import Recommender
 from repro.recsys.neural_cf import NeuralCF
 from repro.serving import (
     ENGINES,
+    AsyncServingFront,
+    FrontConfig,
     RecommendationService,
     ServingConfig,
     ShardedRecommendationService,
     StageTimers,
     TrafficPattern,
     TrafficSimulator,
+    open_loop_plan,
     profile_callable,
 )
 
 __all__ = [
     "measure_cohort_speedup",
     "run_hotpath_profile",
+    "run_latency_curve",
     "run_shard_scaling",
     "run_serving_benchmark",
 ]
@@ -305,13 +309,39 @@ def run_hotpath_profile(
     subcommand.
 
     Stage timers live in coordinator memory, so ``engine`` must be an
-    in-memory engine (``serial`` or ``threaded``); under ``threaded``
-    the stage totals sum across concurrent shard workers (cumulative
-    busy time, not elapsed wall clock).
+    in-memory engine (``serial``, ``threaded``, or ``async``); under
+    ``threaded`` the stage totals sum across concurrent shard workers
+    (cumulative busy time, not elapsed wall clock).
+
+    Under ``async`` the replay goes through the
+    :class:`~repro.serving.async_front.AsyncServingFront` as one closed
+    burst (every request arrives at t=0 into an unbounded-enough queue),
+    so the ``queue`` stage — admission-queue wait, arrival→start — is
+    populated and reported as its own ns/user share alongside the
+    service-side stages.
     """
-    if engine not in ("serial", "threaded"):
+    if engine not in ("serial", "threaded", "async"):
         raise ConfigurationError(
-            f"run_hotpath_profile requires an in-memory engine (serial/threaded), got {engine!r}"
+            f"run_hotpath_profile requires an in-memory engine "
+            f"(serial/threaded/async), got {engine!r}"
+        )
+    if engine == "async":
+        if inject_every:
+            raise ConfigurationError(
+                "inject_every is not supported under the async front profile"
+            )
+        return _async_hotpath_profile(
+            model,
+            n_shards=n_shards,
+            n_requests=n_requests,
+            cohort_size=cohort_size,
+            k=k,
+            cache_capacity=cache_capacity,
+            ttl_injections=ttl_injections,
+            workload=workload,
+            seed=seed,
+            shard_latency_s=shard_latency_s,
+            top=top,
         )
     config = ServingConfig(
         cache_capacity=cache_capacity, ttl_injections=ttl_injections, engine=engine
@@ -363,6 +393,260 @@ def run_hotpath_profile(
         },
         "stages": timers.summary(n_users_served=profiled.n_users_served),
         "top_functions": top_rows,
+    }
+
+
+def _burst_plan(n_users: int, n_requests: int, cohort_size: int, k: int, seed: int):
+    """An all-at-once arrival plan (every request lands at ~t=0).
+
+    Implemented as an open-loop plan at an absurd offered rate, so the
+    cohort sampling stays identical to the latency-curve plans.
+    """
+    return open_loop_plan(
+        n_users,
+        offered_users_per_s=1e12,
+        n_requests=n_requests,
+        cohort_size=cohort_size,
+        k=k,
+        workload="steady",
+        seed=seed,
+    )
+
+
+def _async_hotpath_profile(
+    model: Recommender,
+    n_shards: int,
+    n_requests: int,
+    cohort_size: int,
+    k: int,
+    cache_capacity: int,
+    ttl_injections: int,
+    workload: str | None,
+    seed: int,
+    shard_latency_s: float,
+    top: int,
+) -> dict:
+    """Async-front leg of :func:`run_hotpath_profile` (same report shape)."""
+    config = ServingConfig(
+        cache_capacity=cache_capacity, ttl_injections=ttl_injections, engine="async"
+    )
+    front_config = FrontConfig(
+        max_queue=max(1, n_requests),
+        policy="block",
+        admission_timeout_s=None,
+    )
+    with ShardedRecommendationService(
+        model, n_shards=n_shards, config=config, shard_latency_s=shard_latency_s
+    ) as service:
+        plan = (
+            _burst_plan(service.n_users, n_requests, cohort_size, k, seed)
+            if workload is None
+            else open_loop_plan(
+                service.n_users,
+                # Shaped arrivals at roughly the serial-RPC ceiling, so the
+                # queue actually fills and the queue stage measures real wait.
+                offered_users_per_s=32_000.0,
+                n_requests=n_requests,
+                cohort_size=cohort_size,
+                k=k,
+                workload=workload,
+                seed=seed,
+            )
+        )
+        base = service.snapshot()
+
+        def hit_rate(before, after) -> float | None:
+            if after is None:
+                return None
+            lookups = after.lookups - (before.lookups if before else 0)
+            hits = after.hits - (before.hits if before else 0)
+            return hits / lookups if lookups else 0.0
+
+        cache_before = service.cache_stats()
+        plain = AsyncServingFront(service, front_config).replay(plan)
+        plain_hit_rate = hit_rate(cache_before, service.cache_stats())
+        service.restore(base)
+        timers = StageTimers()
+        service.profiler = timers
+        try:
+            profiled, top_rows = profile_callable(
+                lambda: AsyncServingFront(service, front_config).replay(plan), top=top
+            )
+        finally:
+            service.profiler = None
+        service.restore(base)
+    return {
+        "engine": "async",
+        "n_shards": n_shards,
+        "n_requests": n_requests,
+        "cohort_size": cohort_size,
+        "k": k,
+        "cache_capacity": cache_capacity,
+        "ttl_injections": ttl_injections,
+        "inject_every": 0,
+        "shard_latency_s": shard_latency_s,
+        "uninstrumented": {
+            "duration_s": plain.duration_s,
+            "users_per_s": plain.users_per_s,
+            "requests_per_s": plain.requests_per_s,
+            "n_users_served": plain.n_users_served,
+            "cache_hit_rate": plain_hit_rate,
+        },
+        "instrumented": {
+            "duration_s": profiled.duration_s,
+            "users_per_s": profiled.users_per_s,
+        },
+        "stages": timers.summary(n_users_served=profiled.n_users_served),
+        "top_functions": top_rows,
+    }
+
+
+def run_latency_curve(
+    model: Recommender,
+    n_shards: int = 4,
+    engines: Sequence[str] = ("threaded", "async"),
+    workloads: Sequence[str] = ("steady", "flash"),
+    offered_loads: Sequence[float] = (8_000, 16_000, 32_000, 48_000, 64_000),
+    n_requests: int = 180,
+    cohort_size: int = 64,
+    k: int = 20,
+    shard_latency_s: float = 0.002,
+    cache_capacity: int = 4096,
+    max_queue: int = 64,
+    policy: str = "block",
+    admission_timeout_s: float | None = 2.0,
+    max_concurrency: int = 16,
+    seed: int = 0,
+    slo_p99_ms: float = 50.0,
+) -> dict:
+    """Latency-throughput curve per engine under open-loop offered load.
+
+    For each engine, workload shape, and offered load (users/s), replays
+    the *same* timestamped request plan through an
+    :class:`~repro.serving.async_front.AsyncServingFront` over a fresh
+    sharded deployment, and records arrival→completion percentiles
+    (queueing latency — what a client feels), queue wait, service time,
+    achieved throughput, and the denial split.  The plan is identical
+    across engines at a given (workload, load), so curves are directly
+    comparable; the knee per curve is the highest offered load the
+    engine still substantially clears (achieved ≥ 90% of offered), and
+    ``max_load_within_slo`` the highest load whose p99 queueing latency
+    stays under ``slo_p99_ms`` with nothing denied.
+
+    A closing ``peak`` probe per engine replays one all-at-once burst
+    through an unbounded queue — the engine's measured throughput
+    ceiling with arrival pacing taken out — which is the number the
+    ``BENCH_latency.json`` CI floor gates (async must clear the ~32k
+    users/s serial-RPC ceiling at 4 shards).
+    """
+    engines = tuple(engines)
+    if not engines or any(e not in ENGINES for e in engines):
+        raise ConfigurationError(
+            f"engines must be a non-empty subset of {ENGINES}, got {engines!r}"
+        )
+    if "process" in engines:
+        raise ConfigurationError(
+            "the latency curve drives in-memory engines only (process replicas "
+            "measure replication, not queueing)"
+        )
+    front_config = FrontConfig(
+        max_queue=max_queue,
+        policy=policy,
+        admission_timeout_s=admission_timeout_s,
+        max_concurrency=max_concurrency,
+    )
+    per_engine: dict[str, dict] = {}
+    for engine in engines:
+        config = ServingConfig(cache_capacity=cache_capacity, engine=engine)
+        with ShardedRecommendationService(
+            model, n_shards=n_shards, config=config, shard_latency_s=shard_latency_s
+        ) as service:
+            base = service.snapshot()
+            curves: dict[str, dict] = {}
+            for workload in workloads:
+                points = []
+                for load in offered_loads:
+                    plan = open_loop_plan(
+                        service.n_users,
+                        offered_users_per_s=float(load),
+                        n_requests=n_requests,
+                        cohort_size=cohort_size,
+                        k=k,
+                        workload=workload,
+                        seed=seed,
+                    )
+                    report = AsyncServingFront(service, front_config).replay(plan)
+                    service.restore(base)
+                    points.append(
+                        {
+                            "offered_users_per_s": float(load),
+                            "achieved_users_per_s": report.users_per_s,
+                            "n_offered": report.n_offered,
+                            "n_ok": report.n_ok,
+                            "n_shed": report.n_shed,
+                            "n_timed_out": report.n_timed_out,
+                            "n_rate_limited": report.n_rate_limited,
+                            "n_failed": report.n_failed,
+                            "peak_occupancy": report.peak_occupancy,
+                            "latency": report.latency,
+                            "queue_wait": report.queue_wait,
+                            "service_time": report.service_time,
+                        }
+                    )
+                cleared = [
+                    p["offered_users_per_s"]
+                    for p in points
+                    if p["achieved_users_per_s"] >= 0.9 * p["offered_users_per_s"]
+                ]
+                within_slo = [
+                    p["offered_users_per_s"]
+                    for p in points
+                    if p["latency"]["p99_ms"] <= slo_p99_ms
+                    and p["n_ok"] == p["n_offered"]
+                ]
+                curves[workload] = {
+                    "points": points,
+                    "knee_users_per_s": max(cleared) if cleared else 0.0,
+                    "max_load_within_slo": max(within_slo) if within_slo else 0.0,
+                }
+            peak_front = AsyncServingFront(
+                service,
+                FrontConfig(
+                    max_queue=max(1, n_requests),
+                    policy="block",
+                    admission_timeout_s=None,
+                    max_concurrency=max_concurrency,
+                ),
+            )
+            peak = peak_front.replay(
+                _burst_plan(service.n_users, n_requests, cohort_size, k, seed)
+            )
+            service.restore(base)
+            per_engine[engine] = {
+                "workloads": curves,
+                "peak": {
+                    "users_per_s": peak.users_per_s,
+                    "requests_per_s": peak.requests_per_s,
+                    "latency": peak.latency,
+                    "service_time": peak.service_time,
+                },
+            }
+    return {
+        "n_shards": n_shards,
+        "cohort_size": cohort_size,
+        "k": k,
+        "n_requests": n_requests,
+        "shard_latency_s": shard_latency_s,
+        "offered_loads": [float(load) for load in offered_loads],
+        "workloads": list(workloads),
+        "slo_p99_ms": slo_p99_ms,
+        "front": {
+            "max_queue": max_queue,
+            "policy": policy,
+            "admission_timeout_s": admission_timeout_s,
+            "max_concurrency": max_concurrency,
+        },
+        "engines": per_engine,
     }
 
 

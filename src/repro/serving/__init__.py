@@ -14,17 +14,27 @@ and, sharded (``ShardedRecommendationService``)::
 
 See :mod:`repro.serving.service` for the composition,
 :mod:`repro.serving.sharded` for the multi-worker deployment,
-:mod:`repro.serving.engine` for the serial/threaded/process execution
-engines resolving per-shard work, :mod:`repro.serving.replica` for the
-process-engine replication protocol (epoch-stamped events, pre-warm
-fan-out), :mod:`repro.serving.workload` for composable demand models,
-and :mod:`repro.serving.traffic` for the organic-load benchmark
-harness.
+:mod:`repro.serving.engine` for the serial/threaded/process/async
+execution engines resolving per-shard work, :mod:`repro.serving.replica`
+for the process-engine replication protocol (epoch-stamped events,
+pre-warm fan-out), :mod:`repro.serving.workload` for composable demand
+models, :mod:`repro.serving.traffic` for the organic-load benchmark
+harness, and :mod:`repro.serving.async_front` for the asyncio admission
+front (bounded queue, overload policies, queueing-latency metrics).
 """
 
+from repro.serving.async_front import (
+    OVERLOAD_POLICIES,
+    AsyncServingFront,
+    BoundedAdmissionQueue,
+    FrontConfig,
+    FrontReport,
+    FrontRequest,
+)
 from repro.serving.cache import CacheStats, TopKCache
 from repro.serving.engine import (
     ENGINES,
+    AsyncEngine,
     ExecutionEngine,
     ProcessEngine,
     ReadWriteLock,
@@ -32,6 +42,7 @@ from repro.serving.engine import (
     ThreadedEngine,
     make_engine,
 )
+from repro.serving.metrics import percentile_summary, summarize_latencies
 from repro.serving.profiling import STAGES, StageTimers, profile_callable
 from repro.serving.rate_limit import UNLIMITED, QuotaPolicy, RateLimiter
 from repro.serving.replica import ReplicationEvent
@@ -56,6 +67,7 @@ from repro.serving.traffic import (
     TrafficSimulator,
     latency_breakdown,
     latency_percentiles,
+    open_loop_plan,
 )
 from repro.serving.workload import (
     WORKLOADS,
@@ -93,16 +105,26 @@ __all__ = [
     "SerialEngine",
     "ThreadedEngine",
     "ProcessEngine",
+    "AsyncEngine",
     "ReplicationEvent",
     "make_engine",
     "ENGINES",
     "ReadWriteLock",
+    "AsyncServingFront",
+    "BoundedAdmissionQueue",
+    "FrontConfig",
+    "FrontReport",
+    "FrontRequest",
+    "OVERLOAD_POLICIES",
+    "percentile_summary",
+    "summarize_latencies",
     "TrafficPattern",
     "TrafficReport",
     "TrafficSimulator",
     "BackgroundTraffic",
     "latency_percentiles",
     "latency_breakdown",
+    "open_loop_plan",
     "Workload",
     "SteadyWorkload",
     "DiurnalWorkload",

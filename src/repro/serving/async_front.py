@@ -1,0 +1,539 @@
+"""Asyncio serving front: bounded admission, load shedding, tail latency.
+
+The closed-loop replay (:class:`~repro.serving.traffic.TrafficSimulator`)
+issues the next request only when the previous one returns, so it can
+never observe what a production platform actually fears: requests
+*arriving* faster than they complete.  At 4 shards the coordinator is
+pinned by the modelled 2 ms per-slice RPC floor — a closed loop pays
+that floor once per request (~32k users/s at 64-user cohorts) no matter
+how many shards overlap *within* a request.  The only way past it is to
+overlap RPC waits *across* requests, which is exactly what an event loop
+buys: while one request's shard slices are awaiting their modelled RPC,
+the loop starts the next request's slices.
+
+This module provides that front:
+
+* :class:`BoundedAdmissionQueue` — pure (no asyncio, no threads)
+  admission logic: a bounded FIFO plus a waiting list, with the three
+  overload policies and conservation-law counters.  Keeping it
+  synchronous makes the hypothesis property test in
+  ``tests/test_serving_async_front.py`` exhaustive — arbitrary
+  offer/take/give-up interleavings, no event loop required.
+* :class:`AsyncServingFront` — the asyncio loop around a service: an
+  open-loop arrival coroutine replays timestamped
+  :class:`FrontRequest`\\ s, offers them to the queue, and a pool of
+  worker coroutines serves them via
+  :meth:`~repro.serving.sharded.ShardedRecommendationService.query_async`
+  (falling back to the sync ``query`` on an executor thread for
+  non-async engines).  Every request carries arrival/start/completion
+  timestamps, so the report finally separates **queueing latency**
+  (arrival→completion — what a client feels) from service time
+  (start→completion — what the coordinator spends).
+
+Overload policies (``FrontConfig.policy``):
+
+* ``block`` — a full queue makes new arrivals *wait* for space, up to
+  ``admission_timeout_s`` (then they count as ``timed_out``).  Latency
+  absorbs the overload; nothing is dropped until patience runs out.
+* ``shed_newest`` — a full queue rejects the arriving request
+  immediately.  Queued work is protected; tail latency stays bounded at
+  the cost of fresh arrivals.
+* ``shed_oldest`` — a full queue admits the arrival and drops the
+  *oldest* queued request.  Freshness is protected (the queue never
+  serves stale work after a flash crowd passes) at the cost of
+  abandoning requests that already waited.
+
+Micro-batching (``batch_window_s > 0``): a worker that takes a request
+may linger for the window and coalesce queued requests with the same
+``(k, exclude_seen, client)`` into one service call, amortising
+per-request coordinator overhead under load.  Off by default — the
+coalesced call dedups overlapping users inside the service cache, so
+cache counters differ from request-at-a-time serving (which is why the
+engine-conformance suite never enables it).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, RateLimitExceededError
+from repro.serving.metrics import percentile_summary, summarize_latencies
+
+__all__ = [
+    "OVERLOAD_POLICIES",
+    "FrontConfig",
+    "FrontRequest",
+    "RequestTicket",
+    "BoundedAdmissionQueue",
+    "FrontReport",
+    "AsyncServingFront",
+]
+
+#: How a full admission queue treats new arrivals (see module docstring).
+OVERLOAD_POLICIES = ("block", "shed_newest", "shed_oldest")
+
+
+@dataclass(frozen=True)
+class FrontConfig:
+    """Async front tuning knobs.
+
+    ``max_queue`` bounds admitted-but-unserved requests;
+    ``max_concurrency`` bounds requests in service at once (worker
+    coroutines).  ``admission_timeout_s`` only applies to the ``block``
+    policy (``None`` waits forever).  ``batch_window_s``/
+    ``max_batch_requests`` control optional micro-batching.
+    """
+
+    max_queue: int = 64
+    policy: str = "block"
+    admission_timeout_s: float | None = 1.0
+    max_concurrency: int = 16
+    batch_window_s: float = 0.0
+    max_batch_requests: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_queue <= 0:
+            raise ConfigurationError("max_queue must be positive")
+        if self.policy not in OVERLOAD_POLICIES:
+            raise ConfigurationError(
+                f"policy must be one of {OVERLOAD_POLICIES}, got {self.policy!r}"
+            )
+        if self.admission_timeout_s is not None and self.admission_timeout_s <= 0:
+            raise ConfigurationError("admission_timeout_s must be positive or None")
+        if self.max_concurrency <= 0:
+            raise ConfigurationError("max_concurrency must be positive")
+        if self.batch_window_s < 0:
+            raise ConfigurationError("batch_window_s must be non-negative")
+        if self.max_batch_requests <= 0:
+            raise ConfigurationError("max_batch_requests must be positive")
+
+
+@dataclass(frozen=True, eq=False)
+class FrontRequest:
+    """One timestamped top-k request in an open-loop replay plan."""
+
+    at_s: float  # arrival offset from replay start, seconds
+    users: np.ndarray
+    k: int = 20
+    client: str = "organic"
+    exclude_seen: bool = True
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ConfigurationError("at_s must be non-negative")
+        if self.k <= 0:
+            raise ConfigurationError("k must be positive")
+
+
+@dataclass(eq=False)
+class RequestTicket:
+    """A request's lifecycle through the front (timestamps in clock seconds).
+
+    ``outcome`` ends as one of ``ok``, ``shed``, ``timed_out``,
+    ``rate_limited``, or ``failed``.  ``arrival_s`` is the actual offer
+    time, ``start_s`` the moment a worker began serving (queue wait =
+    ``start_s - arrival_s``), ``completion_s`` when results (or the
+    terminal denial) landed — queueing latency is
+    ``completion_s - arrival_s``.
+    """
+
+    index: int
+    request: FrontRequest
+    arrival_s: float = 0.0
+    start_s: float | None = None
+    completion_s: float | None = None
+    outcome: str = "pending"
+    results: list[np.ndarray] | None = None
+    admit_future: asyncio.Future | None = field(default=None, repr=False)
+
+    @property
+    def n_users(self) -> int:
+        return int(self.request.users.size)
+
+
+class BoundedAdmissionQueue:
+    """Bounded FIFO + waiting list implementing the overload policies.
+
+    Pure synchronous logic — the async front drives it from one event
+    loop (so calls never race), and the hypothesis property test drives
+    it directly.  Conservation law (pinned by that test)::
+
+        n_offered == n_shed + n_timed_out + n_taken + occupancy + n_waiting
+
+    ``n_accepted`` (``n_taken + occupancy``) counts offers that made it
+    into the queue and were never displaced.  Note ``shed_oldest`` sheds
+    *previously admitted* items, so "accepted" is a statement about
+    final fate, not the admission-time verdict.
+    """
+
+    def __init__(self, capacity: int, policy: str = "block") -> None:
+        if capacity <= 0:
+            raise ConfigurationError("capacity must be positive")
+        if policy not in OVERLOAD_POLICIES:
+            raise ConfigurationError(
+                f"policy must be one of {OVERLOAD_POLICIES}, got {policy!r}"
+            )
+        self.capacity = int(capacity)
+        self.policy = policy
+        self._items: deque = deque()
+        self._waiting: deque = deque()
+        self.n_offered = 0
+        self.n_shed = 0
+        self.n_timed_out = 0
+        self.n_taken = 0
+        self.peak_occupancy = 0
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._items)
+
+    @property
+    def n_waiting(self) -> int:
+        return len(self._waiting)
+
+    @property
+    def n_accepted(self) -> int:
+        return self.n_taken + self.occupancy
+
+    def _note_peak(self) -> None:
+        if len(self._items) > self.peak_occupancy:
+            self.peak_occupancy = len(self._items)
+
+    def offer(self, item) -> tuple[str, object | None]:
+        """Offer ``item``; returns ``(status, displaced)``.
+
+        ``("admitted", None)`` — queued.  ``("admitted", old)`` — queued
+        by displacing ``old`` (``shed_oldest``; ``old`` counts as shed).
+        ``("shed", None)`` — rejected outright (``shed_newest``).
+        ``("blocked", None)`` — queue full under ``block``; ``item``
+        joined the waiting list and will be promoted by a later
+        :meth:`take` unless it :meth:`give_up`\\ s first.
+        """
+        self.n_offered += 1
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+            self._note_peak()
+            return "admitted", None
+        if self.policy == "shed_newest":
+            self.n_shed += 1
+            return "shed", None
+        if self.policy == "shed_oldest":
+            displaced = self._items.popleft()
+            self._items.append(item)
+            self.n_shed += 1
+            return "admitted", displaced
+        self._waiting.append(item)
+        return "blocked", None
+
+    def take(self) -> tuple[object | None, object | None]:
+        """Pop the oldest queued item; returns ``(item, promoted)``.
+
+        ``promoted`` is a waiting item moved into the freed slot (the
+        caller must resolve its admission future), or ``None``.  An
+        empty queue returns ``(None, None)``.
+        """
+        if not self._items:
+            return None, None
+        item = self._items.popleft()
+        self.n_taken += 1
+        promoted = None
+        if self._waiting:
+            promoted = self._waiting.popleft()
+            self._items.append(promoted)
+            self._note_peak()
+        return item, promoted
+
+    def peek(self):
+        """The oldest queued item without removing it (``None`` if empty)."""
+        return self._items[0] if self._items else None
+
+    def give_up(self, item) -> bool:
+        """A blocked item stops waiting (admission timeout).
+
+        ``True`` if it was still waiting (now counted ``timed_out``);
+        ``False`` if it had already been promoted into the queue — the
+        item stays queued and will be served normally.
+        """
+        try:
+            self._waiting.remove(item)
+        except ValueError:
+            return False
+        self.n_timed_out += 1
+        return True
+
+
+@dataclass
+class FrontReport:
+    """Outcome of one open-loop replay through the async front."""
+
+    n_offered: int
+    n_ok: int
+    n_shed: int
+    n_timed_out: int
+    n_rate_limited: int
+    n_failed: int
+    n_users_offered: int
+    n_users_served: int
+    duration_s: float
+    users_per_s: float
+    requests_per_s: float
+    peak_occupancy: int
+    latency: dict[str, float] = field(default_factory=dict)  # arrival→completion
+    queue_wait: dict[str, float] = field(default_factory=dict)  # arrival→start
+    service_time: dict[str, float] = field(default_factory=dict)  # start→completion
+
+    def to_dict(self) -> dict:
+        return {
+            "n_offered": self.n_offered,
+            "n_ok": self.n_ok,
+            "n_shed": self.n_shed,
+            "n_timed_out": self.n_timed_out,
+            "n_rate_limited": self.n_rate_limited,
+            "n_failed": self.n_failed,
+            "n_users_offered": self.n_users_offered,
+            "n_users_served": self.n_users_served,
+            "duration_s": self.duration_s,
+            "users_per_s": self.users_per_s,
+            "requests_per_s": self.requests_per_s,
+            "peak_occupancy": self.peak_occupancy,
+            "latency": self.latency,
+            "queue_wait": self.queue_wait,
+            "service_time": self.service_time,
+        }
+
+
+def _compatible(a: RequestTicket, b: RequestTicket) -> bool:
+    ra, rb = a.request, b.request
+    return ra.k == rb.k and ra.exclude_seen == rb.exclude_seen and ra.client == rb.client
+
+
+class AsyncServingFront:
+    """Asyncio request loop fronting a recommendation service.
+
+    :meth:`replay` runs a timestamped request plan open-loop: arrivals
+    land at their scheduled times regardless of service speed, so the
+    admission queue genuinely fills under overload and the report's
+    arrival→completion percentiles are real queueing latency.  Works
+    against any service; pairs with the async engine
+    (``ShardedRecommendationService(..., engine="async")``) to overlap
+    modelled RPC waits across in-flight requests — with a sync-engine
+    service, queries run on executor threads instead and the front still
+    provides admission control and queueing metrics.
+    """
+
+    def __init__(
+        self,
+        service,
+        config: FrontConfig | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.service = service
+        self.config = config if config is not None else FrontConfig()
+        self._clock = clock
+        self.tickets: list[RequestTicket] = []
+
+    # -- public entry points -------------------------------------------------
+    def replay(self, requests: Sequence[FrontRequest]) -> FrontReport:
+        """Run the plan on a fresh event loop (blocking convenience wrapper)."""
+        return asyncio.run(self.replay_async(requests))
+
+    async def replay_async(self, requests: Sequence[FrontRequest]) -> FrontReport:
+        """Replay ``requests`` open-loop; returns the latency report.
+
+        Service-level failures other than rate limiting mark their
+        tickets ``failed`` and re-raise (the first one) *after* the
+        drain — a worker must never die mid-replay and leave queued
+        tickets unserved (the replay would hang).
+        """
+        loop = asyncio.get_running_loop()
+        config = self.config
+        self._queue = BoundedAdmissionQueue(config.max_queue, config.policy)
+        self._wake = asyncio.Event()
+        self._draining = False
+        self._errors: list[BaseException] = []
+        engine = getattr(self.service, "_engine", None)
+        self._use_async = (
+            hasattr(self.service, "query_async")
+            and getattr(engine, "run_async", None) is not None
+        )
+        plan = sorted(requests, key=lambda request: request.at_s)
+        self.tickets = [RequestTicket(index=i, request=r) for i, r in enumerate(plan)]
+        self._t0 = self._clock()
+
+        workers = [
+            loop.create_task(self._worker()) for _ in range(config.max_concurrency)
+        ]
+        waiters = await self._arrivals(loop)
+        if waiters:
+            await asyncio.gather(*waiters)
+        # All offers resolved (queued, shed, or timed out) — drain workers.
+        self._draining = True
+        self._wake.set()
+        await asyncio.gather(*workers)
+        if self._errors:
+            raise self._errors[0]
+        return self._build_report()
+
+    # -- replay internals ----------------------------------------------------
+    async def _arrivals(self, loop: asyncio.AbstractEventLoop) -> list[asyncio.Task]:
+        """Offer each ticket at its scheduled time; returns waiter tasks."""
+        waiters: list[asyncio.Task] = []
+        for ticket in self.tickets:
+            delay = self._t0 + ticket.request.at_s - self._clock()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            now = self._clock()
+            ticket.arrival_s = now
+            status, displaced = self._queue.offer(ticket)
+            if displaced is not None:
+                self._finish_denied(displaced, "shed")
+            if status == "admitted":
+                self._wake.set()
+            elif status == "shed":
+                self._finish_denied(ticket, "shed")
+            else:  # blocked: future must exist before any take() can promote
+                ticket.admit_future = loop.create_future()
+                waiters.append(loop.create_task(self._await_admission(ticket)))
+        return waiters
+
+    async def _await_admission(self, ticket: RequestTicket) -> None:
+        try:
+            await asyncio.wait_for(ticket.admit_future, self.config.admission_timeout_s)
+        except asyncio.TimeoutError:
+            if self._queue.give_up(ticket):
+                self._finish_denied(ticket, "timed_out")
+            # else: promoted on the same tick the timeout fired — the
+            # ticket is already queued and a worker will serve it.
+        self._wake.set()
+
+    def _resolve_promotion(self, promoted: RequestTicket | None) -> None:
+        if promoted is None:
+            return
+        future = promoted.admit_future
+        if future is not None and not future.done():
+            future.set_result(True)
+
+    async def _worker(self) -> None:
+        config = self.config
+        queue = self._queue
+        while True:
+            ticket, promoted = queue.take()
+            self._resolve_promotion(promoted)
+            if ticket is None:
+                if self._draining and queue.n_waiting == 0:
+                    return
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            batch = [ticket]
+            if config.batch_window_s > 0.0:
+                await asyncio.sleep(config.batch_window_s)
+                while len(batch) < config.max_batch_requests:
+                    head = queue.peek()
+                    if head is None or not _compatible(head, ticket):
+                        break
+                    coalesced, promoted = queue.take()
+                    self._resolve_promotion(promoted)
+                    batch.append(coalesced)
+            await self._serve_batch(batch)
+
+    async def _serve_batch(self, batch: list[RequestTicket]) -> None:
+        start = self._clock()
+        profiler = getattr(self.service, "profiler", None)
+        for ticket in batch:
+            ticket.start_s = start
+            if profiler is not None:
+                profiler.add("queue", start - ticket.arrival_s, ticket.n_users)
+        request = batch[0].request
+        users = (
+            request.users
+            if len(batch) == 1
+            else np.concatenate([ticket.request.users for ticket in batch])
+        )
+        try:
+            results = await self._execute(
+                users, request.k, request.exclude_seen, request.client
+            )
+        except RateLimitExceededError:
+            now = self._clock()
+            for ticket in batch:
+                ticket.outcome = "rate_limited"
+                ticket.completion_s = now
+            return
+        except Exception as exc:  # noqa: BLE001 — re-raised after the drain
+            self._errors.append(exc)
+            now = self._clock()
+            for ticket in batch:
+                ticket.outcome = "failed"
+                ticket.completion_s = now
+            return
+        now = self._clock()
+        offset = 0
+        for ticket in batch:
+            ticket.results = results[offset : offset + ticket.n_users]
+            offset += ticket.n_users
+            ticket.outcome = "ok"
+            ticket.completion_s = now
+
+    async def _execute(
+        self, users: np.ndarray, k: int, exclude_seen: bool, client: str
+    ) -> list[np.ndarray]:
+        if self._use_async:
+            return await self.service.query_async(
+                users, k, exclude_seen=exclude_seen, client=client
+            )
+        return await asyncio.get_running_loop().run_in_executor(
+            None,
+            partial(
+                self.service.query, users, k, exclude_seen=exclude_seen, client=client
+            ),
+        )
+
+    def _finish_denied(self, ticket: RequestTicket, outcome: str) -> None:
+        ticket.outcome = outcome
+        ticket.completion_s = self._clock()
+        stats = getattr(self.service, "stats", None)
+        if stats is not None:
+            if outcome == "shed":
+                stats.record_shed()
+            else:
+                stats.record_timed_out()
+
+    # -- reporting -----------------------------------------------------------
+    def _build_report(self) -> FrontReport:
+        duration = max(
+            [self._clock() - self._t0]
+            + [t.completion_s - self._t0 for t in self.tickets if t.completion_s]
+        )
+        ok = [t for t in self.tickets if t.outcome == "ok"]
+        outcomes = {t.outcome for t in self.tickets}
+        assert "pending" not in outcomes or not self.tickets, outcomes
+        n_users_served = sum(t.n_users for t in ok)
+        latency = summarize_latencies([t.completion_s - t.arrival_s for t in ok])
+        queue_wait = percentile_summary([t.start_s - t.arrival_s for t in ok])
+        service_time = percentile_summary([t.completion_s - t.start_s for t in ok])
+        count = lambda outcome: sum(t.outcome == outcome for t in self.tickets)  # noqa: E731
+        return FrontReport(
+            n_offered=len(self.tickets),
+            n_ok=len(ok),
+            n_shed=count("shed"),
+            n_timed_out=count("timed_out"),
+            n_rate_limited=count("rate_limited"),
+            n_failed=count("failed"),
+            n_users_offered=sum(t.n_users for t in self.tickets),
+            n_users_served=n_users_served,
+            duration_s=duration,
+            users_per_s=n_users_served / duration if duration > 0 else 0.0,
+            requests_per_s=len(ok) / duration if duration > 0 else 0.0,
+            peak_occupancy=self._queue.peak_occupancy,
+            latency=latency,
+            queue_wait=queue_wait,
+            service_time=service_time,
+        )

@@ -27,6 +27,24 @@ policy, not serving semantics, so it lives behind the
   are *routed* (shard ``i``'s work must reach the worker holding shard
   ``i``'s replica), the process engine exposes ``submit_to``/``broadcast``
   instead of the closure-based :meth:`ExecutionEngine.run`.
+* :class:`AsyncEngine` — per-shard slices resolve as coroutines on an
+  asyncio event loop, with the modelled per-slice RPC latency paid as
+  an *awaited* ``asyncio.sleep`` instead of a blocking one.  Within one
+  request the slice waits overlap exactly as the threaded engine's do;
+  the difference is that :meth:`AsyncEngine.run_async` is awaitable, so
+  an asyncio serving front (:mod:`repro.serving.async_front`) can keep
+  *many requests* in flight on one loop and overlap their RPC waits
+  across requests — the only way past the per-request RPC latency floor
+  a closed-loop replay pays.  The synchronous :meth:`AsyncEngine.run`
+  bridge (used by closed-loop callers and the conformance suite)
+  submits the same coroutine to the engine's own background loop.
+
+Every engine also accepts ``latency_s``, the modelled per-slice RPC
+latency of a remote shard worker: the serial engine pays it once per
+slice in sequence, the threaded engine sleeps it on each worker (waits
+overlap across shards), and the async engine awaits it (waits overlap
+across shards *and*, through the front, across requests).  The process
+engine models it worker-side in ``replica.query_slice`` instead.
 
 All engines resolve the same per-shard work and return results in task
 order, so merged top-k output is bit-identical across engines — the
@@ -42,8 +60,10 @@ not starved by a stream of organic queries).
 
 from __future__ import annotations
 
+import asyncio
 import multiprocessing
 import threading
+import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor, wait
 from contextlib import contextmanager
 from typing import Callable, Iterator, Sequence, TypeVar
@@ -55,6 +75,7 @@ __all__ = [
     "SerialEngine",
     "ThreadedEngine",
     "ProcessEngine",
+    "AsyncEngine",
     "make_engine",
     "ENGINES",
     "ReadWriteLock",
@@ -63,7 +84,7 @@ __all__ = [
 T = TypeVar("T")
 
 #: Engine mode names accepted by ``ServingConfig.engine`` / ``make_engine``.
-ENGINES = ("serial", "threaded", "process")
+ENGINES = ("serial", "threaded", "process", "async")
 
 
 class ExecutionEngine:
@@ -80,6 +101,12 @@ class ExecutionEngine:
     coordinator cannot hand workers closures over shared state — it must
     replicate shard state into the workers and route picklable messages
     with :meth:`submit_to`/:meth:`broadcast` instead of :meth:`run`.
+
+    ``latency_s`` models the per-slice RPC hop a remote shard worker
+    costs: each task pays it once before executing, in whatever way is
+    idiomatic for the engine (sequential sleeps, per-worker sleeps, or
+    awaited sleeps).  It is an execution concern — how waits schedule —
+    which is why it lives here and not in the serving layer.
     """
 
     name: str = "?"
@@ -90,7 +117,7 @@ class ExecutionEngine:
     #: lazy state must be rebuilt *before* fan-out, not raced during it).
     concurrent: bool = False
 
-    def run(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
+    def run(self, tasks: Sequence[Callable[[], T]], latency_s: float = 0.0) -> list[T]:
         raise NotImplementedError
 
     def close(self) -> None:
@@ -104,12 +131,29 @@ class ExecutionEngine:
 
 
 class SerialEngine(ExecutionEngine):
-    """Resolve shard tasks sequentially in the calling thread."""
+    """Resolve shard tasks sequentially in the calling thread.
+
+    The modelled RPC latency is paid once per slice, in sequence — the
+    historical cost profile of a coordinator that contacts its shards
+    one after another.
+    """
 
     name = "serial"
 
-    def run(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
-        return [task() for task in tasks]
+    def run(self, tasks: Sequence[Callable[[], T]], latency_s: float = 0.0) -> list[T]:
+        if latency_s <= 0.0:
+            return [task() for task in tasks]
+        results = []
+        for task in tasks:
+            time.sleep(latency_s)
+            results.append(task())
+        return results
+
+
+def _sleep_then_run(task: Callable[[], T], latency_s: float) -> T:
+    """Pay the modelled RPC hop on the worker, then resolve the slice."""
+    time.sleep(latency_s)
+    return task()
 
 
 class ThreadedEngine(ExecutionEngine):
@@ -135,12 +179,19 @@ class ThreadedEngine(ExecutionEngine):
         )
         self._closed = False
 
-    def run(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
+    def run(self, tasks: Sequence[Callable[[], T]], latency_s: float = 0.0) -> list[T]:
         if self._closed:
             raise ConfigurationError("ThreadedEngine is closed")
         if len(tasks) == 1:
+            if latency_s > 0.0:
+                time.sleep(latency_s)
             return [tasks[0]()]
-        futures = [self._pool.submit(task) for task in tasks]
+        if latency_s > 0.0:
+            futures = [
+                self._pool.submit(_sleep_then_run, task, latency_s) for task in tasks
+            ]
+        else:
+            futures = [self._pool.submit(task) for task in tasks]
         # Drain every sibling before surfacing a failure: the caller may
         # hold a lock covering all tasks (the sharded query's model read
         # lock), and releasing it while a slow sibling is still running
@@ -208,7 +259,7 @@ class ProcessEngine(ExecutionEngine):
         ]
         self._closed = False
 
-    def run(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
+    def run(self, tasks: Sequence[Callable[[], T]], latency_s: float = 0.0) -> list[T]:
         raise ConfigurationError(
             "ProcessEngine workers hold replicated shard state and cannot run "
             "coordinator closures; route picklable calls with submit_to/broadcast"
@@ -263,6 +314,101 @@ class ProcessEngine(ExecutionEngine):
             pass  # interpreter shutdown: executor internals may be gone
 
 
+class AsyncEngine(ExecutionEngine):
+    """Resolve shard tasks as coroutines on an asyncio event loop.
+
+    The native surface is :meth:`run_async`, a plain coroutine that runs
+    on *whatever loop awaits it*: per-slice RPC latency becomes an
+    awaited ``asyncio.sleep``, so the waits of every slice — and, when
+    the caller is the asyncio serving front holding many requests in
+    flight, of every *request* — overlap on one loop thread.  The slice
+    compute itself (cache lookups, one BLAS-backed ``top_k_batch``) runs
+    inline on the loop; that serialises compute across in-flight
+    requests, which is the classic asyncio trade: ideal when requests
+    are wait-dominated (the modelled RPC hop dwarfs post-cache compute),
+    wrong when they are compute-dominated (use the threaded or process
+    engine there).
+
+    The synchronous :meth:`run` bridge exists so the engine drops into
+    every closed-loop caller (the conformance suite, ``TrafficSimulator``)
+    unchanged: it submits the coroutine to a private background loop and
+    blocks for the result.  Calling :meth:`run` *from* that loop's own
+    thread would deadlock, so it is rejected; coroutine callers must
+    await :meth:`run_async` instead.
+    """
+
+    name = "async"
+    concurrent = True
+
+    def __init__(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="async-engine", daemon=True
+        )
+        self._thread.start()
+        self._closed = False
+
+    async def run_async(
+        self, tasks: Sequence[Callable[[], T]], latency_s: float = 0.0
+    ) -> list[T]:
+        if self._closed:
+            raise ConfigurationError("AsyncEngine is closed")
+
+        async def resolve(task: Callable[[], T]) -> T:
+            if latency_s > 0.0:
+                await asyncio.sleep(latency_s)
+            return task()
+
+        # return_exceptions keeps the drain-before-raise contract every
+        # engine honours: the caller may hold a lock covering all tasks,
+        # so no sibling may still be running when the first (task-order)
+        # failure surfaces.
+        results = await asyncio.gather(
+            *(resolve(task) for task in tasks), return_exceptions=True
+        )
+        for result in results:
+            if isinstance(result, BaseException):
+                raise result
+        return list(results)
+
+    def run(self, tasks: Sequence[Callable[[], T]], latency_s: float = 0.0) -> list[T]:
+        if self._closed:
+            raise ConfigurationError("AsyncEngine is closed")
+        try:
+            running = asyncio.get_running_loop()
+        except RuntimeError:
+            running = None
+        if running is self._loop:
+            raise ConfigurationError(
+                "AsyncEngine.run called from its own event loop thread; "
+                "await run_async instead"
+            )
+        if len(tasks) == 1 and latency_s <= 0.0:
+            # Same fast path as the threaded engine: one latency-free
+            # task in the caller's thread skips the loop round trip.
+            return [tasks[0]()]
+        future = asyncio.run_coroutine_threadsafe(
+            self.run_async(list(tasks), latency_s), self._loop
+        )
+        return future.result()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10.0)
+            if not self._thread.is_alive():
+                self._loop.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            if not self._closed:
+                self._closed = True
+                self._loop.call_soon_threadsafe(self._loop.stop)
+        except Exception:
+            pass  # interpreter shutdown: loop internals may be gone
+
+
 def make_engine(spec: str | ExecutionEngine, n_workers: int) -> ExecutionEngine:
     """Resolve an engine mode name (or pass an instance through)."""
     if isinstance(spec, ExecutionEngine):
@@ -273,6 +419,8 @@ def make_engine(spec: str | ExecutionEngine, n_workers: int) -> ExecutionEngine:
         return ThreadedEngine(n_workers)
     if spec == "process":
         return ProcessEngine(n_workers)
+    if spec == "async":
+        return AsyncEngine()
     raise ConfigurationError(f"engine must be one of {ENGINES} or an ExecutionEngine")
 
 
@@ -292,19 +440,41 @@ class ReadWriteLock:
         self._writer_active = False
         self._writers_waiting = 0
 
-    @contextmanager
-    def read(self) -> Iterator[None]:
+    def try_acquire_read(self) -> bool:
+        """Acquire the read side without blocking; False if a writer is
+        active or waiting.  The async query path uses this as its fast
+        path: a coroutine must never block the event-loop thread inside
+        ``Condition.wait`` (a reader already holding the lock could be
+        parked on the same loop, unable to resume and release — the
+        classic loop-thread deadlock), so on failure it falls back to
+        :meth:`acquire_read` on an executor thread.
+        """
+        with self._cond:
+            if self._writer_active or self._writers_waiting:
+                return False
+            self._readers += 1
+            return True
+
+    def acquire_read(self) -> None:
+        """Blocking read acquisition (pair with :meth:`release_read`)."""
         with self._cond:
             while self._writer_active or self._writers_waiting:
                 self._cond.wait()
             self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        self.acquire_read()
         try:
             yield
         finally:
-            with self._cond:
-                self._readers -= 1
-                if self._readers == 0:
-                    self._cond.notify_all()
+            self.release_read()
 
     @contextmanager
     def write(self) -> Iterator[None]:

@@ -6,8 +6,8 @@ so closing it needs attribution finer than one wall-clock number.  This
 module provides the two views the ``repro-bench profile`` subcommand
 reports side by side:
 
-* :class:`StageTimers` — cheap accumulators for the five hot-path
-  stages (``admission``, ``routing``, ``cache``, ``scoring``,
+* :class:`StageTimers` — cheap accumulators for the hot-path stages
+  (``queue``, ``admission``, ``routing``, ``cache``, ``scoring``,
   ``merge``).  A service exposes a ``profiler`` attribute (``None`` by
   default: the query path pays a single attribute check per stage when
   profiling is off); attach a :class:`StageTimers` and every request
@@ -29,11 +29,13 @@ from typing import Callable
 
 __all__ = ["STAGES", "StageTimers", "profile_callable", "top_functions"]
 
-#: Hot-path stages in request order.  ``admission`` is rate-limit
-#: admission, ``routing`` the shard grouping (sharded deployments only),
-#: ``cache`` batched lookup + store, ``scoring`` the model's
-#: ``top_k_batch``, ``merge`` the scatter back into request order.
-STAGES = ("admission", "routing", "cache", "scoring", "merge")
+#: Hot-path stages in request order.  ``queue`` is admission-queue wait
+#: at the async front (arrival → service start; zero everywhere else),
+#: ``admission`` rate-limit admission, ``routing`` the shard grouping
+#: (sharded deployments only), ``cache`` batched lookup + store,
+#: ``scoring`` the model's ``top_k_batch``, ``merge`` the scatter back
+#: into request order.
+STAGES = ("queue", "admission", "routing", "cache", "scoring", "merge")
 
 
 class StageTimers:

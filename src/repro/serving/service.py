@@ -30,9 +30,15 @@ from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigurationError, InjectionBlockedError, SnapshotError
+from repro.errors import (
+    ConfigurationError,
+    InjectionBlockedError,
+    RateLimitExceededError,
+    SnapshotError,
+)
 from repro.serving.cache import TopKCache
 from repro.serving.engine import ENGINES
+from repro.serving.metrics import percentile_summary
 from repro.serving.rate_limit import UNLIMITED, QuotaPolicy, RateLimiter
 
 if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.recsys
@@ -85,6 +91,15 @@ class ServiceStats:
     ``record_request`` is thread-safe: the sharded deployment's threaded
     engine records the coordinator's stats from whichever client thread
     issued the request, and each shard's stats from its worker thread.
+
+    Denial accounting is *split by cause*: ``n_rate_limited`` counts
+    quota denials (the limiter raised on admission — the client spent
+    budget it didn't have), ``n_shed`` counts requests an overload
+    policy dropped before admission (the platform was saturated — no
+    quota was charged), and ``n_timed_out`` counts requests that gave up
+    waiting for queue space.  A shed request is *not* a quota denial;
+    conflating them made "throttled attacker" and "overloaded platform"
+    indistinguishable in reports.
     """
 
     n_requests: int = 0
@@ -93,6 +108,9 @@ class ServiceStats:
     n_injections: int = 0
     n_flagged_injections: int = 0
     n_blocked_injections: int = 0
+    n_rate_limited: int = 0  # admissions denied by quota (queries + injections)
+    n_shed: int = 0  # requests dropped by an overload policy pre-admission
+    n_timed_out: int = 0  # requests that gave up waiting for queue space
     wall_times: list[float] = field(default_factory=list)
     batch_sizes: list[int] = field(default_factory=list)
     _lock: threading.Lock = field(
@@ -122,6 +140,21 @@ class ServiceStats:
             self.wall_times.append(elapsed)
             self.batch_sizes.append(n_users)
 
+    def record_rate_limited(self) -> None:
+        """One admission denied by quota (query or injection)."""
+        with self._lock:
+            self.n_rate_limited += 1
+
+    def record_shed(self) -> None:
+        """One request dropped by an overload policy before admission."""
+        with self._lock:
+            self.n_shed += 1
+
+    def record_timed_out(self) -> None:
+        """One request that gave up waiting for queue space."""
+        with self._lock:
+            self.n_timed_out += 1
+
     def summary(self) -> dict[str, float]:
         """Uniform query-side cost summary (shared with QueryLog reporting)."""
         times = np.asarray(self.wall_times, dtype=np.float64)
@@ -132,11 +165,16 @@ class ServiceStats:
             "n_users_scored": float(self.n_users_scored),
             "n_injections": float(self.n_injections),
         }
+        if self.n_rate_limited or self.n_shed or self.n_timed_out:
+            out["n_rate_limited"] = float(self.n_rate_limited)
+            out["n_shed"] = float(self.n_shed)
+            out["n_timed_out"] = float(self.n_timed_out)
         if times.size:
             out["total_wall_s"] = float(times.sum())
             out["mean_wall_ms"] = float(times.mean() * 1e3)
-            out["p50_wall_ms"] = float(np.percentile(times, 50) * 1e3)
-            out["p95_wall_ms"] = float(np.percentile(times, 95) * 1e3)
+            out.update(
+                percentile_summary(times, percentiles=(50, 95), key_format="p{p}_wall_ms")
+            )
             out["mean_batch_size"] = float(sizes.mean())
             out["max_batch_size"] = float(sizes.max())
         return out
@@ -148,6 +186,9 @@ class ServiceStats:
         self.n_injections = 0
         self.n_flagged_injections = 0
         self.n_blocked_injections = 0
+        self.n_rate_limited = 0
+        self.n_shed = 0
+        self.n_timed_out = 0
         self.wall_times = []
         self.batch_sizes = []
 
@@ -301,11 +342,13 @@ class RecommendationService:
         start = self._clock()
         users = np.asarray(user_ids, dtype=np.int64)
         profiler = self.profiler
-        if profiler is None:
+        t0 = time.perf_counter() if profiler is not None else 0.0
+        try:
             self.limiter.admit_query(client, int(users.size))
-        else:
-            t0 = time.perf_counter()
-            self.limiter.admit_query(client, int(users.size))
+        except RateLimitExceededError:
+            self.stats.record_rate_limited()
+            raise
+        if profiler is not None:
             profiler.add("admission", time.perf_counter() - t0, int(users.size))
         n_scored, results = resolve_slice(
             self._model, self.cache, users, k, exclude_seen, use_cache, profiler=profiler
@@ -315,7 +358,11 @@ class RecommendationService:
 
     def inject(self, profile: Sequence[int], client: str = "default") -> int:
         """Register a new user profile, subject to throttles and screening."""
-        self._admit_injection(client)
+        try:
+            self._admit_injection(client)
+        except RateLimitExceededError:
+            self.stats.record_rate_limited()
+            raise
         self._screen_profile(profile)
         user_id = self._model.add_user(profile)
         self.stats.n_injections += 1

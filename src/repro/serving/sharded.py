@@ -28,8 +28,8 @@ identical top-k lists):
 
 How a request's per-shard slices execute is an
 :class:`~repro.serving.engine.ExecutionEngine` policy (``serial``,
-``threaded``, or ``process``, selected by ``ServingConfig.engine`` or
-the ``engine`` constructor argument).  Under the *serial* engine,
+``threaded``, ``process``, or ``async``, selected by
+``ServingConfig.engine`` or the ``engine`` constructor argument).  Under the *serial* engine,
 per-shard busy time still feeds the historical **simulated** makespan
 model (parallel wall time = the busiest worker's accumulated busy
 time).  Under the *threaded* engine a persistent one-worker-per-shard
@@ -93,6 +93,7 @@ Thread-safety contract (what makes the threaded engine correct):
 
 from __future__ import annotations
 
+import asyncio
 import bisect
 import pickle
 import time
@@ -103,7 +104,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigurationError, StaleReplicaError
+from repro.errors import ConfigurationError, RateLimitExceededError, StaleReplicaError
 from repro.serving import replica as replica_proto
 from repro.serving.cache import CacheStats, TopKCache
 from repro.serving.engine import ExecutionEngine, ReadWriteLock, make_engine
@@ -485,8 +486,10 @@ class ShardedRecommendationService(RecommendationService):
     shard_latency_s:
         Modelled per-slice service latency of a remote shard worker (the
         RPC hop a coordinator pays per shard it contacts).  The threaded
-        and process engines overlap these waits across shards; the
-        serial engine pays them in sequence.  ``0`` (default) disables
+        and process engines overlap these waits across shards, the async
+        engine awaits them on its event loop (so waits also overlap
+        *across requests* via :meth:`query_async`), and the serial
+        engine pays them in sequence.  ``0`` (default) disables
         the model.  The latency is *excluded* from per-shard busy time,
         so simulated makespan numbers stay pure compute.
     """
@@ -693,18 +696,7 @@ class ShardedRecommendationService(RecommendationService):
         users = np.asarray(user_ids, dtype=np.int64)
         n_users = int(users.size)
         profiler = self.profiler
-        # Routing: one vectorised hash pass + stable argsort grouping
-        # (single-shard deployments skip the router — everything is one
-        # slice in request order, and the scatter below is skipped too).
-        t0 = time.perf_counter() if profiler is not None else 0.0
-        if n_users == 0:
-            order, slices = np.empty(0, dtype=np.int64), []
-        elif self.n_shards == 1:
-            order, slices = None, [(0, None, users)]
-        else:
-            order, slices = group_by_shard(self.router, users)
-        if profiler is not None:
-            profiler.add("routing", time.perf_counter() - t0, n_users)
+        order, slices = self._route_request(users, n_users, profiler)
         # Queries share the model for reading; injections/restores write.
         # Admission and the coordinator's stats record both stay inside
         # the read hold: a concurrent restore (write side) must not land
@@ -714,40 +706,130 @@ class ShardedRecommendationService(RecommendationService):
         # quota to) a pre-reset request.  The limiter's internal lock is
         # a leaf below the model lock on every path, so ordering is safe.
         with self._model_lock.read():
-            t0 = time.perf_counter() if profiler is not None else 0.0
-            self._limiter_for_client(client).admit_query(client, n_users)
-            if profiler is not None:
-                profiler.add("admission", time.perf_counter() - t0, n_users)
+            self._admit_query(client, n_users, profiler)
             if self._remote:
                 outcomes = self._resolve_remote(slices, k, exclude_seen, use_cache)
             else:
                 outcomes = self._engine.run(
-                    [
-                        partial(
-                            self._resolve_shard,
-                            self.shards[shard_index],
-                            slice_users,
-                            k,
-                            exclude_seen,
-                            use_cache,
-                        )
-                        for shard_index, _, slice_users in slices
-                    ]
+                    self._slice_tasks(slices, k, exclude_seen, use_cache),
+                    latency_s=self.shard_latency_s,
                 )
-            n_scored_total = sum(n_scored for n_scored, _ in outcomes)
-            t0 = time.perf_counter() if profiler is not None else 0.0
-            if not outcomes:
-                results: list[np.ndarray] = []
-            elif len(outcomes) == 1:
-                # One slice ⇒ its users kept request order (stable sort).
-                results = list(outcomes[0][1])
-            else:
-                results = scatter_to_request_order(
-                    order, [shard_results for _, shard_results in outcomes]
-                )
-            if profiler is not None:
-                profiler.add("merge", time.perf_counter() - t0, n_users)
-            self.stats.record_request(n_users, n_scored_total, self._clock() - start)
+            results = self._merge_outcomes(order, outcomes, n_users, profiler, start)
+        return results
+
+    async def query_async(
+        self,
+        user_ids: Sequence[int],
+        k: int,
+        exclude_seen: bool = True,
+        client: str = "default",
+        use_cache: bool = True,
+    ) -> list[np.ndarray]:
+        """Coroutine twin of :meth:`query` for the asyncio serving front.
+
+        Requires an engine exposing ``run_async`` (the async engine):
+        per-shard slices resolve as coroutines on the *caller's* event
+        loop, with the modelled RPC latency awaited rather than slept —
+        so a front holding many requests in flight overlaps their waits.
+
+        Identical semantics to :meth:`query` otherwise, including the
+        read-lock hold around admission/execution/accounting.  The lock
+        acquisition is loop-safe: the non-blocking fast path covers the
+        overwhelmingly common no-writer case, and when a writer is
+        active or pending the *blocking* wait moves to an executor
+        thread — a coroutine must never park the loop thread in
+        ``Condition.wait`` while another coroutine (holding the read
+        side, awaiting its RPC) needs the loop to resume and release.
+        """
+        run_async = getattr(self._engine, "run_async", None)
+        if run_async is None:
+            raise ConfigurationError(
+                f"query_async requires an engine with run_async "
+                f"(the async engine); this service runs {self._engine.name!r}"
+            )
+        if k <= 0:
+            raise ConfigurationError("k must be positive")
+        start = self._clock()
+        users = np.asarray(user_ids, dtype=np.int64)
+        n_users = int(users.size)
+        profiler = self.profiler
+        order, slices = self._route_request(users, n_users, profiler)
+        if not self._model_lock.try_acquire_read():
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._model_lock.acquire_read
+            )
+        try:
+            self._admit_query(client, n_users, profiler)
+            outcomes = await run_async(
+                self._slice_tasks(slices, k, exclude_seen, use_cache),
+                latency_s=self.shard_latency_s,
+            )
+            results = self._merge_outcomes(order, outcomes, n_users, profiler, start)
+        finally:
+            self._model_lock.release_read()
+        return results
+
+    def _route_request(self, users: np.ndarray, n_users: int, profiler):
+        """Routing: one vectorised hash pass + stable argsort grouping.
+
+        Single-shard deployments skip the router — everything is one
+        slice in request order, and the merge scatter is skipped too.
+        """
+        t0 = time.perf_counter() if profiler is not None else 0.0
+        if n_users == 0:
+            order, slices = np.empty(0, dtype=np.int64), []
+        elif self.n_shards == 1:
+            order, slices = None, [(0, None, users)]
+        else:
+            order, slices = group_by_shard(self.router, users)
+        if profiler is not None:
+            profiler.add("routing", time.perf_counter() - t0, n_users)
+        return order, slices
+
+    def _admit_query(self, client: str, n_users: int, profiler) -> None:
+        """Home-shard admission; quota denials are counted by cause."""
+        t0 = time.perf_counter() if profiler is not None else 0.0
+        try:
+            self._limiter_for_client(client).admit_query(client, n_users)
+        except RateLimitExceededError:
+            self.stats.record_rate_limited()
+            raise
+        if profiler is not None:
+            profiler.add("admission", time.perf_counter() - t0, n_users)
+
+    def _slice_tasks(
+        self, slices, k: int, exclude_seen: bool, use_cache: bool
+    ) -> list[Callable[[], tuple[int, list[np.ndarray]]]]:
+        return [
+            partial(
+                self._resolve_shard,
+                self.shards[shard_index],
+                slice_users,
+                k,
+                exclude_seen,
+                use_cache,
+            )
+            for shard_index, _, slice_users in slices
+        ]
+
+    def _merge_outcomes(
+        self, order, outcomes, n_users: int, profiler, start: float
+    ) -> list[np.ndarray]:
+        """Scatter slice results back to request order; record the request."""
+        n_scored_total = sum(n_scored for n_scored, _ in outcomes)
+        t0 = time.perf_counter() if profiler is not None else 0.0
+        if not outcomes:
+            results: list[np.ndarray] = []
+        elif len(outcomes) == 1:
+            # One slice ⇒ its users kept request order (stable sort).
+            results = list(outcomes[0][1])
+        else:
+            results = scatter_to_request_order(
+                order, [shard_results for _, shard_results in outcomes]
+            )
+        if profiler is not None:
+            profiler.add("merge", time.perf_counter() - t0, n_users)
+        self.stats.record_request(n_users, n_scored_total, self._clock() - start)
         return results
 
     def _resolve_remote(
@@ -796,15 +878,16 @@ class ShardedRecommendationService(RecommendationService):
     ) -> tuple[int, list[np.ndarray]]:
         """Resolve one shard's slice (runs on the engine's worker thread).
 
-        The modelled worker RPC latency is slept *outside* the timed
-        region, and the busy clock starts only after the shard lock is
-        held: ``busy_s`` stays pure compute — neither the modelled wait
-        nor lock contention from concurrent clients counts as shard work
-        — so the simulated makespan model is unchanged, while measured
-        wall clock feels both.
+        The modelled worker RPC latency is paid by the *engine* (see
+        ``ExecutionEngine.run(tasks, latency_s=...)``) before this task
+        body runs — slept per worker thread, awaited on the event loop,
+        or slept in sequence by the serial engine — and the busy clock
+        starts only after the shard lock is held: ``busy_s`` stays pure
+        compute — neither the modelled wait nor lock contention from
+        concurrent clients counts as shard work — so the simulated
+        makespan model is unchanged, while measured wall clock feels
+        both.
         """
-        if self.shard_latency_s > 0.0:
-            time.sleep(self.shard_latency_s)
         with shard.lock:
             t0 = self._clock()
             n_scored, shard_results = replica_proto.resolve_slice(

@@ -26,6 +26,7 @@ from typing import Callable
 import numpy as np
 
 from repro.errors import ConfigurationError, RateLimitExceededError
+from repro.serving.metrics import percentile_summary
 from repro.serving.service import RecommendationService
 from repro.serving.workload import Workload, make_workload, sample_arrivals
 from repro.utils.rng import make_rng
@@ -38,6 +39,7 @@ __all__ = [
     "latency_percentiles",
     "latency_breakdown",
     "zipf_weights",
+    "open_loop_plan",
 ]
 
 
@@ -60,15 +62,13 @@ def zipf_weights(
 
 
 def latency_percentiles(wall_times_s: list[float] | np.ndarray) -> dict[str, float]:
-    """p50/p95/p99 latencies in milliseconds from raw per-request seconds."""
-    times = np.asarray(wall_times_s, dtype=np.float64)
-    if times.size == 0:
-        return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
-    return {
-        "p50_ms": float(np.percentile(times, 50) * 1e3),
-        "p95_ms": float(np.percentile(times, 95) * 1e3),
-        "p99_ms": float(np.percentile(times, 99) * 1e3),
-    }
+    """p50/p95/p99 latencies in milliseconds from raw per-request seconds.
+
+    Thin alias over :func:`repro.serving.metrics.percentile_summary` —
+    one shared definition of the percentile arithmetic (numpy linear
+    interpolation, zeros on empty input) for every latency consumer.
+    """
+    return percentile_summary(wall_times_s)
 
 
 def latency_breakdown(
@@ -392,3 +392,62 @@ class BackgroundTraffic:
             except RateLimitExceededError:
                 self.n_rate_limited += 1
         return count
+
+
+def open_loop_plan(
+    n_users: int,
+    offered_users_per_s: float,
+    n_requests: int,
+    cohort_size: int = 64,
+    k: int = 20,
+    workload: str | Workload = "steady",
+    zipf_exponent: float = 1.1,
+    seed: int = 0,
+    client: str = "organic",
+    exclude_seen: bool = True,
+) -> list:
+    """Timestamped request plan for **open-loop** replay at a target rate.
+
+    Closed-loop replay (:class:`TrafficSimulator`) issues the next
+    request only when the previous one returns, so offered load adapts
+    to service speed and tail latency under overload is invisible.  This
+    plan instead fixes arrival times up front: a workload-shaped
+    schedule (:func:`sample_arrivals`) is mapped onto wall time with
+    ``tick_s = base_rate * cohort_size / offered_users_per_s``, so the
+    *mean* offered rate is ``offered_users_per_s`` users/s while the
+    workload shape (flash crowds, bursts) modulates the instantaneous
+    rate around it.  Cohorts are Zipf-skewed no-replacement draws, one
+    per arrival, sampled before the clock starts.
+
+    Returns a list of :class:`~repro.serving.async_front.FrontRequest`
+    sorted by arrival time, ready for
+    :meth:`~repro.serving.async_front.AsyncServingFront.replay`.
+    """
+    from repro.serving.async_front import FrontRequest
+
+    if offered_users_per_s <= 0:
+        raise ConfigurationError("offered_users_per_s must be positive")
+    if n_requests <= 0 or cohort_size <= 0:
+        raise ConfigurationError("n_requests and cohort_size must be positive")
+    base_rate = 3.0  # mean arrivals per tick; keeps ticks fine vs the horizon
+    rng = make_rng(seed)
+    weights = zipf_weights(n_users, zipf_exponent, rng)
+    model = make_workload(workload)
+    horizon = max(1, int(np.ceil(n_requests / base_rate)))
+    schedule = sample_arrivals(model, base_rate=base_rate, horizon=horizon, seed=rng)
+    while schedule.total < n_requests:
+        horizon *= 2
+        schedule = sample_arrivals(model, base_rate=base_rate, horizon=horizon, seed=rng)
+    tick_s = base_rate * cohort_size / offered_users_per_s
+    times = schedule.arrival_times(tick_s, rng)[:n_requests]
+    cohort = min(cohort_size, n_users)
+    return [
+        FrontRequest(
+            at_s=float(at_s),
+            users=rng.choice(n_users, size=cohort, replace=False, p=weights),
+            k=k,
+            client=client,
+            exclude_seen=exclude_seen,
+        )
+        for at_s in times
+    ]

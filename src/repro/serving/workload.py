@@ -231,6 +231,30 @@ class ArrivalSchedule:
     def peak(self) -> int:
         return int(self.counts.max()) if self.counts.size else 0
 
+    def arrival_times(
+        self,
+        tick_duration_s: float,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Expand per-tick counts into absolute arrival offsets (seconds).
+
+        Maps the logical tick grid onto wall time for **open-loop**
+        replay: a tick of ``c`` arrivals yields ``c`` timestamps inside
+        ``[t * tick_duration_s, (t + 1) * tick_duration_s)``.  With
+        ``rng`` the offsets within each tick are uniform (a piecewise
+        Poisson process); without, arrivals land on tick boundaries
+        (deterministic, useful for tests).  Returns a sorted float64
+        array of length :attr:`total`.
+        """
+        if tick_duration_s <= 0:
+            raise ConfigurationError("tick_duration_s must be positive")
+        ticks = np.repeat(np.arange(self.counts.size, dtype=np.float64), self.counts)
+        if rng is not None:
+            offsets = rng.random(ticks.size)
+        else:
+            offsets = np.zeros(ticks.size, dtype=np.float64)
+        return np.sort((ticks + offsets) * float(tick_duration_s))
+
     def summary(self) -> dict[str, float]:
         mean = float(self.counts.mean()) if self.counts.size else 0.0
         return {

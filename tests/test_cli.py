@@ -161,3 +161,67 @@ class TestProfileSubcommand:
         assert result["top_functions"], "cProfile rows should not be empty"
         total_share = sum(entry["share"] for entry in stages.values())
         assert total_share == pytest.approx(1.0, abs=1e-6)
+
+
+class TestLatencySubcommand:
+    def test_latency_defaults(self):
+        args = build_parser().parse_args(["latency"])
+        assert args.command == "latency"
+        assert args.requests == 180
+        assert args.cohort == 64
+        assert args.shards == 4
+        assert args.engines == ["threaded", "async"]
+        assert args.workloads == ["steady", "flash"]
+        assert args.loads == [8000.0, 16000.0, 32000.0, 48000.0, 64000.0]
+        assert args.queue == 64
+        assert args.policy == "block"
+        assert args.timeout_s == 2.0
+
+    def test_latency_rejects_process_engine(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["latency", "--engines", "process"])
+
+    def test_latency_rejects_bad_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["latency", "--policy", "drop_table"])
+
+    def test_latency_rejects_nonpositive_requests(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--config", "small", "latency", "--requests", "0"])
+
+    def test_profile_accepts_async_engine(self):
+        args = build_parser().parse_args(["profile", "--engine", "async"])
+        assert args.engine == "async"
+
+    def test_profile_rejects_inject_with_async(self, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "--config", "small", "profile",
+                "--engine", "async", "--inject-every", "5",
+            ])
+
+    def test_serve_accepts_async_engine(self):
+        args = build_parser().parse_args(["serve", "--engine", "async"])
+        assert args.engine == "async"
+
+    def test_latency_runs_and_writes_json(self, capsys, tmp_path):
+        path = tmp_path / "BENCH_latency.json"
+        code = main([
+            "--config", "small", "--quiet",
+            "latency", "--requests", "24", "--cohort", "8", "--shards", "2",
+            "--engines", "async", "--workloads", "steady",
+            "--loads", "4000", "--shard-latency-ms", "0.5",
+            "--json", str(path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p99" in out and "async" in out
+        result = json.loads(path.read_text())
+        assert result["n_shards"] == 2
+        curve = result["engines"]["async"]["workloads"]["steady"]
+        assert len(curve["points"]) == 1
+        assert curve["knee_users_per_s"] == 4000.0
+        point = curve["points"][0]
+        assert point["offered_users_per_s"] == 4000.0
+        assert {"p50_ms", "p95_ms", "p99_ms"} <= set(point["latency"])
+        assert result["engines"]["async"]["peak"]["users_per_s"] > 0

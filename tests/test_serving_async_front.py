@@ -1,0 +1,361 @@
+"""Async serving front: admission queue, overload policies, replay.
+
+The :class:`BoundedAdmissionQueue` is pure synchronous logic, so its
+overload policies and conservation law are pinned directly (including a
+hypothesis sweep over arbitrary offer/take/give-up interleavings).  The
+:class:`AsyncServingFront` end-to-end tests replay all-at-once burst
+plans — with every arrival at t=0 the offer sequence runs before any
+worker coroutine, so admission outcomes are *deterministic*, not
+timing-dependent — and check served results against model ground truth,
+outcome conservation, and the denial split mirrored into
+``ServiceStats``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import InteractionDataset
+from repro.errors import ConfigurationError
+from repro.recsys import PopularityRecommender
+from repro.serving import (
+    OVERLOAD_POLICIES,
+    AsyncServingFront,
+    BoundedAdmissionQueue,
+    FrontConfig,
+    FrontRequest,
+    QuotaPolicy,
+    ServingConfig,
+    ShardedRecommendationService,
+    open_loop_plan,
+)
+from repro.utils.rng import make_rng
+
+N_USERS = 60
+N_ITEMS = 50
+
+
+def _model():
+    rng = make_rng(91)
+    profiles = [
+        [int(v) for v in rng.choice(N_ITEMS, size=int(rng.integers(3, 9)), replace=False)]
+        for _ in range(N_USERS)
+    ]
+    return PopularityRecommender().fit(InteractionDataset(profiles, n_items=N_ITEMS))
+
+
+def _burst(n_requests: int, cohort: int = 4, k: int = 5, seed: int = 0):
+    """All requests arrive at t=0: admission outcomes are deterministic."""
+    rng = make_rng(seed)
+    return [
+        FrontRequest(at_s=0.0, users=rng.choice(N_USERS, size=cohort, replace=False), k=k)
+        for _ in range(n_requests)
+    ]
+
+
+class TestBoundedAdmissionQueue:
+    def test_admits_until_capacity(self):
+        queue = BoundedAdmissionQueue(2, policy="shed_newest")
+        assert queue.offer("a") == ("admitted", None)
+        assert queue.offer("b") == ("admitted", None)
+        assert queue.offer("c") == ("shed", None)
+        assert queue.occupancy == 2 and queue.n_shed == 1
+        assert queue.peek() == "a"
+
+    def test_shed_oldest_displaces_head(self):
+        queue = BoundedAdmissionQueue(2, policy="shed_oldest")
+        queue.offer("a")
+        queue.offer("b")
+        assert queue.offer("c") == ("admitted", "a")
+        assert queue.n_shed == 1
+        assert queue.take() == ("b", None)
+        assert queue.take() == ("c", None)
+
+    def test_block_waits_then_promotes_on_take(self):
+        queue = BoundedAdmissionQueue(1, policy="block")
+        queue.offer("a")
+        assert queue.offer("b") == ("blocked", None)
+        assert queue.n_waiting == 1
+        item, promoted = queue.take()
+        assert (item, promoted) == ("a", "b")
+        assert queue.n_waiting == 0 and queue.occupancy == 1
+
+    def test_give_up_only_while_waiting(self):
+        queue = BoundedAdmissionQueue(1, policy="block")
+        queue.offer("a")
+        queue.offer("b")
+        assert queue.give_up("b") is True
+        assert queue.n_timed_out == 1
+        # Promoted items can no longer give up.
+        queue.offer("c")
+        queue.take()  # promotes "c"
+        assert queue.give_up("c") is False
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            BoundedAdmissionQueue(0)
+        with pytest.raises(ConfigurationError):
+            BoundedAdmissionQueue(4, policy="drop_everything")
+
+    @given(
+        capacity=st.integers(1, 8),
+        policy=st.sampled_from(OVERLOAD_POLICIES),
+        ops=st.lists(st.sampled_from(["offer", "take", "give_up"]), max_size=200),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_invariants_under_arbitrary_interleavings(self, capacity, policy, ops):
+        """Occupancy never exceeds the bound, and every offer is accounted
+        for: accepted + shed + timed-out == offered once the queue drains."""
+        queue = BoundedAdmissionQueue(capacity, policy)
+        next_id, waiting = 0, []
+        for op in ops:
+            if op == "offer":
+                status, displaced = queue.offer(next_id)
+                if status == "blocked":
+                    waiting.append(next_id)
+                if displaced is not None:
+                    assert policy == "shed_oldest"
+                next_id += 1
+            elif op == "take":
+                _item, promoted = queue.take()
+                if promoted is not None:
+                    waiting.remove(promoted)
+            elif waiting:
+                assert queue.give_up(waiting.pop(0))
+            assert queue.occupancy <= queue.capacity
+            assert queue.peak_occupancy <= queue.capacity
+            assert queue.n_waiting == len(waiting)
+            assert queue.n_offered == (
+                queue.n_shed
+                + queue.n_timed_out
+                + queue.n_taken
+                + queue.occupancy
+                + queue.n_waiting
+            )
+        # Drain: everything still queued is taken, every waiter gives up.
+        while True:
+            item, promoted = queue.take()
+            if item is None:
+                break
+            if promoted is not None:
+                waiting.remove(promoted)
+        for item in waiting:
+            assert queue.give_up(item)
+        assert queue.n_accepted + queue.n_shed + queue.n_timed_out == queue.n_offered
+
+
+class TestFrontConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FrontConfig(max_queue=0)
+        with pytest.raises(ConfigurationError):
+            FrontConfig(policy="nope")
+        with pytest.raises(ConfigurationError):
+            FrontConfig(admission_timeout_s=0)
+        with pytest.raises(ConfigurationError):
+            FrontConfig(max_concurrency=0)
+        with pytest.raises(ConfigurationError):
+            FrontConfig(batch_window_s=-1)
+        with pytest.raises(ConfigurationError):
+            FrontRequest(at_s=-1.0, users=np.arange(3))
+        with pytest.raises(ConfigurationError):
+            FrontRequest(at_s=0.0, users=np.arange(3), k=0)
+
+
+@pytest.mark.timeout(120)
+class TestAsyncServingFrontReplay:
+    def test_served_results_match_model_ground_truth(self):
+        """Every ok ticket's lists are exactly the model's top-k — the
+        front (and the async engine under it) changes scheduling, never
+        output."""
+        model = _model()
+        with ShardedRecommendationService(
+            model, n_shards=4, config=ServingConfig(cache_capacity=256), engine="async"
+        ) as service:
+            plan = _burst(20, cohort=5, k=4)
+            front = AsyncServingFront(
+                service, FrontConfig(max_queue=32, policy="block", admission_timeout_s=None)
+            )
+            report = front.replay(plan)
+            assert report.n_ok == report.n_offered == 20
+            assert report.n_users_served == 100
+            for ticket in front.tickets:
+                assert ticket.outcome == "ok"
+                assert ticket.arrival_s <= ticket.start_s <= ticket.completion_s
+                for user, items in zip(ticket.request.users, ticket.results):
+                    np.testing.assert_array_equal(items, model.top_k(int(user), 4))
+            assert report.latency["p99_ms"] >= report.queue_wait["p99_ms"] >= 0.0
+            assert service.stats.n_requests == 20
+
+    def test_shed_newest_drops_overflow_deterministically(self):
+        """An all-at-once burst offers every request before workers run,
+        so exactly queue-capacity requests are admitted and the rest shed
+        — and the denial lands in ServiceStats as n_shed, not as a
+        rate-limit denial."""
+        with ShardedRecommendationService(_model(), n_shards=2, engine="async") as service:
+            front = AsyncServingFront(
+                service, FrontConfig(max_queue=3, policy="shed_newest")
+            )
+            report = front.replay(_burst(10))
+            assert report.n_ok == 3
+            assert report.n_shed == 7
+            assert service.stats.n_shed == 7
+            assert service.stats.n_rate_limited == 0
+            summary = service.stats.summary()
+            assert summary["n_shed"] == 7 and summary["n_rate_limited"] == 0
+            # Shed tickets never started service.
+            for ticket in front.tickets:
+                if ticket.outcome == "shed":
+                    assert ticket.start_s is None and ticket.results is None
+
+    def test_shed_oldest_protects_freshness(self):
+        """Under shed_oldest the burst's *last* max_queue requests
+        survive; the earliest admitted ones are displaced."""
+        with ShardedRecommendationService(_model(), n_shards=2, engine="async") as service:
+            front = AsyncServingFront(
+                service, FrontConfig(max_queue=3, policy="shed_oldest")
+            )
+            report = front.replay(_burst(10))
+            assert report.n_ok == 3 and report.n_shed == 7
+            ok_indices = [t.index for t in front.tickets if t.outcome == "ok"]
+            assert ok_indices == [7, 8, 9]
+
+    def test_block_with_timeout_times_out_waiters(self):
+        """Blocked arrivals beyond what the queue can absorb give up
+        after the admission timeout; the denial is counted as timed_out."""
+        with ShardedRecommendationService(
+            _model(), n_shards=2, engine="async", shard_latency_s=0.05
+        ) as service:
+            front = AsyncServingFront(
+                service,
+                FrontConfig(
+                    max_queue=1,
+                    policy="block",
+                    admission_timeout_s=0.01,
+                    max_concurrency=1,
+                ),
+            )
+            report = front.replay(_burst(5))
+            assert report.n_ok + report.n_timed_out == 5
+            assert report.n_timed_out >= 1
+            assert service.stats.n_timed_out == report.n_timed_out
+            assert (
+                report.n_ok
+                + report.n_shed
+                + report.n_timed_out
+                + report.n_rate_limited
+                + report.n_failed
+            ) == report.n_offered
+
+    def test_block_without_timeout_serves_everything(self):
+        with ShardedRecommendationService(
+            _model(), n_shards=2, engine="async", shard_latency_s=0.002
+        ) as service:
+            front = AsyncServingFront(
+                service,
+                FrontConfig(max_queue=2, policy="block", admission_timeout_s=None),
+            )
+            report = front.replay(_burst(12))
+            assert report.n_ok == 12
+            assert report.peak_occupancy <= 2
+
+    def test_micro_batching_preserves_results(self):
+        """Coalesced service calls must serve the same lists per request
+        as request-at-a-time mode."""
+        model = _model()
+        plan = _burst(16, cohort=3, k=5, seed=7)
+        with ShardedRecommendationService(model, n_shards=2, engine="async") as service:
+            front = AsyncServingFront(
+                service,
+                FrontConfig(
+                    max_queue=16,
+                    policy="block",
+                    admission_timeout_s=None,
+                    max_concurrency=2,
+                    batch_window_s=0.005,
+                    max_batch_requests=4,
+                ),
+            )
+            report = front.replay(plan)
+            assert report.n_ok == 16
+            for ticket in front.tickets:
+                for user, items in zip(ticket.request.users, ticket.results):
+                    np.testing.assert_array_equal(items, model.top_k(int(user), 5))
+
+    def test_sync_engine_fallback_uses_executor(self):
+        """The front works over a serial-engine service too (queries run
+        on executor threads); results stay ground-truth identical."""
+        model = _model()
+        with ShardedRecommendationService(model, n_shards=2, engine="serial") as service:
+            front = AsyncServingFront(service, FrontConfig(max_queue=8, policy="block"))
+            report = front.replay(_burst(6, cohort=2, k=3))
+            assert report.n_ok == 6
+            for ticket in front.tickets:
+                for user, items in zip(ticket.request.users, ticket.results):
+                    np.testing.assert_array_equal(items, model.top_k(int(user), 3))
+
+    def test_rate_limited_requests_counted_separately(self):
+        """A quota denial is n_rate_limited — never conflated with the
+        front's own shed/timed-out accounting."""
+        config = ServingConfig(
+            client_policies=(("organic", QuotaPolicy(max_users_per_query=2)),),
+        )
+        with ShardedRecommendationService(
+            _model(), n_shards=2, config=config, engine="async"
+        ) as service:
+            front = AsyncServingFront(service, FrontConfig(max_queue=16))
+            report = front.replay(_burst(5, cohort=4))
+            assert report.n_rate_limited == 5
+            assert report.n_ok == 0
+            assert service.stats.n_rate_limited == 5
+            assert service.stats.n_shed == 0 and service.stats.n_timed_out == 0
+
+    def test_worker_errors_surface_after_drain(self):
+        class Boom(RuntimeError):
+            pass
+
+        class ExplodingService:
+            stats = None
+            profiler = None
+
+            def query(self, users, k, exclude_seen=True, client="default"):
+                raise Boom("scoring failed")
+
+        front = AsyncServingFront(ExplodingService(), FrontConfig(max_queue=8))
+        with pytest.raises(Boom):
+            front.replay(_burst(3))
+        assert all(t.outcome == "failed" for t in front.tickets)
+
+    def test_empty_plan(self):
+        with ShardedRecommendationService(_model(), n_shards=1, engine="async") as service:
+            report = AsyncServingFront(service).replay([])
+            assert report.n_offered == 0 and report.n_ok == 0
+            assert report.latency["p99_ms"] == 0.0
+
+
+class TestOpenLoopPlan:
+    def test_deterministic_sorted_and_shaped(self):
+        plan_a = open_loop_plan(N_USERS, 5000.0, 30, cohort_size=8, k=7, seed=3)
+        plan_b = open_loop_plan(N_USERS, 5000.0, 30, cohort_size=8, k=7, seed=3)
+        assert len(plan_a) == 30
+        assert all(a.k == 7 and a.users.size == 8 for a in plan_a)
+        times = [a.at_s for a in plan_a]
+        assert times == sorted(times)
+        assert all(
+            a.at_s == b.at_s and np.array_equal(a.users, b.users)
+            for a, b in zip(plan_a, plan_b)
+        )
+        # Mean offered rate lands near the target: n_requests * cohort
+        # users over the spanned horizon.
+        span = max(times)
+        if span > 0:
+            assert 30 * 8 / span == pytest.approx(5000.0, rel=0.75)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            open_loop_plan(N_USERS, 0.0, 10)
+        with pytest.raises(ConfigurationError):
+            open_loop_plan(N_USERS, 100.0, 0)

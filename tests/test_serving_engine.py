@@ -21,6 +21,7 @@ from repro.data import InteractionDataset
 from repro.errors import ConfigurationError, StaleReplicaError
 from repro.recsys import PopularityRecommender
 from repro.serving import (
+    AsyncEngine,
     ProcessEngine,
     ReadWriteLock,
     SerialEngine,
@@ -117,14 +118,71 @@ class TestEngineUnits:
         process = make_engine("process", n_workers=2)
         assert isinstance(process, ProcessEngine) and process.n_workers == 2
         process.close()
+        async_engine = make_engine("async", n_workers=2)
+        assert isinstance(async_engine, AsyncEngine)
+        async_engine.close()
         passthrough = SerialEngine()
         assert make_engine(passthrough, n_workers=1) is passthrough
         with pytest.raises(ConfigurationError):
-            make_engine("async", n_workers=2)
+            make_engine("warp", n_workers=2)
         with pytest.raises(ConfigurationError):
             ThreadedEngine(n_workers=0)
         with pytest.raises(ConfigurationError):
             ProcessEngine(n_workers=0)
+
+
+@pytest.mark.timeout(120)
+class TestAsyncEngineUnits:
+    def test_preserves_task_order_and_values(self):
+        engine = AsyncEngine()
+        try:
+            assert engine.run([lambda i=i: i for i in range(6)]) == list(range(6))
+        finally:
+            engine.close()
+
+    def test_latency_waits_overlap(self):
+        """Four 50 ms modelled RPCs must cost ~one 50 ms wait, not four —
+        the awaits share the event loop."""
+        engine = AsyncEngine()
+        try:
+            t0 = time.perf_counter()
+            out = engine.run([lambda i=i: i for i in range(4)], latency_s=0.05)
+            elapsed = time.perf_counter() - t0
+            assert out == list(range(4))
+            assert 0.05 <= elapsed < 0.15
+        finally:
+            engine.close()
+
+    def test_propagates_first_exception_after_drain(self):
+        engine = AsyncEngine()
+        try:
+            with pytest.raises(ValueError, match="boom"):
+                engine.run([lambda: (_ for _ in ()).throw(ValueError("boom")), lambda: 1])
+        finally:
+            engine.close()
+
+    def test_closed_engine_rejects_work(self):
+        engine = AsyncEngine()
+        engine.close()
+        engine.close()  # idempotent
+        with pytest.raises(ConfigurationError):
+            engine.run([lambda: 1])
+
+    def test_run_from_own_loop_thread_rejected(self):
+        """The sync bridge would deadlock waiting on its own loop; the
+        engine must refuse instead (loop callers await run_async)."""
+        import asyncio
+
+        engine = AsyncEngine()
+        try:
+            async def call_sync_run():
+                engine.run([lambda: 1])
+
+            future = asyncio.run_coroutine_threadsafe(call_sync_run(), engine._loop)
+            with pytest.raises(ConfigurationError, match="own event loop"):
+                future.result(timeout=10)
+        finally:
+            engine.close()
 
 
 @pytest.mark.timeout(120)
@@ -325,6 +383,35 @@ class TestReadWriteLock:
         for t in threads:
             t.join()
         assert order == ["read-done", "write"]
+
+    def test_try_acquire_read_fast_path(self):
+        """The non-blocking read acquire (the async query path's loop-safe
+        entry) succeeds when uncontended and refuses while a writer is
+        active or waiting — it must never block the caller."""
+        lock = ReadWriteLock()
+        assert lock.try_acquire_read()
+        assert lock.try_acquire_read()  # readers share
+        lock.release_read()
+        lock.release_read()
+        writer_in = threading.Event()
+        release_writer = threading.Event()
+
+        def writer():
+            with lock.write():
+                writer_in.set()
+                release_writer.wait(timeout=10)
+
+        t = threading.Thread(target=writer)
+        t.start()
+        writer_in.wait(timeout=10)
+        assert not lock.try_acquire_read()  # writer active -> refuse, don't block
+        release_writer.set()
+        t.join()
+        # Blocking acquire pairs with release; writer gone, so it succeeds.
+        lock.acquire_read()
+        lock.release_read()
+        with lock.write():
+            pass  # all reads released; the write side is reachable again
 
 
 @pytest.mark.timeout(120)

@@ -1,0 +1,70 @@
+"""Shared percentile helper: hand-computed fixtures pin the arithmetic.
+
+Every latency consumer (traffic breakdown, ServiceStats summary, the
+async front's queueing report) routes through
+:mod:`repro.serving.metrics`, so this is the one place the percentile
+semantics — numpy linear interpolation, seconds→milliseconds scaling,
+zeros on empty input — are pinned against values computed by hand.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving import percentile_summary, summarize_latencies
+from repro.serving.traffic import latency_percentiles
+
+
+class TestPercentileSummary:
+    def test_hand_computed_fixture(self):
+        """Values 1..10 seconds. Linear interpolation by hand:
+        p50 = 5.5 s, p95 = 9.55 s, p99 = 9.91 s."""
+        values = [float(v) for v in range(1, 11)]
+        out = percentile_summary(values)
+        assert out == pytest.approx(
+            {"p50_ms": 5500.0, "p95_ms": 9550.0, "p99_ms": 9910.0}
+        )
+
+    def test_single_value_is_every_percentile(self):
+        out = percentile_summary([0.25])
+        assert out == {"p50_ms": 250.0, "p95_ms": 250.0, "p99_ms": 250.0}
+
+    def test_empty_input_yields_zeros_shape_stable(self):
+        assert percentile_summary([]) == {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+
+    def test_custom_percentiles_scale_and_key_format(self):
+        out = percentile_summary(
+            [1.0, 2.0, 3.0], percentiles=(50,), scale=1.0, key_format="p{p}_wall_s"
+        )
+        assert out == {"p50_wall_s": 2.0}
+
+    def test_fractional_percentile_key_is_clean(self):
+        out = percentile_summary([1.0], percentiles=(99.9,))
+        assert list(out) == ["p99.9_ms"]
+
+    def test_traffic_alias_matches_helper(self):
+        """latency_percentiles is the legacy name; it must stay an alias."""
+        values = np.asarray([0.003, 0.011, 0.002, 0.040])
+        assert latency_percentiles(values) == percentile_summary(values)
+        assert latency_percentiles([]) == {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+
+
+class TestSummarizeLatencies:
+    def test_extended_fields(self):
+        out = summarize_latencies([0.001, 0.002, 0.003])
+        assert out["n"] == 3.0
+        np.testing.assert_allclose(out["mean_ms"], 2.0)
+        np.testing.assert_allclose(out["max_ms"], 3.0)
+        np.testing.assert_allclose(out["p50_ms"], 2.0)
+
+    def test_empty(self):
+        out = summarize_latencies([])
+        assert out == {
+            "p50_ms": 0.0,
+            "p95_ms": 0.0,
+            "p99_ms": 0.0,
+            "n": 0.0,
+            "mean_ms": 0.0,
+            "max_ms": 0.0,
+        }

@@ -75,6 +75,60 @@ class TestQueryPath:
         assert summary["p95_wall_ms"] >= 0.0
 
 
+class TestDenialSplit:
+    """Denied work is split by cause: quota vs queue-shed vs timed-out.
+
+    Rate-limit denials are recorded by the service itself; shed and
+    timed-out are recorded by the admission front. Each must stay its
+    own counter — a flat "denied" number hides whether the limiter or
+    the queue is doing the work."""
+
+    def test_rate_limited_counted_by_service(self):
+        service, _ = _service(
+            ServingConfig(default_policy=QuotaPolicy(max_queries_per_window=1))
+        )
+        service.query([0], k=3)
+        with pytest.raises(RateLimitExceededError):
+            service.query([1], k=3)
+        assert service.stats.n_rate_limited == 1
+        assert service.stats.n_shed == 0
+        assert service.stats.n_timed_out == 0
+
+    def test_shed_and_timed_out_are_independent_counters(self):
+        service, _ = _service()
+        service.stats.record_shed()
+        service.stats.record_shed()
+        service.stats.record_timed_out()
+        assert service.stats.n_shed == 2
+        assert service.stats.n_timed_out == 1
+        assert service.stats.n_rate_limited == 0
+
+    def test_summary_emits_denial_keys_only_when_nonzero(self):
+        service, _ = _service()
+        service.query([0], k=3)
+        summary = service.stats.summary()
+        assert "n_rate_limited" not in summary
+        assert "n_shed" not in summary
+        assert "n_timed_out" not in summary
+        service.stats.record_shed()
+        service.stats.record_timed_out()
+        service.stats.record_rate_limited()
+        summary = service.stats.summary()
+        assert summary["n_rate_limited"] == 1
+        assert summary["n_shed"] == 1
+        assert summary["n_timed_out"] == 1
+
+    def test_reset_zeroes_denial_counters(self):
+        service, _ = _service()
+        service.stats.record_shed()
+        service.stats.record_timed_out()
+        service.stats.record_rate_limited()
+        service.stats.reset()
+        assert service.stats.n_shed == 0
+        assert service.stats.n_timed_out == 0
+        assert service.stats.n_rate_limited == 0
+
+
 class TestRateLimiting:
     def test_qps_cap_with_logical_clock(self):
         ticks = iter(x * 0.1 for x in range(100))

@@ -179,3 +179,33 @@ class TestRateLimiterUnderBursts:
         for t in admitted:
             in_window = np.sum((admitted_arr > t - window) & (admitted_arr <= t))
             assert in_window <= limit
+
+
+class TestArrivalTimes:
+    """ArrivalSchedule.arrival_times maps tick counts onto wall time."""
+
+    def test_deterministic_without_rng_lands_on_tick_boundaries(self):
+        schedule = sample_arrivals(SteadyWorkload(), base_rate=3.0, horizon=20, seed=5)
+        times = schedule.arrival_times(0.25)
+        assert times.size == schedule.total
+        assert np.all(np.diff(times) >= 0)
+        # Without rng every arrival sits exactly on its tick boundary.
+        np.testing.assert_allclose(times % 0.25, 0.0)
+        expected = np.repeat(np.arange(schedule.horizon), schedule.counts) * 0.25
+        np.testing.assert_allclose(times, expected)
+
+    def test_rng_offsets_stay_inside_their_tick(self):
+        schedule = sample_arrivals(
+            FlashCrowdWorkload(), base_rate=4.0, horizon=30, seed=9
+        )
+        times = schedule.arrival_times(0.5, rng=make_rng(1))
+        assert times.size == schedule.total
+        assert np.all(np.diff(times) >= 0)
+        ticks = np.repeat(np.arange(schedule.horizon), schedule.counts)
+        lo = np.sort(ticks) * 0.5
+        assert np.all(times >= lo) and np.all(times < lo + 0.5)
+
+    def test_rejects_nonpositive_tick_duration(self):
+        schedule = sample_arrivals(SteadyWorkload(), base_rate=2.0, horizon=5, seed=0)
+        with pytest.raises(ConfigurationError):
+            schedule.arrival_times(0.0)
