@@ -14,6 +14,8 @@ Usage (after ``pip install -e .``)::
     repro-bench latency --config small --shards 4 --engines threaded async \
                         --json BENCH_latency.json
     repro-bench profile --config small --shards 4 --engine async
+    repro-bench memory  --users 1000000 --items 100000 --shards 7 \
+                        --json BENCH_memory.json
 
 or ``python -m repro.cli <subcommand> ...``.  Every run is deterministic
 given ``--seed``.
@@ -41,6 +43,7 @@ from repro.experiments import (
     run_depth_sweep,
     run_hotpath_profile,
     run_latency_curve,
+    run_memory_bench,
     run_method,
     run_popularity_sweep,
     run_serving_benchmark,
@@ -163,6 +166,24 @@ def build_parser() -> argparse.ArgumentParser:
     latency.add_argument("--json", default=None, metavar="PATH",
                          help="write the full result as JSON (e.g. BENCH_latency.json)")
 
+    memory = sub.add_parser(
+        "memory",
+        help="per-shard RSS sweep: sliced replication vs full-model replicas",
+    )
+    memory.add_argument("--users", type=int, default=1_000_000,
+                        help="user count at scale 1.0 of the sweep")
+    memory.add_argument("--items", type=int, default=100_000,
+                        help="catalog size (item factors live in shared memory)")
+    memory.add_argument("--shards", type=int, default=7,
+                        help="worker process count (each probes its own VmRSS)")
+    memory.add_argument("--factors", type=int, default=16,
+                        help="embedding width of the synthetic MF model")
+    memory.add_argument("--scales", type=float, nargs="+", default=[0.25, 0.5, 1.0],
+                        help="fractions of --users to sweep (consecutive pairs "
+                             "should double for the sublinearity ratios)")
+    memory.add_argument("--json", default=None, metavar="PATH",
+                        help="write the full report as JSON (e.g. BENCH_memory.json)")
+
     profile = sub.add_parser(
         "profile",
         help="serving hot-path profile (per-stage wall-clock timers + cProfile)",
@@ -228,6 +249,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             parent = os.path.dirname(os.path.abspath(args.json)) or "."
             if not os.path.isdir(parent):
                 parser.error(f"--json directory does not exist: {parent}")
+    if args.command == "memory":
+        for name in ("users", "items", "shards", "factors"):
+            if getattr(args, name) <= 0:
+                parser.error(f"--{name} must be positive")
+        if any(scale <= 0 or scale > 1 for scale in args.scales):
+            parser.error("--scales entries must be in (0, 1]")
+        if args.json is not None:
+            parent = os.path.dirname(os.path.abspath(args.json)) or "."
+            if not os.path.isdir(parent):
+                parser.error(f"--json directory does not exist: {parent}")
     if args.command == "latency":
         for name in ("requests", "cohort", "k", "shards", "queue", "concurrency"):
             if getattr(args, name) <= 0:
@@ -268,6 +299,74 @@ def main(argv: Sequence[str] | None = None) -> int:
             title=f"Table 1 — {config.name}",
         ))
         return 0
+
+    if args.command == "memory":
+        # Purely synthetic (scale is the point); no trained model needed.
+        result = run_memory_bench(
+            n_users=args.users, n_items=args.items, n_shards=args.shards,
+            n_factors=args.factors, user_scales=tuple(sorted(args.scales)),
+            seed=config.seed if args.seed is None else args.seed,
+        )
+        rows = [
+            [f"sliced x{entry['scale']:g}", entry["n_users"],
+             entry["mean_rss_kb"] / 1024.0, entry["max_rss_kb"] / 1024.0,
+             entry["install_payload_bytes_shard0"] / 1e6]
+            for entry in result["sliced"]
+        ]
+        baseline = result["full_baseline"]
+        if baseline is not None:
+            rows.append(
+                [f"full x{baseline['scale']:g}", baseline["n_users"],
+                 baseline["mean_rss_kb"] / 1024.0, baseline["max_rss_kb"] / 1024.0,
+                 baseline["install_payload_bytes_shard0"] / 1e6]
+            )
+        print(format_table(
+            ["deployment", "users", "mean RSS MiB", "max RSS MiB", "install MB/shard"],
+            rows,
+            title=f"Per-shard memory — {args.shards} process shards, "
+                  f"{args.items} items",
+        ))
+        print()
+        for ratio in result["sublinearity"]["ratios"]:
+            print(
+                f"users x{ratio['user_growth']:.2f} "
+                f"({ratio['from_users']} -> {ratio['to_users']}): "
+                f"per-shard RSS x{ratio['rss_growth']:.2f} "
+                f"({'sublinear' if ratio['sublinear'] else 'NOT sublinear'})"
+            )
+        comparison = result.get("baseline_comparison")
+        if comparison is not None:
+            print(
+                f"sliced vs full replication at scale {comparison['scale']:g}: "
+                f"{comparison['sliced_max_rss_kb'] / 1024.0:.0f} MiB vs "
+                f"{comparison['full_max_rss_kb'] / 1024.0:.0f} MiB per shard "
+                f"({comparison['rss_saving_factor']:.1f}x saving)"
+            )
+        payload = result["resync_payload"]
+        print(
+            f"resync payload at {payload['n_users']} users: "
+            + ", ".join(
+                f"{p['payload_bytes'] / 1e6:.2f} MB @ {p['n_items']} items"
+                for p in payload["per_catalog"]
+            )
+            + f" (max ratio {payload['max_ratio']:.3f})"
+        )
+        print(
+            "shared-memory segments after close: "
+            + ("clean" if result["segments"]["clean"]
+               else f"LEAKED {result['segments']['leaked_after_close']}")
+        )
+        if args.json:
+            import json
+
+            with open(args.json, "w") as handle:
+                json.dump(result, handle, indent=2, sort_keys=True)
+            print(f"wrote {args.json}")
+        return 0 if (
+            result["sublinearity"]["sublinear"]
+            and result["segments"]["clean"]
+            and result["resync_payload"]["catalog_independent"]
+        ) else 1
 
     prep = prepare_experiment(config)
     print(f"target model test HR@10 = {prep.trained.test_metrics['hr@10']:.4f}")

@@ -194,6 +194,59 @@ class InteractionDataset:
         clone._item_users = [list(users) for users in self._item_users]
         return clone
 
+    def slice_users(self, user_ids: Sequence[int] | np.ndarray) -> "InteractionDataset":
+        """A dataset holding only ``user_ids``, renumbered to ``0..m-1``.
+
+        The slice keeps the full catalog (item ids are global — scores
+        and top-k lists stay directly comparable) but holds only the
+        selected users' profiles, renumbered *in the order given*: a
+        shard replica built from a slice addresses its users by local id
+        while the coordinator keeps the global numbering.  Item profiles
+        (``item_users``) are rebuilt in local terms.
+        """
+        clone = InteractionDataset([], n_items=self._n_items, name=self.name)
+        for local_id, user_id in enumerate(int(u) for u in user_ids):
+            items = self._profiles[user_id]
+            clone._profiles.append(items)
+            clone._profile_sets.append(self._profile_sets[user_id])
+            clone._profile_arrays.append(self._profile_arrays[user_id])
+            for v in items:
+                clone._item_users[v].append(local_id)
+        return clone
+
+    # -- serialization -----------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle only the ordered profiles (plus sizes and the name).
+
+        Every derived structure — profile sets, read-only profile
+        arrays, per-item user lists — is a deterministic function of
+        ``_profiles`` and is rebuilt on load.  This keeps replication
+        payloads (model installs, resyncs, sliced shards) proportional
+        to users + interactions instead of carrying ``n_items`` empty
+        per-item lists for sparse slices of a large catalog.
+        """
+        return {
+            "name": self.name,
+            "_n_items": self._n_items,
+            "_profiles": self._profiles,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.name = state["name"]
+        self._n_items = state["_n_items"]
+        self._profiles = state["_profiles"]
+        self._profile_sets = [frozenset(items) for items in self._profiles]
+        arrays = []
+        for items in self._profiles:
+            array = np.asarray(items, dtype=np.int64)
+            array.setflags(write=False)
+            arrays.append(array)
+        self._profile_arrays = arrays
+        self._item_users = [[] for _ in range(self._n_items)]
+        for user_id, items in enumerate(self._profiles):
+            for v in items:
+                self._item_users[v].append(user_id)
+
     # -- matrix view ---------------------------------------------------------------------
     def to_csr(self) -> sparse.csr_matrix:
         """Binary interaction matrix ``Y`` as ``csr_matrix`` (users x items)."""

@@ -16,6 +16,7 @@ from repro.experiments.fig5_budget import (
     DEFAULT_BUDGETS,
     run_budget_sweep,
 )
+from repro.experiments.memory_bench import run_memory_bench, synthetic_mf
 from repro.experiments.reporting import format_metric_rows, format_query_stats, format_table
 from repro.experiments.serving_bench import (
     measure_cohort_speedup,
@@ -63,6 +64,8 @@ __all__ = [
     "format_metric_rows",
     "format_query_stats",
     "measure_cohort_speedup",
+    "run_memory_bench",
+    "synthetic_mf",
     "run_hotpath_profile",
     "run_latency_curve",
     "run_serving_benchmark",

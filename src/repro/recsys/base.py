@@ -28,6 +28,17 @@ __all__ = ["Recommender"]
 class Recommender:
     """Abstract top-k recommender over an :class:`InteractionDataset`."""
 
+    #: Whether :meth:`slice_users` / :meth:`shared_item_state` are
+    #: implemented: sliced replication partitions per-user state by shard
+    #: and shares the item side through one shared-memory copy.  Models
+    #: that leave this False are replicated in full per shard.
+    supports_slicing: bool = False
+    #: Whether the shared item-side state is unchanged by ``add_user``
+    #: (MF's item factors, NeuralCF's fused tensor).  When False
+    #: (ItemKNN's similarity matrix, popularity counts) the coordinator
+    #: must republish the shared state after every injection.
+    shared_static_under_injection: bool = True
+
     def __init__(self) -> None:
         self._dataset: InteractionDataset | None = None
 
@@ -136,6 +147,53 @@ class Recommender:
     def prewarm_stats(self) -> dict[str, int]:
         """Build counters for the lazy caches (exactly-once test hooks)."""
         return {}
+
+    # -- sliced replication (shared item state + per-shard user slices) ------
+    def shared_item_state(self) -> dict[str, np.ndarray] | None:
+        """The item-side arrays every shard can share one copy of.
+
+        Returns a name → contiguous ndarray mapping (or ``None`` when the
+        model does not support slicing).  The serving layer copies these
+        into ``multiprocessing.shared_memory`` segments once; every
+        worker replica attaches read-only views via
+        :meth:`attach_shared_item_state` instead of holding a private
+        copy.  Building the state must leave the model's own lazy caches
+        warm (so the coordinator's exactly-once build accounting holds).
+        """
+        return None
+
+    def slice_users(self, user_ids: Sequence[int] | np.ndarray) -> "Recommender":
+        """A replica holding only ``user_ids``' per-user state, renumbered.
+
+        The slice scores local users ``0..len(user_ids)-1`` (in the
+        order given) identically to how the full model scores the
+        corresponding global ids, *once* the shared item state is
+        attached via :meth:`attach_shared_item_state` — the slice itself
+        ships without any item-side arrays.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support slicing")
+
+    def attach_shared_item_state(self, views: dict[str, np.ndarray]) -> None:
+        """Install shared-memory views of :meth:`shared_item_state` arrays."""
+        raise NotImplementedError(f"{type(self).__name__} does not support slicing")
+
+    def user_state(self, user_id: int):
+        """Picklable per-user model state for replicating one injection.
+
+        Whatever :meth:`append_sliced_user` on the owning shard's slice
+        needs beyond the profile itself; ``None`` when the profile alone
+        determines the user's state.
+        """
+        return None
+
+    def append_sliced_user(self, profile: Sequence[int], user_state) -> int:
+        """Fold one injected user into a sliced replica (owner shard only).
+
+        Returns the *local* id assigned.  The default appends the profile
+        to the sliced dataset; models carrying per-user parameters
+        override it to install ``user_state`` alongside.
+        """
+        return self.dataset.add_user(profile)
 
     # -- mutation -----------------------------------------------------------
     def add_user(self, profile: Sequence[int]) -> int:

@@ -11,6 +11,7 @@ without retraining via :meth:`ItemKNN.add_user`.
 
 from __future__ import annotations
 
+import copy
 from typing import Sequence
 
 import numpy as np
@@ -55,7 +56,12 @@ class ItemKNN(Recommender):
 
         Invalidated whenever the co-occurrence counts change (injection or
         restore); the batched scoring path is then a single GEMM per cohort.
+        A warm cache is served even without co-occurrence counts: sliced
+        replicas attach the matrix from shared memory and never hold
+        ``_cooc`` at all.
         """
+        if self._sim is not None:
+            return self._sim
         if self._cooc is None:
             raise NotFittedError("ItemKNN.fit has not been called")
         if self._sim is None:
@@ -116,6 +122,30 @@ class ItemKNN(Recommender):
         if item_ids is None:
             return out
         return out[:, np.asarray(item_ids, dtype=np.int64)]
+
+    # -- sliced replication ------------------------------------------------------
+    supports_slicing = True
+    # Injections shift co-occurrence counts, so the shared similarity
+    # matrix must be rebuilt and republished after every one.
+    shared_static_under_injection = False
+
+    def shared_item_state(self) -> dict[str, np.ndarray]:
+        return {"sim": np.ascontiguousarray(self._similarity_matrix())}
+
+    def slice_users(self, user_ids: Sequence[int] | np.ndarray) -> "ItemKNN":
+        clone = copy.copy(self)
+        clone._dataset = self.dataset.slice_users(np.asarray(user_ids, dtype=np.int64))
+        # Scoring needs only the similarity matrix (attached from shared
+        # memory); the O(n_items^2) co-occurrence counts stay with the
+        # coordinator, which owns rebuilds.
+        clone._cooc = None
+        clone._item_counts = None
+        clone._sim = None
+        clone.n_sim_builds = 0
+        return clone
+
+    def attach_shared_item_state(self, views: dict[str, np.ndarray]) -> None:
+        self._sim = views["sim"]
 
     def add_user(self, profile: Sequence[int]) -> int:
         """Inject a user, updating co-occurrence counts in place."""

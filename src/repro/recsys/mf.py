@@ -16,6 +16,7 @@ gradients are closed-form.
 
 from __future__ import annotations
 
+import copy
 from typing import Sequence
 
 import numpy as np
@@ -170,6 +171,36 @@ class MatrixFactorization(Recommender):
         if idx.size == 0:
             return np.zeros(self.n_factors)
         return self.item_factors[idx].mean(axis=0)
+
+    # -- sliced replication ------------------------------------------------------
+    supports_slicing = True
+    shared_static_under_injection = True  # add_user never touches item factors
+
+    def shared_item_state(self) -> dict[str, np.ndarray]:
+        if self.item_factors is None:
+            raise NotFittedError("MatrixFactorization.fit has not been called")
+        return {"item_factors": np.ascontiguousarray(self.item_factors)}
+
+    def slice_users(self, user_ids: Sequence[int] | np.ndarray) -> "MatrixFactorization":
+        if self.user_factors is None:
+            raise NotFittedError("MatrixFactorization.fit has not been called")
+        ids = np.asarray(user_ids, dtype=np.int64)
+        clone = copy.copy(self)
+        clone._dataset = self.dataset.slice_users(ids)
+        clone.user_factors = np.ascontiguousarray(self.user_factors[ids])
+        clone.item_factors = None  # attached from shared memory by the replica
+        return clone
+
+    def attach_shared_item_state(self, views: dict[str, np.ndarray]) -> None:
+        self.item_factors = views["item_factors"]
+
+    def user_state(self, user_id: int) -> np.ndarray:
+        return np.array(self.user_factors[int(user_id)])
+
+    def append_sliced_user(self, profile: Sequence[int], user_state) -> int:
+        local_id = self.dataset.add_user(profile)
+        self.user_factors = np.vstack([self.user_factors, user_state])
+        return local_id
 
     # -- mutation ---------------------------------------------------------------
     def add_user(self, profile: Sequence[int]) -> int:

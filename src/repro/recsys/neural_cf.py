@@ -20,6 +20,7 @@ attack targets GNN recommenders.
 
 from __future__ import annotations
 
+import copy
 from typing import Sequence
 
 import numpy as np
@@ -244,6 +245,52 @@ class NeuralCF(Recommender):
     def scores_for(self, user_id: int, item_ids: np.ndarray) -> np.ndarray:
         """Alias with the (user, items) signature the metric helpers expect."""
         return self.scores(user_id, item_ids)
+
+    # ------------------------------------------------------------- sliced replication
+    supports_slicing = True
+    shared_static_under_injection = True  # the fused tensor is parameter-only
+
+    def shared_item_state(self) -> dict[str, np.ndarray]:
+        """The fused first-layer tensor — the only item-side array the
+        batched serving path reads (``scores_batch`` never touches raw
+        item embeddings once the tensor exists)."""
+        if self._net is None:
+            raise NotFittedError("NeuralCF.fit has not been called")
+        return {"fused_w1": np.ascontiguousarray(self._fused_tensor())}
+
+    def slice_users(self, user_ids: Sequence[int] | np.ndarray) -> "NeuralCF":
+        if self._net is None or self._pooled is None:
+            raise NotFittedError("NeuralCF.fit has not been called")
+        ids = np.asarray(user_ids, dtype=np.int64)
+        clone = copy.copy(self)
+        clone._dataset = self.dataset.slice_users(ids)
+        clone._pooled = np.ascontiguousarray(self._pooled[ids])
+        # Ship the fusion head (w1/w2 are tiny) but not the item
+        # embedding table — replicas score through the shared fused
+        # tensor, so the table would be dead weight per shard.
+        q = self._net.item_emb.weight.data
+        self._net.item_emb.weight.data = np.empty((0, self.n_factors))
+        try:
+            clone._net = copy.deepcopy(self._net)
+        finally:
+            self._net.item_emb.weight.data = q
+        clone._optimizer = None
+        clone._fused_w1 = None  # attached from shared memory by the replica
+        clone.n_fused_builds = 0
+        return clone
+
+    def attach_shared_item_state(self, views: dict[str, np.ndarray]) -> None:
+        self._fused_w1 = views["fused_w1"]
+
+    def user_state(self, user_id: int) -> np.ndarray:
+        """The pooled profile row — a sliced replica has no item table to
+        recompute it from, so the owner ships the exact coordinator row."""
+        return np.array(self._pooled[int(user_id)])
+
+    def append_sliced_user(self, profile: Sequence[int], user_state) -> int:
+        local_id = self.dataset.add_user(profile)
+        self._pooled = np.vstack([self._pooled, user_state])
+        return local_id
 
     # ------------------------------------------------------------------ injection
     def add_user(self, profile: Sequence[int]) -> int:

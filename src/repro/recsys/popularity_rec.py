@@ -8,6 +8,7 @@ comes from exploiting the GNN structure versus raw count inflation.
 
 from __future__ import annotations
 
+import copy
 from typing import Sequence
 
 import numpy as np
@@ -49,6 +50,27 @@ class PopularityRecommender(Recommender):
             else self._counts[np.asarray(item_ids, dtype=np.int64)]
         )
         return np.tile(row, (len(user_ids), 1))
+
+    # -- sliced replication ------------------------------------------------------
+    supports_slicing = True
+    # Injections bump the shared counts, which must be republished.
+    shared_static_under_injection = False
+
+    def shared_item_state(self) -> dict[str, np.ndarray]:
+        if self._counts is None:
+            raise NotFittedError("PopularityRecommender.fit has not been called")
+        return {"counts": np.ascontiguousarray(self._counts)}
+
+    def slice_users(self, user_ids: Sequence[int] | np.ndarray) -> "PopularityRecommender":
+        if self._counts is None:
+            raise NotFittedError("PopularityRecommender.fit has not been called")
+        clone = copy.copy(self)
+        clone._dataset = self.dataset.slice_users(np.asarray(user_ids, dtype=np.int64))
+        clone._counts = None  # attached from shared memory by the replica
+        return clone
+
+    def attach_shared_item_state(self, views: dict[str, np.ndarray]) -> None:
+        self._counts = views["counts"]
 
     def add_user(self, profile: Sequence[int]) -> int:
         user_id = self.dataset.add_user(profile)

@@ -45,12 +45,17 @@ from repro.serving.engine import (
 from repro.serving.metrics import percentile_summary, summarize_latencies
 from repro.serving.profiling import STAGES, StageTimers, profile_callable
 from repro.serving.rate_limit import UNLIMITED, QuotaPolicy, RateLimiter
-from repro.serving.replica import ReplicationEvent
+from repro.serving.replica import InjectionRecord, ReplicationEvent
 from repro.serving.service import (
     RecommendationService,
     ServiceStats,
     ServingConfig,
     resolve_slice,
+)
+from repro.serving.shared_state import (
+    AttachedSharedState,
+    SharedItemStore,
+    SharedStateHandle,
 )
 from repro.serving.sharded import (
     ConsistentHashRouter,
@@ -107,6 +112,10 @@ __all__ = [
     "ProcessEngine",
     "AsyncEngine",
     "ReplicationEvent",
+    "InjectionRecord",
+    "SharedItemStore",
+    "SharedStateHandle",
+    "AttachedSharedState",
     "make_engine",
     "ENGINES",
     "ReadWriteLock",

@@ -70,18 +70,40 @@ class TopKCache:
         Staleness horizon measured in injections.  ``0`` means strict
         invalidation (flush on every injection); ``t > 0`` means an entry
         may be served until ``t`` injections after it was stored.
+    n_items:
+        Catalog size, when known.  With it set, :meth:`store` and
+        :meth:`store_batch` require ``len(items) == min(k, n_items)`` —
+        a caller storing a short list for key ``(user, k, …)`` would
+        poison every later hit on that key.  ``None`` (the default)
+        keeps the cache agnostic for callers without a catalog.
     """
 
-    def __init__(self, capacity: int = 4096, ttl_injections: int = 0) -> None:
+    def __init__(
+        self, capacity: int = 4096, ttl_injections: int = 0, n_items: int | None = None
+    ) -> None:
         if capacity <= 0:
             raise ConfigurationError("cache capacity must be positive")
         if ttl_injections < 0:
             raise ConfigurationError("ttl_injections must be non-negative")
+        if n_items is not None and n_items <= 0:
+            raise ConfigurationError("n_items must be positive when given")
         self.capacity = capacity
         self.ttl_injections = ttl_injections
+        self.n_items = n_items
         self.stats = CacheStats()
         self._version = 0  # bumped once per injection
         self._entries: OrderedDict[tuple[int, int, bool], tuple[np.ndarray, int]] = OrderedDict()
+
+    def _check_length(self, k: int, items: np.ndarray) -> None:
+        if self.n_items is None:
+            return
+        expected = min(k, self.n_items)
+        if len(items) != expected:
+            raise ConfigurationError(
+                f"refusing to cache a top-{k} list of length {len(items)} "
+                f"(expected {expected} for a {self.n_items}-item catalog): "
+                "a short list would poison every later hit on this key"
+            )
 
     @property
     def version(self) -> int:
@@ -114,7 +136,9 @@ class TopKCache:
         returned list must never silently corrupt later cache hits (hits
         raise on write attempts instead).
         """
-        key = (int(user_id), int(k), bool(exclude_seen))
+        k = int(k)
+        self._check_length(k, items)
+        key = (int(user_id), k, bool(exclude_seen))
         items = items.copy()
         items.setflags(write=False)
         self._entries[key] = (items, self._version)
@@ -186,6 +210,7 @@ class TopKCache:
         capacity = self.capacity
         evictions = 0
         for user_id, items in zip(user_ids, items_per_user):
+            self._check_length(k, items)
             items = items.copy()
             items.setflags(write=False)
             key = (int(user_id), k, exclude_seen)
@@ -205,10 +230,16 @@ class TopKCache:
             self._entries.clear()
 
     def flush(self) -> None:
-        """Drop every entry (used on snapshot restore)."""
+        """Drop every entry and reset the version (used on snapshot restore).
+
+        ``version`` promises "injections observed since construction/
+        flush"; resetting it here is safe because every entry is dropped
+        with it, so no surviving entry can be mis-aged by the rewind.
+        """
         if self._entries:
             self.stats.invalidations += len(self._entries)
             self._entries.clear()
+        self._version = 0
 
     def staleness(self, user_id: int, k: int, exclude_seen: bool = True) -> int | None:
         """Injections elapsed since the entry was stored.

@@ -44,6 +44,7 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError, StaleReplicaError
+from repro.serving import shared_state
 from repro.serving.cache import TopKCache
 from repro.serving.rate_limit import RateLimiter
 from repro.serving.service import ServiceStats, ServingConfig, resolve_slice
@@ -53,14 +54,37 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "ReplicationEvent",
+    "InjectionRecord",
     "SliceResult",
     "ReplicaAck",
     "resolve_slice",
     "install_replica",
+    "install_replica_sliced",
     "query_slice",
     "apply_event",
+    "resync_sliced",
     "probe_replica",
+    "probe_memory",
 ]
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """One injected user inside a batched replication event.
+
+    ``user_id`` is the *global* id the coordinator assigned;
+    ``owner_shard`` is the shard whose slice must append the user (every
+    other shard only advances its global user count and staleness
+    clock); ``user_state`` is the model's per-user payload
+    (:meth:`~repro.recsys.base.Recommender.user_state` — e.g. MF's
+    folded-in factor row) so the owner appends the coordinator's exact
+    state instead of recomputing it without the item tables.
+    """
+
+    user_id: int
+    profile: tuple[int, ...]
+    owner_shard: int
+    user_state: object = None
 
 
 @dataclass(frozen=True)
@@ -69,10 +93,13 @@ class ReplicationEvent:
 
     ``kind`` is ``"inject"`` (a profile landed: ``user_id``/``profile``
     are set, ``prewarm`` carries the coordinator's freshly rebuilt lazy
-    scoring caches) or ``"resync"`` (an episode restore: ``model_blob``
-    is the pickled rolled-back model that replaces each replica
-    wholesale).  ``epoch`` is the model version the event produces; a
-    replica must be at exactly ``epoch - 1`` to apply an ``inject`` and
+    scoring caches), ``"inject_batch"`` (``records`` carries one
+    :class:`InjectionRecord` per landed profile — a whole burst crosses
+    the process boundary in one round trip), or ``"resync"`` (an episode
+    restore: ``model_blob`` is the pickled rolled-back model that
+    replaces each replica wholesale).  ``epoch`` is the model version
+    the event produces; a replica must be at exactly ``epoch - 1`` to
+    apply an ``inject`` (``epoch - len(records)`` for a batch) and
     acknowledges ``epoch`` once applied.
     """
 
@@ -82,6 +109,7 @@ class ReplicationEvent:
     profile: tuple[int, ...] | None = None
     prewarm: object = None
     model_blob: bytes | None = None
+    records: tuple[InjectionRecord, ...] | None = None
 
 
 @dataclass(frozen=True)
@@ -133,6 +161,39 @@ class ReplicaAck:
 # replica protocol module.
 
 
+class _GlobalView:
+    """Global-user-id facade over a sliced model.
+
+    A sliced replica's dataset and per-user arrays are renumbered to
+    local ids ``0..m-1``; query slices arrive addressed by global id.
+    :func:`~repro.serving.service.resolve_slice` only ever calls
+    ``top_k_batch`` on the model it is given, so this thin wrapper —
+    translate global → local, delegate — is the complete serving
+    surface.  Cache keys stay *global* (the wrapper sits between the
+    cache and the model), so hit/miss/LRU behaviour is identical to full
+    replication by construction.
+    """
+
+    def __init__(self, model: "Recommender", global_to_local: dict[int, int]) -> None:
+        self._model = model
+        self._global_to_local = global_to_local
+
+    def top_k_batch(
+        self, user_ids: Sequence[int] | np.ndarray, k: int, exclude_seen: bool = True
+    ) -> list[np.ndarray]:
+        mapping = self._global_to_local
+        users = np.asarray(user_ids, dtype=np.int64)
+        try:
+            local = np.fromiter(
+                (mapping[int(u)] for u in users), dtype=np.int64, count=users.size
+            )
+        except KeyError as exc:
+            raise StaleReplicaError(
+                f"user {exc.args[0]} is not in this shard's slice"
+            ) from None
+        return self._model.top_k_batch(local, k, exclude_seen=exclude_seen)
+
+
 class _ReplicaState:
     """Everything one worker process holds for its shard."""
 
@@ -151,7 +212,11 @@ class _ReplicaState:
         self.shard_latency_s = shard_latency_s
         self.seq = 0  # state-change counter; see CacheSnapshot.seq
         self.cache = (
-            TopKCache(capacity=config.cache_capacity, ttl_injections=config.ttl_injections)
+            TopKCache(
+                capacity=config.cache_capacity,
+                ttl_injections=config.ttl_injections,
+                n_items=model.dataset.n_items,
+            )
             if config.cache_capacity > 0
             else None
         )
@@ -164,6 +229,40 @@ class _ReplicaState:
             per_client=dict(config.client_policies),
         )
         self.stats = ServiceStats()
+        # Sliced-mode state (see install_replica_sliced): the model above
+        # holds only this shard's user slice, addressed through a
+        # global→local id map; the item side is attached shared memory.
+        self.mode = "full"
+        self.serving_model: object = model  # what resolve_slice scores with
+        self.global_to_local: dict[int, int] | None = None
+        self.n_users_global: int | None = None
+        self.attached: shared_state.AttachedSharedState | None = None
+
+    def model_n_users(self) -> int:
+        """Global user count (what acks/results/probes report).
+
+        A sliced replica's own dataset holds only its shard's users; the
+        coordinator's epoch verification compares against the *global*
+        count, which the replica mirrors through install/inject/resync.
+        """
+        if self.mode == "sliced":
+            return int(self.n_users_global)
+        return self.model.dataset.n_users
+
+    def enter_sliced(
+        self,
+        model: "Recommender",
+        user_ids: np.ndarray,
+        n_users_global: int,
+    ) -> None:
+        """Point serving state at a (new) user slice."""
+        self.mode = "sliced"
+        self.model = model
+        self.global_to_local = {
+            int(user_id): local for local, user_id in enumerate(np.asarray(user_ids))
+        }
+        self.serving_model = _GlobalView(model, self.global_to_local)
+        self.n_users_global = int(n_users_global)
 
     def cache_snapshot(self) -> CacheSnapshot | None:
         if self.cache is None:
@@ -183,7 +282,7 @@ class _ReplicaState:
         return ReplicaAck(
             shard_index=self.shard_index,
             epoch=self.epoch,
-            model_n_users=self.model.dataset.n_users,
+            model_n_users=self.model_n_users(),
             cache=self.cache_snapshot(),
         )
 
@@ -222,6 +321,40 @@ def install_replica(
     return _REPLICA.ack()
 
 
+def install_replica_sliced(
+    shard_index: int,
+    slice_blob: bytes,
+    user_ids: np.ndarray,
+    handle: shared_state.SharedStateHandle,
+    config: ServingConfig,
+    epoch: int,
+    shard_latency_s: float,
+    n_users_global: int,
+) -> ReplicaAck:
+    """Install a *sliced* replica: this shard's user slice + shared items.
+
+    ``slice_blob`` pickles only the shard's per-user state (user rows,
+    profiles) — catalog-sized arrays arrive by mapping the coordinator's
+    shared-memory segments named in ``handle``, so install payload and
+    per-worker RSS stay proportional to the shard's user count, not the
+    catalog.
+    """
+    global _REPLICA
+    model = pickle.loads(slice_blob)
+    state = _ReplicaState(
+        shard_index=shard_index,
+        model=model,
+        config=config,
+        epoch=epoch,
+        shard_latency_s=shard_latency_s,
+    )
+    state.attached = shared_state.attach(handle)
+    model.attach_shared_item_state(state.attached.views)
+    state.enter_sliced(model, np.asarray(user_ids, dtype=np.int64), n_users_global)
+    _REPLICA = state
+    return state.ack()
+
+
 def query_slice(
     expected_epoch: int,
     users: Sequence[int] | np.ndarray,
@@ -244,7 +377,9 @@ def query_slice(
     if state.shard_latency_s > 0.0:
         time.sleep(state.shard_latency_s)
     t0 = time.perf_counter()
-    n_scored, results = resolve_slice(state.model, state.cache, users, k, exclude_seen, use_cache)
+    n_scored, results = resolve_slice(
+        state.serving_model, state.cache, users, k, exclude_seen, use_cache
+    )
     elapsed = time.perf_counter() - t0
     state.stats.record_request(len(users), n_scored, elapsed)
     state.seq += 1
@@ -253,9 +388,54 @@ def query_slice(
         results=results,
         elapsed=elapsed,
         epoch=state.epoch,
-        model_n_users=state.model.dataset.n_users,
+        model_n_users=state.model_n_users(),
         cache=state.cache_snapshot(),
     )
+
+
+def _apply_inject_batch(state: _ReplicaState, event: ReplicationEvent) -> None:
+    """Apply a coalesced injection burst: one event, N users, one ack.
+
+    A sliced replica appends only the users its shard owns (installing
+    the coordinator's shipped per-user state) and advances the global
+    user count and staleness clock for every record; a full replica
+    replays every ``add_user`` then installs the post-burst pre-warm
+    payload once.
+    """
+    records = event.records if event.records is not None else ()
+    if event.epoch != state.epoch + len(records):
+        raise StaleReplicaError(
+            f"shard {state.shard_index} replica at epoch {state.epoch} received "
+            f"out-of-order injection batch ending at epoch {event.epoch} "
+            f"({len(records)} records)"
+        )
+    if state.mode == "sliced":
+        for record in records:
+            if record.user_id != state.n_users_global:
+                raise StaleReplicaError(
+                    f"shard {state.shard_index} replica expected user id "
+                    f"{state.n_users_global} next, coordinator recorded {record.user_id}"
+                )
+            if record.owner_shard == state.shard_index:
+                local_id = state.model.append_sliced_user(
+                    list(record.profile), record.user_state
+                )
+                state.global_to_local[record.user_id] = local_id
+            state.n_users_global += 1
+            if state.cache is not None:
+                state.cache.note_injection()
+    else:
+        for record in records:
+            user_id = state.model.add_user(list(record.profile))
+            if user_id != record.user_id:
+                raise StaleReplicaError(
+                    f"shard {state.shard_index} replica assigned user id {user_id} "
+                    f"to an injection the coordinator recorded as {record.user_id}"
+                )
+            if state.cache is not None:
+                state.cache.note_injection()
+        state.model.apply_prewarm(event.prewarm)
+    state.epoch = event.epoch
 
 
 def apply_event(event: ReplicationEvent) -> ReplicaAck:
@@ -277,12 +457,16 @@ def apply_event(event: ReplicationEvent) -> ReplicaAck:
         if state.cache is not None:
             state.cache.note_injection()
         state.epoch = event.epoch
+    elif event.kind == "inject_batch":
+        _apply_inject_batch(state, event)
     elif event.kind == "resync":
         state.model = pickle.loads(event.model_blob)
+        state.mode = "full"
+        state.serving_model = state.model
         if state.cache is not None:
-            # Entries and counters clear; the monotonic staleness clock
-            # keeps ticking, matching the coordinator-side shard reset
-            # (TTL freshness is relative, so only entries must go).
+            # Entries clear and the version counter rewinds with them
+            # (flush defines version as injections since construction/
+            # flush), matching the coordinator-side shard reset.
             state.cache.flush()
             state.cache.stats.reset()
         state.limiter.reset()
@@ -294,14 +478,74 @@ def apply_event(event: ReplicationEvent) -> ReplicaAck:
     return state.ack()
 
 
+def resync_sliced(
+    epoch: int,
+    slice_blob: bytes,
+    user_ids: np.ndarray,
+    n_users_global: int,
+) -> ReplicaAck:
+    """Episode restore for a sliced replica: swap in the rolled-back slice.
+
+    The worker keeps its shared-memory attachments — the coordinator
+    republished the rolled-back item state into the *same* segments
+    before this call — so the resync payload is one user slice,
+    independent of catalog size.
+    """
+    state = _require_replica()
+    if state.attached is None:
+        raise ConfigurationError("resync_sliced requires a sliced replica")
+    model = pickle.loads(slice_blob)
+    model.attach_shared_item_state(state.attached.views)
+    state.enter_sliced(model, np.asarray(user_ids, dtype=np.int64), n_users_global)
+    if state.cache is not None:
+        state.cache.flush()
+        state.cache.stats.reset()
+    state.limiter.reset()
+    state.stats.reset()
+    state.epoch = epoch
+    state.seq += 1
+    return state.ack()
+
+
 def probe_replica() -> dict:
-    """Diagnostic view of the replica (epoch checks, pre-warm accounting)."""
+    """Diagnostic view of the replica (epoch checks, pre-warm accounting).
+
+    ``n_users`` is the *global* count in sliced mode — the value every
+    coordinator-side consistency check compares against.
+    """
     state = _require_replica()
     return {
         "shard": state.shard_index,
         "epoch": state.epoch,
-        "n_users": state.model.dataset.n_users,
+        "n_users": state.model_n_users(),
         "n_requests": state.stats.n_requests,
         "cache_entries": len(state.cache) if state.cache is not None else 0,
         "prewarm": state.model.prewarm_stats(),
     }
+
+
+def probe_memory() -> dict:
+    """This worker process's resident set size plus replica shape facts.
+
+    Reads ``/proc/self/status`` (Linux; the memory bench's platform)
+    rather than pulling in a profiler dependency.  Runs with or without
+    an installed replica so the bench can also sample baseline worker
+    RSS.
+    """
+    rss_kb = None
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    rss_kb = int(line.split()[1])
+                    break
+    except OSError:  # pragma: no cover - non-Linux fallback
+        pass
+    state = _REPLICA
+    out: dict = {"rss_kb": rss_kb}
+    if state is not None:
+        out["shard"] = state.shard_index
+        out["mode"] = state.mode
+        out["n_local_users"] = state.model.dataset.n_users
+        out["n_users"] = state.model_n_users()
+    return out

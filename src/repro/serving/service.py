@@ -72,6 +72,14 @@ class ServingConfig:
     # replication events — parallel compute past the GIL).  The single
     # service has no shards and ignores this field.
     engine: str = "serial"
+    # How process-engine replicas hold model state: "sliced" partitions
+    # per-user state by shard and shares the item side through
+    # multiprocessing.shared_memory (per-shard memory sublinear in user
+    # count; resync ships one user slice, not a full pickle), "full"
+    # replicates the whole model per shard (the pre-slicing behaviour).
+    # Models that do not support slicing fall back to full replication;
+    # in-memory engines share one model and ignore this field.
+    replication: str = "sliced"
 
     def __post_init__(self) -> None:
         if self.cache_capacity < 0:
@@ -82,6 +90,8 @@ class ServingConfig:
             raise ConfigurationError(f"detector_mode must be one of {_DETECTOR_MODES}")
         if self.engine not in ENGINES:
             raise ConfigurationError(f"engine must be one of {ENGINES}")
+        if self.replication not in ("sliced", "full"):
+            raise ConfigurationError("replication must be one of ('sliced', 'full')")
 
 
 @dataclass
@@ -306,7 +316,9 @@ class RecommendationService:
         if self.config.cache_capacity <= 0:
             return None
         return TopKCache(
-            capacity=self.config.cache_capacity, ttl_injections=self.config.ttl_injections
+            capacity=self.config.cache_capacity,
+            ttl_injections=self.config.ttl_injections,
+            n_items=self._model.dataset.n_items,
         )
 
     # -- public surface -------------------------------------------------------
@@ -363,21 +375,46 @@ class RecommendationService:
         except RateLimitExceededError:
             self.stats.record_rate_limited()
             raise
-        self._screen_profile(profile)
+        flagged_score = self._screen_profile(profile)
         user_id = self._model.add_user(profile)
+        if flagged_score is not None:
+            # Record the *assigned* id, after add_user has run.  Screening
+            # happens before the id exists, so predicting it from
+            # dataset.n_users inside _screen_profile was correct only by
+            # coincidence of call order.
+            self.flagged_injections.append((user_id, flagged_score))
         self.stats.n_injections += 1
         self._invalidate_after_injection(user_id)
         return user_id
+
+    def inject_batch(self, profiles: Sequence[Sequence[int]], client: str = "default") -> list[int]:
+        """Register several profiles; each is admitted and screened in turn.
+
+        The base implementation is a convenience loop.  The sharded
+        process deployment overrides it to coalesce the whole burst into
+        one batched replication event per shard round trip.  On a
+        mid-batch denial (quota or detector block) the profiles admitted
+        before the failure stay injected and the error propagates —
+        matching what the equivalent :meth:`inject` loop would leave
+        behind.
+        """
+        return [self.inject(profile, client) for profile in profiles]
 
     # -- injection pipeline hooks (overridden by the sharded deployment) ------
     def _admit_injection(self, client: str) -> None:
         """Route the injection admission to the client's quota state."""
         self.limiter.admit_injection(client)
 
-    def _screen_profile(self, profile: Sequence[int]) -> None:
-        """Optional online-detector screening at the injection boundary."""
+    def _screen_profile(self, profile: Sequence[int]) -> float | None:
+        """Optional online-detector screening at the injection boundary.
+
+        Returns the detector score when the profile is flagged (caller
+        records it against the id ``add_user`` actually assigns), None
+        when screening is off or the profile passes; raises when the
+        detector blocks.
+        """
         if self.config.detector_mode == "off":
-            return
+            return None
         score = float(self.detector.score(tuple(int(v) for v in profile)))
         if score > self.detector.threshold:
             self.stats.n_flagged_injections += 1
@@ -387,7 +424,8 @@ class RecommendationService:
                     f"profile rejected by online detector (score {score:.3f} "
                     f"> threshold {self.detector.threshold:.3f})"
                 )
-            self.flagged_injections.append((self._model.dataset.n_users, score))
+            return score
+        return None
 
     def _invalidate_after_injection(self, user_id: int) -> None:
         """Tell caching state that the model shifted under it."""

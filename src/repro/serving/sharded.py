@@ -106,10 +106,11 @@ import numpy as np
 
 from repro.errors import ConfigurationError, RateLimitExceededError, StaleReplicaError
 from repro.serving import replica as replica_proto
+from repro.serving import shared_state
 from repro.serving.cache import CacheStats, TopKCache
 from repro.serving.engine import ExecutionEngine, ReadWriteLock, make_engine
 from repro.serving.rate_limit import UNLIMITED, RateLimiter
-from repro.serving.replica import CacheSnapshot, ReplicationEvent
+from repro.serving.replica import CacheSnapshot, InjectionRecord, ReplicationEvent
 from repro.serving.service import RecommendationService, ServiceStats, ServingConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -328,12 +329,18 @@ class InvalidationBus:
     def publish(self, event: ReplicationEvent) -> None:
         if event.kind == "inject":
             self.events.append(int(event.user_id))
+        elif event.kind == "inject_batch":
+            self.events.extend(
+                int(record.user_id) for record in (event.records or ())
+            )
         else:
             self.n_resyncs += 1
         for callback in self._subscribers:
             callback(event)
             if event.kind == "inject":
                 self.n_deliveries += 1
+            elif event.kind == "inject_batch":
+                self.n_deliveries += len(event.records or ())
 
     def reset(self) -> None:
         """Forget delivered history (episode boundary; subscriptions persist).
@@ -368,6 +375,7 @@ class _WorkerShard:
         config: ServingConfig,
         per_client_policies: dict,
         limiter_kwargs: dict,
+        n_items: int | None = None,
     ) -> None:
         self.index = index
         self.lock = Lock()
@@ -375,7 +383,11 @@ class _WorkerShard:
         self.n_replica_entries = 0  # replica cache size (remote mirrors only)
         self._snapshot_seq = -1  # newest replica snapshot folded in so far
         self.cache = (
-            TopKCache(capacity=config.cache_capacity, ttl_injections=config.ttl_injections)
+            TopKCache(
+                capacity=config.cache_capacity,
+                ttl_injections=config.ttl_injections,
+                n_items=n_items,
+            )
             if config.cache_capacity > 0
             else None
         )
@@ -534,10 +546,21 @@ class ShardedRecommendationService(RecommendationService):
         )
         # Anything failing past this point (shard/engine mismatch, an
         # unpicklable model surfacing during replica installation) would
-        # leak live worker pools: the caller never receives a service
-        # handle to close, so release the engine before re-raising.
+        # leak live worker pools — and, in sliced mode, shared-memory
+        # segments: the caller never receives a service handle to close,
+        # so release both before re-raising.
+        self._shared_store: shared_state.SharedItemStore | None = None
         try:
             self._remote = not self._engine.shares_memory
+            # Sliced replication: partition per-user state by shard and
+            # share the item side through shared memory.  Only meaningful
+            # when shards live in other processes; models without a
+            # slicing implementation fall back to full replication.
+            self._sliced = (
+                self._remote
+                and self.config.replication == "sliced"
+                and model.supports_slicing
+            )
             if self._remote and getattr(self._engine, "n_workers", n_shards) != n_shards:
                 raise ConfigurationError(
                     f"process engine holds {self._engine.n_workers} shard replicas, "
@@ -554,8 +577,9 @@ class ShardedRecommendationService(RecommendationService):
             per_client = dict(self.config.client_policies)
             per_client.setdefault("evaluator", UNLIMITED)
             self.bus = InvalidationBus()
+            n_items = model.dataset.n_items
             self.shards = [
-                _WorkerShard(i, self.config, per_client, limiter_kwargs)
+                _WorkerShard(i, self.config, per_client, limiter_kwargs, n_items=n_items)
                 for i in range(n_shards)
             ]
             for shard in self.shards:
@@ -565,6 +589,8 @@ class ShardedRecommendationService(RecommendationService):
                 self._install_replicas()
         except Exception:
             self._engine.close()
+            if self._shared_store is not None:
+                self._shared_store.close()
             raise
 
     def _make_cache(self):
@@ -582,21 +608,32 @@ class ShardedRecommendationService(RecommendationService):
         return self._epoch
 
     def close(self) -> None:
-        """Release engine workers (idempotent; serial engines are free)."""
+        """Release engine workers and shared segments (idempotent)."""
         self._engine.close()
+        if self._shared_store is not None:
+            self._shared_store.close()
 
     # -- replication (process engine) -----------------------------------------
     def _install_replicas(self) -> None:
         """Serialize each shard's state into its worker at pool start.
 
-        The model is pickled once and shipped to every worker together
-        with the serving config (from which the worker rebuilds its
-        cache, limiter, and stats) — the shard state leaves the
+        Full mode: the model is pickled once and shipped to every worker
+        together with the serving config (from which the worker rebuilds
+        its cache, limiter, and stats) — the shard state leaves the
         coordinator's address space here and is only ever touched through
         replication messages afterwards.  Lazy scoring caches are
         pre-warmed *before* serialization so the blob ships warm: no
         worker ever pays a cold rebuild on its first slice.
+
+        Sliced mode (``config.replication == "sliced"`` and the model
+        supports it): the item side is published once into shared-memory
+        segments and each worker receives only its shard's user slice
+        plus the segment handle — per-worker install payload and RSS are
+        proportional to the shard's user count, not N full models.
         """
+        if self._sliced:
+            self._install_replicas_sliced()
+            return
         self._model.prewarm()
         blob = pickle.dumps(self._model)
         futures = [
@@ -614,6 +651,36 @@ class ShardedRecommendationService(RecommendationService):
         for shard, ack in zip(self.shards, self._engine.gather(futures)):
             self._verify_replica(ack.epoch, ack.model_n_users, shard.index)
 
+    def _shard_user_ids(self) -> list[np.ndarray]:
+        """Partition every current user id by owning shard (router-driven)."""
+        users = np.arange(self._model.dataset.n_users, dtype=np.int64)
+        if self.n_shards == 1 or users.size == 0:
+            return [users] + [users[:0]] * (self.n_shards - 1)
+        shards = self.router.shards_for_users(users)
+        return [users[shards == index] for index in range(self.n_shards)]
+
+    def _install_replicas_sliced(self) -> None:
+        self._shared_store = shared_state.SharedItemStore(self._model.shared_item_state())
+        handle = self._shared_store.handle()
+        n_users_global = self._model.dataset.n_users
+        futures = [
+            self._engine.submit_to(
+                shard.index,
+                replica_proto.install_replica_sliced,
+                shard.index,
+                pickle.dumps(self._model.slice_users(user_ids)),
+                user_ids,
+                handle,
+                self.config,
+                self._epoch,
+                self.shard_latency_s,
+                n_users_global,
+            )
+            for shard, user_ids in zip(self.shards, self._shard_user_ids())
+        ]
+        for shard, ack in zip(self.shards, self._engine.gather(futures)):
+            self._verify_replica(ack.epoch, ack.model_n_users, shard.index)
+
     def _verify_replica(self, epoch: int, model_n_users: int, shard_index: int) -> None:
         """Cross-check a replica's reported version against the coordinator."""
         if epoch != self._epoch or model_n_users != self._model.dataset.n_users:
@@ -627,6 +694,9 @@ class ShardedRecommendationService(RecommendationService):
         """Bus subscriber: advance one mirror's staleness clock."""
         if event.kind == "inject":
             shard.note_injection()
+        elif event.kind == "inject_batch":
+            for _ in event.records or ():
+                shard.note_injection()
 
     def _replicate(self, event: ReplicationEvent) -> None:
         """Broadcast one state change: bus first, then all workers at once.
@@ -914,6 +984,45 @@ class ShardedRecommendationService(RecommendationService):
         with self._model_lock.write():
             return super().inject(profile, client=client)
 
+    def inject_batch(self, profiles: Sequence[Sequence[int]], client: str = "default") -> list[int]:
+        """Register a burst of profiles with one replication round trip.
+
+        Under sliced replication the whole burst is admitted, screened,
+        and folded into the coordinator's model under a single write-lock
+        hold, then crosses the process boundary as **one**
+        ``inject_batch`` event per shard instead of one event per
+        profile.  A mid-batch denial (quota or detector block) still
+        replicates the successfully admitted prefix — the coordinator's
+        model already holds those users — before the error propagates.
+
+        Full-replication deployments fall back to the per-profile loop
+        (each injection replicates its own pre-warm payload, which the
+        batched event cannot coalesce without changing lockstep
+        semantics).
+        """
+        if not self._sliced:
+            return super().inject_batch(profiles, client=client)
+        with self._model_lock.write():
+            assigned: list[int] = []
+            try:
+                for profile in profiles:
+                    try:
+                        self._admit_injection(client)
+                    except RateLimitExceededError:
+                        self.stats.record_rate_limited()
+                        raise
+                    flagged_score = self._screen_profile(profile)
+                    user_id = self._model.add_user(profile)
+                    if flagged_score is not None:
+                        self.flagged_injections.append((user_id, flagged_score))
+                    self.stats.n_injections += 1
+                    self._epoch += 1
+                    assigned.append(int(user_id))
+            finally:
+                if assigned:
+                    self._replicate_injections(assigned)
+            return assigned
+
     def _admit_injection(self, client: str) -> None:
         self._limiter_for_client(client).admit_injection(client)
 
@@ -930,8 +1039,16 @@ class ShardedRecommendationService(RecommendationService):
         stays lazy (the historical cost profile: an injection burst with
         no interleaved query pays one rebuild at the next query, not
         one per injection).
+
+        Sliced replication replaces the pre-warm shipment entirely: the
+        coordinator republishes dirty shared item state in place (one
+        shared copy, no per-shard payload) and replicates a one-record
+        batch event carrying only the profile and per-user state.
         """
         self._epoch += 1
+        if self._sliced:
+            self._replicate_injections([int(user_id)])
+            return
         prewarm = None
         if self._engine.concurrent:
             state = self._model.prewarm()
@@ -946,6 +1063,31 @@ class ShardedRecommendationService(RecommendationService):
                 profile=profile,
                 prewarm=prewarm,
             )
+        )
+
+    def _replicate_injections(self, user_ids: list[int]) -> None:
+        """Sliced-mode replication of one injection burst (epoch already bumped).
+
+        Dirty shared state (ItemKNN's similarity matrix, popularity
+        counts) is rebuilt once by the coordinator and republished into
+        the live segments — safe because the write lock has drained
+        every reader — then a single batched event fans out.
+        """
+        if not self._model.shared_static_under_injection:
+            self._shared_store.publish(self._model.shared_item_state())
+        records = tuple(
+            InjectionRecord(
+                user_id=user_id,
+                profile=tuple(
+                    int(v) for v in self._model.dataset.user_profile(user_id)
+                ),
+                owner_shard=int(self.router.shard_for_user(user_id)),
+                user_state=self._model.user_state(user_id),
+            )
+            for user_id in user_ids
+        )
+        self._replicate(
+            ReplicationEvent(kind="inject_batch", epoch=self._epoch, records=records)
         )
 
     # -- episode management ---------------------------------------------------
@@ -984,7 +1126,9 @@ class ShardedRecommendationService(RecommendationService):
             for shard in self.shards:
                 shard.reset()
             self._epoch += 1
-            if self._remote:
+            if self._sliced:
+                self._resync_sliced()
+            elif self._remote:
                 # Ship the rolled-back model warm (the rollback dropped
                 # its lazy caches), so no replica pays a cold rebuild.
                 self._model.prewarm()
@@ -996,6 +1140,35 @@ class ShardedRecommendationService(RecommendationService):
                     )
                 )
             self.bus.reset()
+
+    def _resync_sliced(self) -> None:
+        """Sliced-mode episode resync: republish items, reship user slices.
+
+        *All* shared item state is republished (not just injection-dirty
+        arrays): the rollback replaced model arrays wholesale and
+        invalidated parameter-derived caches (NeuralCF's fused tensor),
+        so the segments must be rebuilt from the restored model.  Each
+        worker then receives only its shard's rolled-back user slice —
+        the resync payload is independent of catalog size, unlike the
+        full-mode whole-model pickle.
+        """
+        self._shared_store.publish(self._model.shared_item_state())
+        self.bus.publish(ReplicationEvent(kind="resync", epoch=self._epoch))
+        n_users_global = self._model.dataset.n_users
+        futures = [
+            self._engine.submit_to(
+                shard.index,
+                replica_proto.resync_sliced,
+                self._epoch,
+                pickle.dumps(self._model.slice_users(user_ids)),
+                user_ids,
+                n_users_global,
+            )
+            for shard, user_ids in zip(self.shards, self._shard_user_ids())
+        ]
+        for shard, ack in zip(self.shards, self._engine.gather(futures)):
+            self._verify_replica(ack.epoch, ack.model_n_users, shard.index)
+            shard.apply_snapshot(ack.cache)
 
     # -- reporting -------------------------------------------------------------
     def cache_stats(self) -> CacheStats | None:

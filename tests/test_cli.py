@@ -225,3 +225,50 @@ class TestLatencySubcommand:
         assert point["offered_users_per_s"] == 4000.0
         assert {"p50_ms", "p95_ms", "p99_ms"} <= set(point["latency"])
         assert result["engines"]["async"]["peak"]["users_per_s"] > 0
+
+
+class TestMemorySubcommand:
+    def test_memory_defaults(self):
+        args = build_parser().parse_args(["memory"])
+        assert args.command == "memory"
+        assert args.users == 1_000_000
+        assert args.items == 100_000
+        assert args.shards == 7
+        assert args.factors == 16
+        assert args.scales == [0.25, 0.5, 1.0]
+        assert args.json is None
+
+    def test_memory_rejects_nonpositive_users(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--config", "small", "memory", "--users", "0"])
+
+    def test_memory_rejects_out_of_range_scales(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--config", "small", "memory", "--scales", "0.5", "1.5"])
+        with pytest.raises(SystemExit):
+            main(["--config", "small", "memory", "--scales", "0"])
+
+    def test_memory_runs_and_writes_json(self, capsys, tmp_path):
+        path = tmp_path / "BENCH_memory.json"
+        code = main([
+            "--quiet",
+            "memory", "--users", "400", "--items", "120", "--shards", "2",
+            "--scales", "0.5", "1.0", "--json", str(path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "max RSS MiB" in out
+        assert "sublinear" in out
+        assert "segments after close: clean" in out
+        result = json.loads(path.read_text())
+        assert result["config"]["n_shards"] == 2
+        assert [entry["scale"] for entry in result["sliced"]] == [0.5, 1.0]
+        assert result["full_baseline"]["replication"] == "full"
+        assert result["sublinearity"]["sublinear"]
+        assert result["resync_payload"]["catalog_independent"]
+        assert result["segments"]["clean"]
+        # The sliced install payload ships one shard's user rows, not the
+        # whole model: it must be well under the full-replication pickle.
+        sliced_payload = result["sliced"][-1]["install_payload_bytes_shard0"]
+        full_payload = result["full_baseline"]["install_payload_bytes_shard0"]
+        assert sliced_payload < full_payload

@@ -52,6 +52,44 @@ class TestTopKCacheUnit:
         cache.note_injection()
         assert cache.lookup(0, 5, True) is None  # past horizon
 
+    def test_flush_resets_version(self):
+        """``version`` promises injections since construction/flush, so a
+        flush must rewind it — a restored service's cache would otherwise
+        report phantom injections from the rolled-back episode."""
+        cache = TopKCache(capacity=8)
+        cache.store(0, 5, True, np.array([1]))
+        cache.note_injection()
+        cache.note_injection()
+        assert cache.version == 2
+        cache.flush()
+        assert cache.version == 0
+        assert len(cache) == 0
+        # The rewound clock cannot mis-age anything: a fresh store is
+        # served and ages from zero.
+        cache.store(0, 5, True, np.array([2]))
+        assert cache.staleness(0, 5, True) == 0
+
+    def test_store_validates_length_against_catalog(self):
+        cache = TopKCache(capacity=8, n_items=10)
+        cache.store(0, 5, True, np.arange(5))  # min(k, n_items) = 5
+        cache.store(1, 20, True, np.arange(10))  # k beyond catalog: full ranking
+        with pytest.raises(ConfigurationError, match="refusing to cache"):
+            cache.store(2, 5, True, np.arange(3))  # truncated list
+        with pytest.raises(ConfigurationError, match="refusing to cache"):
+            cache.store_batch([3], 5, True, [np.arange(6)])  # overlong list
+        # Failed stores must not have landed.
+        assert cache.lookup(2, 5, True) is None
+        assert cache.lookup(3, 5, True) is None
+        with pytest.raises(ConfigurationError):
+            TopKCache(capacity=8, n_items=0)
+
+    def test_store_without_catalog_size_skips_validation(self):
+        """``n_items=None`` keeps the cache agnostic for callers without
+        a catalog (the historical constructor signature)."""
+        cache = TopKCache(capacity=8)
+        cache.store(0, 5, True, np.array([3, 1, 2]))
+        assert list(cache.lookup(0, 5, True)) == [3, 1, 2]
+
     def test_keys_distinguish_k_and_exclude_seen(self):
         cache = TopKCache(capacity=8)
         cache.store(0, 5, True, np.array([1]))

@@ -254,13 +254,16 @@ class TestReplicationStaleness:
             _model(), n_shards=2, engine="process"
         ) as service:
             engine = service._engine
+            # Probe the shard that owns user 0 (under sliced replication
+            # only the owning shard's replica holds the user's slice).
+            shard = service.shard_of(0)
             # A coordinator that believes it is ahead of (or behind) the
             # replica must get a refusal, not a stale list.
             for bad_epoch in (service.epoch + 1, service.epoch + 5):
                 with pytest.raises(StaleReplicaError, match="epoch"):
-                    engine.call(0, replica_proto.query_slice, bad_epoch, [0], 3, True, True)
+                    engine.call(shard, replica_proto.query_slice, bad_epoch, [0], 3, True, True)
             # The replica itself is undamaged: the correct epoch still serves.
-            result = engine.call(0, replica_proto.query_slice, service.epoch, [0], 3, True, True)
+            result = engine.call(shard, replica_proto.query_slice, service.epoch, [0], 3, True, True)
             assert result.epoch == service.epoch
 
     def test_out_of_order_replication_raises(self):

@@ -107,8 +107,16 @@ def _observable_state(service) -> dict:
             service.limiter.n_denied_injections,
         ),
     }
+    if service.cache is not None:
+        # The staleness clock itself is observable (TTL-mode reports read
+        # it); a restore must rewind it with the entries it stamps.
+        state["cache_version"] = service.cache.version
     if isinstance(service, ShardedRecommendationService):
         state["shards"] = service.shard_summaries()
+        state["shard_cache_versions"] = [
+            None if shard.cache is None else shard.cache.version
+            for shard in service.shards
+        ]
         state["shard_denials"] = [
             (shard.limiter.n_denied_queries, shard.limiter.n_denied_injections)
             for shard in service.shards

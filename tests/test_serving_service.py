@@ -153,6 +153,24 @@ class TestRateLimiting:
         now[0] = 1.5  # first window expired
         limiter.admit_query("c", 1)
 
+    def test_window_expiry_boundary_is_inclusive(self):
+        """An event ages out at *exactly* one window: the expiry test is
+        ``now - events[0] >= window``, so an admission attempted exactly
+        ``window_seconds`` after a blocking event succeeds, while one an
+        epsilon earlier is still denied (pinned with a fake clock)."""
+        now = [0.0]
+        limiter = RateLimiter(
+            QuotaPolicy(max_queries_per_window=1, window_seconds=1.0),
+            clock=lambda: now[0],
+        )
+        limiter.admit_query("c", 1)  # t=0.0 fills the window
+        now[0] = 1.0 - 1e-9
+        with pytest.raises(RateLimitExceededError):
+            limiter.admit_query("c", 1)  # strictly inside: denied
+        now[0] = 1.0
+        limiter.admit_query("c", 1)  # exactly at the boundary: expired
+        assert limiter.n_denied_queries == 1
+
     def test_cohort_size_cap(self):
         service, _ = _service(
             ServingConfig(default_policy=QuotaPolicy(max_users_per_query=2))
@@ -214,6 +232,26 @@ class TestDetectorHook:
         user_id = service.inject(outlier)
         assert service.n_users == 7
         assert service.flagged_injections and service.flagged_injections[0][0] == user_id
+
+    def test_flagged_record_carries_the_assigned_id(self):
+        """Regression: the flagged record must hold the id ``add_user``
+        actually assigned — not a user count read on the other side of
+        the add — so repeated flagged injections stay aligned with the
+        ids the caller received."""
+        service, detector = self._detector_service("flag")
+        outlier = [9]
+        assigned = [service.inject(outlier) for _ in range(3)]
+        assert [uid for uid, _ in service.flagged_injections] == assigned
+        for uid, score in service.flagged_injections:
+            assert score > detector.threshold
+            assert 0 <= uid < service.n_users
+
+    def test_inject_batch_records_flagged_ids(self):
+        service, detector = self._detector_service("flag")
+        organic = list(_tiny().user_profile(0))
+        assigned = service.inject_batch([organic, [9], organic, [9]])
+        assert assigned == list(range(6, 10))
+        assert [uid for uid, _ in service.flagged_injections] == [7, 9]
 
     def test_organic_profile_passes(self):
         service, detector = self._detector_service("block")

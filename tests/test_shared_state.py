@@ -1,0 +1,144 @@
+"""Shared-memory segment lifecycle: create, attach, publish, unlink.
+
+The sliced replication protocol hinges on a strict ownership contract
+(documented in :mod:`repro.serving.shared_state`): the coordinator
+creates and unlinks segments, workers attach read-only and never unlink.
+These tests pin that contract — in particular that **no ``/dev/shm``
+segment survives closing its owner**, the leak the lifecycle was
+designed to prevent (a crashed sweep leaving catalog-sized segments
+behind would eat the host's shared-memory budget silently).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serving import shared_state
+
+
+def _arrays():
+    return {
+        "item_factors": np.arange(12, dtype=np.float64).reshape(4, 3),
+        "counts": np.array([5.0, 0.0, 2.0]),
+    }
+
+
+class TestSharedItemStore:
+    def test_rejects_empty_state(self):
+        with pytest.raises(ConfigurationError, match="at least one array"):
+            shared_state.SharedItemStore({})
+
+    def test_handle_describes_every_array(self):
+        store = shared_state.SharedItemStore(_arrays())
+        try:
+            handle = store.handle()
+            assert set(handle.keys) == {"item_factors", "counts"}
+            specs = dict(handle.segments)
+            assert specs["item_factors"].shape == (4, 3)
+            assert np.dtype(specs["item_factors"].dtype) == np.float64
+            assert handle.nbytes() == 12 * 8 + 3 * 8
+        finally:
+            store.close()
+
+    def test_handle_round_trips_through_pickle(self):
+        """The handle is the only thing shipped to workers — it must
+        pickle small and reconstruct exactly."""
+        store = shared_state.SharedItemStore(_arrays())
+        try:
+            blob = pickle.dumps(store.handle())
+            assert len(blob) < 4096  # names + shapes, never array payloads
+            assert pickle.loads(blob) == store.handle()
+        finally:
+            store.close()
+
+    def test_attach_sees_exact_values_read_only(self):
+        arrays = _arrays()
+        store = shared_state.SharedItemStore(arrays)
+        try:
+            attached = shared_state.attach(store.handle())
+            for key, array in arrays.items():
+                np.testing.assert_array_equal(attached.views[key], array)
+                assert attached.views[key].dtype == array.dtype
+                with pytest.raises(ValueError):
+                    attached.views[key][0] = 0  # read-only mapping
+        finally:
+            store.close()
+
+    def test_publish_updates_attached_views_in_place(self):
+        """Zero-copy propagation: a republish is visible through existing
+        attachments without re-attaching (how injection-dirty item state
+        reaches every worker without a per-shard payload)."""
+        store = shared_state.SharedItemStore(_arrays())
+        try:
+            attached = shared_state.attach(store.handle())
+            store.publish({"counts": np.array([9.0, 9.0, 9.0])})
+            np.testing.assert_array_equal(attached.views["counts"], [9.0, 9.0, 9.0])
+            # Untouched arrays keep their contents.
+            np.testing.assert_array_equal(
+                attached.views["item_factors"], _arrays()["item_factors"]
+            )
+        finally:
+            store.close()
+
+    def test_publish_rejects_unknown_keys_and_shape_changes(self):
+        store = shared_state.SharedItemStore(_arrays())
+        try:
+            with pytest.raises(ConfigurationError, match="unknown shared array"):
+                store.publish({"sim": np.zeros(3)})
+            with pytest.raises(ConfigurationError, match="changed shape"):
+                store.publish({"counts": np.zeros(4)})
+        finally:
+            store.close()
+
+
+class TestLifecycle:
+    def test_close_unlinks_every_segment(self):
+        store = shared_state.SharedItemStore(_arrays())
+        names = [spec.name for _, spec in store.handle().segments]
+        for name in names:
+            assert shared_state.segment_exists(name)
+            assert name in shared_state.live_owned_segments()
+        store.close()
+        for name in names:
+            assert not shared_state.segment_exists(name)
+            assert name not in shared_state.live_owned_segments()
+
+    def test_close_is_idempotent_and_fences_the_handle(self):
+        store = shared_state.SharedItemStore(_arrays())
+        store.close()
+        store.close()  # second close is a no-op, not a crash
+        with pytest.raises(ConfigurationError, match="closed"):
+            store.handle()
+        with pytest.raises(ConfigurationError, match="closed"):
+            store.publish({"counts": np.zeros(3)})
+
+    def test_failed_construction_leaks_nothing(self):
+        class _Explodes:
+            def __array__(self, *args, **kwargs):
+                raise RuntimeError("not an array after all")
+
+        before = shared_state.live_owned_segments()
+        with pytest.raises(RuntimeError, match="not an array"):
+            # The second entry fails to coerce, so construction dies
+            # after the first segment was already created — which must
+            # be torn down on the way out.
+            shared_state.SharedItemStore({"good": np.zeros(4), "bad": _Explodes()})
+        assert shared_state.live_owned_segments() == before
+
+    def test_attach_missing_segment_raises(self):
+        handle = shared_state.SharedStateHandle(
+            segments=(
+                (
+                    "ghost",
+                    shared_state.SegmentSpec(
+                        name="repro-no-such-segment", shape=(2,), dtype="<f8"
+                    ),
+                ),
+            )
+        )
+        with pytest.raises(FileNotFoundError):
+            shared_state.attach(handle)
