@@ -1,10 +1,29 @@
 """Setup shim enabling legacy editable installs (`pip install -e . --no-use-pep517`).
 
-The execution environment has no `wheel` package and no network access, so
-the PEP 517 editable path (which builds a wheel) is unavailable.  All
-metadata lives in pyproject.toml.
+The execution environment has no `wheel` package and no network access,
+so the PEP 517 editable path (which builds a wheel) is unavailable —
+metadata therefore lives here, not in a pyproject.toml.  Uninstalled
+runs use ``PYTHONPATH=src``: both console scripts are also reachable as
+``python -m repro.cli`` and ``python -m repro.analysis``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-copyattack",
+    version="0.9.0",
+    description=(
+        "Reproduction of 'Attacking Black-box Recommendations via Copying "
+        "Cross-domain User Profiles' grown into a sharded serving stack"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro-bench = repro.cli:main",
+            "repro-lint = repro.analysis.cli:main",
+        ]
+    },
+)

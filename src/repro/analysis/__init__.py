@@ -1,0 +1,32 @@
+"""repro-lint: AST-based static analysis tuned to this codebase.
+
+Three PRs in a row fixed instances of the same recurring hazard
+classes by hand: unpicklable locks crossing the process boundary
+(PR 5), blocking calls on the asyncio loop thread (PR 7), and
+``reset()`` methods that silently skip a counter so ``restore ==
+fresh`` breaks (PR 8).  This package turns those review lessons into
+machine-checked invariants: a small visitor/rule framework
+(:mod:`repro.analysis.core`), six codebase-aware rules
+(:mod:`repro.analysis.rules`), a committed-baseline mode
+(:mod:`repro.analysis.baseline`) and a console entry point
+(``repro-lint``, :mod:`repro.analysis.cli`).
+
+Suppression convention::
+
+    self.remote = False  # repro-lint: disable=RL004 -- deployment topology, not episode state
+
+The justification after ``--`` is required; a bare ``disable=`` does
+not suppress and is itself reported (RL000).
+"""
+
+from repro.analysis.core import Analyzer, FileContext, Finding, Project, Rule
+from repro.analysis.rules import default_rules
+
+__all__ = [
+    "Analyzer",
+    "FileContext",
+    "Finding",
+    "Project",
+    "Rule",
+    "default_rules",
+]

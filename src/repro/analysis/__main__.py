@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — the uninstalled form of ``repro-lint``."""
+
+import sys
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Committed lint baselines: fail CI only on *new* findings.
+
+A baseline is a JSON file of finding fingerprints (rule + file +
+symbol + message, content-addressed so pure line-number drift does not
+churn it).  ``repro-lint --baseline lint-baseline.json`` subtracts
+baselined findings from the gate; ``--write-baseline`` records the
+current findings.  This keeps the tool adoptable when a rule later
+tightens: the tightened rule lands with its pre-existing findings
+baselined, and the backlog burns down without blocking unrelated PRs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.core import Finding, fingerprint
+
+__all__ = ["load_baseline", "write_baseline", "split_baselined"]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> set[str]:
+    """Fingerprints recorded in ``path``; empty set if absent."""
+    if not path.exists():
+        return set()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "fingerprints" not in data:
+        raise ValueError(f"{path} is not a repro-lint baseline file")
+    return set(data["fingerprints"])
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> int:
+    """Record ``findings``; returns the number of fingerprints written."""
+    prints = sorted({fingerprint(f) for f in findings})
+    payload = {
+        "version": BASELINE_VERSION,
+        "tool": "repro-lint",
+        "fingerprints": prints,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(prints)
+
+
+def split_baselined(
+    findings: list[Finding], known: set[str]
+) -> tuple[list[Finding], list[Finding]]:
+    """Partition into (new, baselined) against the known fingerprints."""
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for finding in findings:
+        (old if fingerprint(finding) in known else new).append(finding)
+    return new, old

@@ -1,0 +1,178 @@
+"""``repro-lint`` console entry point.
+
+Usage::
+
+    repro-lint src/                         # human-readable report
+    repro-lint src/ --format json           # machine-readable document
+    repro-lint src/ --output findings.json  # JSON artifact + text report
+    repro-lint src/ --baseline lint-baseline.json
+    repro-lint src/ --write-baseline lint-baseline.json
+    repro-lint --list-rules
+
+Exit codes: 0 = clean (no unsuppressed, non-baselined findings),
+1 = findings, 2 = usage error.  Also runnable without installation as
+``PYTHONPATH=src python -m repro.analysis src/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import load_baseline, split_baselined, write_baseline
+from repro.analysis.core import Analyzer, Finding, LintResult
+from repro.analysis.rules import default_rules
+
+__all__ = ["build_parser", "main"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based concurrency & determinism linter tuned to this "
+            "codebase (lock discipline, async blocking calls, pickle "
+            "safety, reset completeness, shared-memory writes, RNG "
+            "discipline)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="stdout format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write the full JSON document to PATH (CI artifact)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="fail only on findings not recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="record current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path.cwd(),
+        help="directory paths are reported relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    return parser
+
+
+def _document(
+    result: LintResult,
+    new: list[Finding],
+    baselined: list[Finding],
+) -> dict:
+    by_rule: dict[str, int] = {}
+    for finding in new:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    return {
+        "tool": "repro-lint",
+        "schema_version": JSON_SCHEMA_VERSION,
+        "files_analyzed": result.n_files,
+        "rules": result.rule_ids,
+        "findings": [f.to_dict() for f in new],
+        "baselined": [f.to_dict() for f in baselined],
+        "suppressed": [
+            {**f.to_dict(), "justification": sup.justification}
+            for f, sup in result.suppressed
+        ],
+        "summary": {
+            "n_findings": len(new),
+            "n_baselined": len(baselined),
+            "n_suppressed": len(result.suppressed),
+            "by_rule": by_rule,
+        },
+    }
+
+
+def _print_text(
+    result: LintResult,
+    new: list[Finding],
+    baselined: list[Finding],
+    out,
+) -> None:
+    for finding in new:
+        symbol = f" [{finding.symbol}]" if finding.symbol else ""
+        print(
+            f"{finding.path}:{finding.line}:{finding.col}: "
+            f"{finding.rule}{symbol} {finding.message}",
+            file=out,
+        )
+    status = "clean" if not new else f"{len(new)} finding(s)"
+    print(
+        f"repro-lint: {status} — {result.n_files} file(s), "
+        f"{len(result.suppressed)} suppressed, {len(baselined)} baselined",
+        file=out,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.id}  {rule.name:24s} {rule.description}")
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        parser.error(f"no such path: {', '.join(map(str, missing))}")
+
+    analyzer = Analyzer(rules, root=args.root)
+    result = analyzer.run(paths)
+
+    if args.write_baseline is not None:
+        n = write_baseline(args.write_baseline, result.findings)
+        print(f"repro-lint: wrote {n} fingerprint(s) to {args.write_baseline}")
+        return 0
+
+    known = load_baseline(args.baseline) if args.baseline is not None else set()
+    new, baselined = split_baselined(result.findings, known)
+
+    document = _document(result, new, baselined)
+    if args.output is not None:
+        args.output.write_text(
+            json.dumps(document, indent=2) + "\n", encoding="utf-8"
+        )
+
+    if args.format == "json":
+        print(json.dumps(document, indent=2))
+    else:
+        _print_text(result, new, baselined, sys.stdout)
+
+    return 1 if new else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

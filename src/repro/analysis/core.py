@@ -1,0 +1,376 @@
+"""Core framework for ``repro-lint``: findings, rules, suppressions, driver.
+
+The design is deliberately small — ``ast`` plus a two-phase rule
+protocol — because the value is in the codebase-specific rules, not in
+framework machinery:
+
+* **Phase 1 (collect).**  Every rule sees every file once and may stash
+  cross-file state on the shared :class:`Project` (e.g. RL003 discovers
+  which modules are worker protocols by looking at what the execution
+  engines actually submit across the process boundary).
+* **Phase 2 (check).**  Every rule sees every file again, with the
+  complete project state available, and yields :class:`Finding`s.
+
+Suppressions are comments, parsed with :mod:`tokenize` so strings that
+merely *look* like comments never suppress anything::
+
+    # repro-lint: disable=RL001 -- justification text is mandatory
+
+A suppression applies to findings on its own line, or — when the
+comment is alone on a line — to the line below.  A suppression without
+justification text suppresses nothing and is itself reported as RL000.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Analyzer",
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "Project",
+    "Rule",
+    "Suppression",
+    "fingerprint",
+]
+
+MALFORMED_RULE_ID = "RL000"
+
+_SUPPRESSION_RE = re.compile(
+    r"repro-lint:\s*disable=(?P<rules>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s+--\s*(?P<why>.*))?$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a rule violated at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    symbol: str = ""
+
+    def to_dict(self) -> dict:
+        out = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": fingerprint(self),
+        }
+        if self.symbol:
+            out["symbol"] = self.symbol
+        return out
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# repro-lint: disable=...`` comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    justification: str
+    standalone: bool
+
+    def covers(self, rule: str, line: int) -> bool:
+        if not self.justification:
+            return False
+        if rule not in self.rules:
+            return False
+        if line == self.line:
+            return True
+        return self.standalone and line == self.line + 1
+
+
+class FileContext:
+    """One parsed source file plus its comments and suppressions."""
+
+    def __init__(self, path: Path, relpath: str, source: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        #: line number -> raw comment text (without the leading ``#``)
+        self.comments: dict[int, str] = {}
+        self.suppressions: list[Suppression] = []
+        self._scan_comments()
+
+    def _scan_comments(self) -> None:
+        tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
+        # A comment is "standalone" when nothing but whitespace precedes
+        # it on its line; those suppress the *next* line as well.
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            line_no = tok.start[0]
+            text = tok.string.lstrip("#").strip()
+            self.comments[line_no] = text
+            match = _SUPPRESSION_RE.search(text)
+            if match is None:
+                continue
+            rules = tuple(
+                r.strip() for r in match.group("rules").split(",") if r.strip()
+            )
+            why = (match.group("why") or "").strip()
+            prefix = self.lines[line_no - 1][: tok.start[1]]
+            self.suppressions.append(
+                Suppression(
+                    line=line_no,
+                    rules=rules,
+                    justification=why,
+                    standalone=not prefix.strip(),
+                )
+            )
+
+    def comment_on(self, line: int) -> str:
+        return self.comments.get(line, "")
+
+    def suppression_for(self, rule: str, line: int) -> Suppression | None:
+        for sup in self.suppressions:
+            if sup.covers(rule, line):
+                return sup
+        return None
+
+
+class Project:
+    """Cross-file state shared by all rules across both phases."""
+
+    def __init__(self, files: list[FileContext]) -> None:
+        self.files = files
+        #: rules stash cross-file state here, keyed by rule id
+        self.state: dict[str, object] = {}
+        self._by_relpath = {ctx.relpath: ctx for ctx in files}
+
+    def file(self, relpath: str) -> FileContext | None:
+        return self._by_relpath.get(relpath)
+
+    def files_matching(self, suffix: str) -> list[FileContext]:
+        return [ctx for ctx in self.files if ctx.relpath.endswith(suffix)]
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``id``/``name``/``description`` and implement
+    :meth:`check`; rules needing cross-file context also implement
+    :meth:`collect`, which runs over every file before any ``check``.
+    """
+
+    id = "RL999"
+    name = "unnamed"
+    description = ""
+
+    def collect(self, ctx: FileContext, project: Project) -> None:  # pragma: no cover
+        """Phase 1: record cross-file state on ``project.state``."""
+
+    def check(self, ctx: FileContext, project: Project) -> Iterator[Finding]:
+        """Phase 2: yield findings for ``ctx``."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+@dataclass
+class LintResult:
+    """Outcome of one analyzer run, before baseline filtering."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[tuple[Finding, Suppression]] = field(default_factory=list)
+    n_files: int = 0
+    rule_ids: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable identity for baselining: survives pure line-number drift.
+
+    Hashes the rule, file, and *content* of the flagged line rather than
+    its number, so inserting code above a known finding does not create
+    a "new" finding.  Duplicate identical lines are disambiguated by the
+    caller via occurrence index appended to the message-free key.
+    """
+    digest = hashlib.sha1()
+    digest.update(finding.rule.encode())
+    digest.update(b"\0")
+    digest.update(finding.path.encode())
+    digest.update(b"\0")
+    digest.update(finding.symbol.encode())
+    digest.update(b"\0")
+    digest.update(finding.message.encode())
+    return digest.hexdigest()[:16]
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+class Analyzer:
+    """Drives the two-phase rule protocol over a set of files."""
+
+    def __init__(self, rules: list[Rule], root: Path | None = None) -> None:
+        self.rules = rules
+        self.root = root
+
+    def _relpath(self, path: Path) -> str:
+        if self.root is not None:
+            try:
+                return path.resolve().relative_to(self.root.resolve()).as_posix()
+            except ValueError:
+                pass
+        return path.as_posix()
+
+    def load(self, paths: Iterable[Path]) -> tuple[Project, list[Finding]]:
+        """Parse every file; syntax errors become findings, not crashes."""
+        contexts: list[FileContext] = []
+        errors: list[Finding] = []
+        for path in iter_python_files(paths):
+            relpath = self._relpath(path)
+            try:
+                source = path.read_text(encoding="utf-8")
+                contexts.append(FileContext(path, relpath, source))
+            except (SyntaxError, UnicodeDecodeError) as exc:
+                line = getattr(exc, "lineno", 1) or 1
+                errors.append(
+                    Finding(
+                        rule=MALFORMED_RULE_ID,
+                        path=relpath,
+                        line=line,
+                        col=0,
+                        message=f"could not parse file: {exc.__class__.__name__}: {exc}",
+                    )
+                )
+        return Project(contexts), errors
+
+    def run(self, paths: Iterable[Path]) -> LintResult:
+        project, errors = self.load(paths)
+        result = LintResult(
+            n_files=len(project.files),
+            rule_ids=[rule.id for rule in self.rules],
+        )
+        result.findings.extend(errors)
+
+        for rule in self.rules:
+            for ctx in project.files:
+                rule.collect(ctx, project)
+        raw: list[Finding] = []
+        for rule in self.rules:
+            for ctx in project.files:
+                raw.extend(rule.check(ctx, project))
+
+        for finding in raw:
+            ctx = project.file(finding.path)
+            sup = ctx.suppression_for(finding.rule, finding.line) if ctx else None
+            if sup is not None:
+                result.suppressed.append((finding, sup))
+            else:
+                result.findings.append(finding)
+
+        # Suppression comments that cannot suppress anything (missing the
+        # mandatory justification) are defects in their own right.
+        for ctx in project.files:
+            for sup in ctx.suppressions:
+                if sup.justification:
+                    continue
+                result.findings.append(
+                    Finding(
+                        rule=MALFORMED_RULE_ID,
+                        path=ctx.relpath,
+                        line=sup.line,
+                        col=0,
+                        message=(
+                            "suppression has no justification: write "
+                            "'# repro-lint: disable=<rule> -- <why>'"
+                        ),
+                    )
+                )
+
+        result.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers used by several rules.
+
+
+def parent_map(tree: ast.AST) -> dict[ast.AST, ast.AST]:
+    """Child -> parent links for ancestor walks (``ast`` has none built in)."""
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def ancestors(node: ast.AST, parents: dict[ast.AST, ast.AST]) -> Iterator[ast.AST]:
+    cur = parents.get(node)
+    while cur is not None:
+        yield cur
+        cur = parents.get(cur)
+
+
+def is_self_attr(node: ast.AST, attr: str | None = None) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and (attr is None or node.attr == attr)
+    )
+
+
+def enclosing_function(
+    node: ast.AST, parents: dict[ast.AST, ast.AST]
+) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    for anc in ancestors(node, parents):
+        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return anc
+    return None
+
+
+def qualified_name(node: ast.AST) -> str | None:
+    """Dotted name of a Name/Attribute chain, e.g. ``np.random.rand``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name -> fully qualified import target for a module.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``;
+    ``from repro.serving import replica as proto`` ->
+    ``{"proto": "repro.serving.replica"}``.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases

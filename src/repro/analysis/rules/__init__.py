@@ -1,0 +1,28 @@
+"""Rule registry for repro-lint.
+
+Each module contributes one rule class; :func:`default_rules` is the
+set the CLI runs.  Order matters only for report stability.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import Rule
+from repro.analysis.rules.lock_discipline import LockDisciplineRule
+from repro.analysis.rules.blocking_async import BlockingCallInAsyncRule
+from repro.analysis.rules.pickle_safety import PickleSafetyRule
+from repro.analysis.rules.reset_completeness import ResetCompletenessRule
+from repro.analysis.rules.shared_memory import SharedMemoryWriteRule
+from repro.analysis.rules.rng_discipline import UnseededRngRule
+
+__all__ = ["default_rules"]
+
+
+def default_rules() -> list[Rule]:
+    return [
+        LockDisciplineRule(),
+        BlockingCallInAsyncRule(),
+        PickleSafetyRule(),
+        ResetCompletenessRule(),
+        SharedMemoryWriteRule(),
+        UnseededRngRule(),
+    ]

@@ -1,0 +1,123 @@
+"""RL002 — blocking calls inside ``async def`` bodies (the PR 7 bug class).
+
+A blocking call on the event-loop thread stalls every in-flight
+coroutine: the async front's tail-latency story depends on the loop
+never sleeping, never taking a thread lock, and never waiting on a
+``concurrent.futures.Future``.  Flagged inside ``async def`` (but not
+inside a synchronous helper *defined* within one — that helper runs
+wherever it is called, usually an executor):
+
+* ``time.sleep(...)`` and bare ``sleep(...)`` imported from ``time``
+* ``open(...)`` — file I/O belongs in ``run_in_executor``
+* non-awaited ``.acquire()`` / ``.acquire_read()`` / ``.acquire_write()``
+* non-awaited zero-argument ``.result()`` / ``.join()`` and any
+  ``.wait(...)`` — blocking Future/Thread/Event waits
+* non-awaited zero-argument ``.get()`` and ``.put(item)`` —
+  ``queue.Queue`` blocking operations (``dict.get(key)`` takes an
+  argument and is not flagged; ``get_nowait``/``put_nowait`` are fine)
+
+``try_*`` variants are exempt by name: they are the sanctioned
+non-blocking fast path (``ReadWriteLock.try_acquire_read``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    FileContext,
+    Finding,
+    Project,
+    Rule,
+    ancestors,
+    import_aliases,
+    parent_map,
+    qualified_name,
+)
+
+_BLOCKING_ATTRS = {"acquire", "acquire_read", "acquire_write"}
+_ZERO_ARG_BLOCKING = {"result", "join", "get"}
+
+
+class BlockingCallInAsyncRule(Rule):
+    id = "RL002"
+    name = "blocking-call-in-async"
+    description = "no blocking calls (sleep, lock acquire, Future.result, Queue.get/put, file I/O) on the event-loop thread"
+
+    def check(self, ctx: FileContext, project: Project) -> Iterator[Finding]:
+        aliases = import_aliases(ctx.tree)
+        time_aliases = {name for name, tgt in aliases.items() if tgt == "time"}
+        sleep_aliases = {name for name, tgt in aliases.items() if tgt == "time.sleep"}
+        parents = parent_map(ctx.tree)
+
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                # skip calls whose nearest enclosing function is a sync
+                # helper nested inside the async def — it runs elsewhere
+                enclosing = next(
+                    (
+                        anc
+                        for anc in ancestors(node, parents)
+                        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    ),
+                    None,
+                )
+                if enclosing is not func:
+                    continue
+                reason = self._blocking_reason(
+                    node, parents, time_aliases, sleep_aliases
+                )
+                if reason:
+                    yield Finding(
+                        rule=self.id,
+                        path=ctx.relpath,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=f"{reason} blocks the event loop (PR 7 bug class); "
+                        "use the asyncio equivalent or run_in_executor",
+                        symbol=func.name,
+                    )
+
+    def _blocking_reason(
+        self,
+        call: ast.Call,
+        parents: dict[ast.AST, ast.AST],
+        time_aliases: set[str],
+        sleep_aliases: set[str],
+    ) -> str | None:
+        func = call.func
+        dotted = qualified_name(func)
+        if dotted is not None:
+            root = dotted.split(".")[0]
+            if dotted.endswith(".sleep") and root in time_aliases:
+                return f"'{dotted}(...)'"
+            if dotted in sleep_aliases:
+                return f"'{dotted}(...)' (time.sleep)"
+        if isinstance(func, ast.Name) and func.id == "open":
+            return "'open(...)' file I/O"
+
+        if not isinstance(func, ast.Attribute):
+            return None
+        attr = func.attr
+        if attr.startswith("try_"):
+            return None
+        # "awaited" looks through wrapper calls so that e.g.
+        # ``await asyncio.wait_for(event.wait(), t)`` is not flagged.
+        awaited = any(isinstance(anc, ast.Await) for anc in ancestors(call, parents))
+        if awaited:
+            return None
+        n_args = len(call.args) + len(call.keywords)
+        if attr in _BLOCKING_ATTRS:
+            return f"non-awaited '.{attr}(...)'"
+        if attr == "wait":
+            return "non-awaited '.wait(...)'"
+        if attr in _ZERO_ARG_BLOCKING and n_args == 0:
+            return f"non-awaited '.{attr}()'"
+        if attr == "put" and n_args >= 1:
+            return "non-awaited '.put(...)'"
+        return None

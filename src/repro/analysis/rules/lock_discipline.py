@@ -1,0 +1,129 @@
+"""RL001 — lock discipline via ``# guarded-by: <lock>`` annotations.
+
+An attribute assigned in ``__init__`` (or declared as a dataclass
+field) with a ``# guarded-by: _lock`` comment on its line may only be
+read or written inside a ``with self._lock`` block — including
+``with self._lock.read():`` / ``.write():`` for the readers-writer
+lock — within that class.  ``__init__`` and the pickling dunders are
+exempt: construction and ``__setstate__`` run before the object is
+shared, and ``__getstate__`` snapshots under the caller's control.
+
+The check is lexical (ancestor ``with`` statements), which matches how
+every guarded class in this codebase actually takes its lock.  Guarded
+attributes accessed from *outside* the class (``obj.attr``) are out of
+scope — the convention documents the class's own discipline.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.core import (
+    FileContext,
+    Finding,
+    Project,
+    Rule,
+    ancestors,
+    is_self_attr,
+    parent_map,
+)
+
+_GUARDED_BY_RE = re.compile(r"guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+#: methods where unguarded access is fine by construction
+_EXEMPT_METHODS = {"__init__", "__post_init__", "__getstate__", "__setstate__", "__del__", "__repr__"}
+
+
+def _guarded_attrs(cls: ast.ClassDef, ctx: FileContext) -> dict[str, tuple[str, int]]:
+    """attr name -> (lock attr, declaring line) from annotated assignments."""
+    guarded: dict[str, tuple[str, int]] = {}
+
+    def note(target: ast.expr, line: int) -> None:
+        match = _GUARDED_BY_RE.search(ctx.comment_on(line))
+        if match is None:
+            return
+        if is_self_attr(target):
+            guarded[target.attr] = (match.group(1), line)
+        elif isinstance(target, ast.Name):  # dataclass field
+            guarded[target.id] = (match.group(1), line)
+
+    for stmt in cls.body:
+        # class-level (dataclass) field declarations
+        if isinstance(stmt, ast.AnnAssign):
+            note(stmt.target, stmt.lineno)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                note(target, stmt.lineno)
+        elif isinstance(stmt, ast.FunctionDef) and stmt.name in ("__init__", "__post_init__"):
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        note(target, node.lineno)
+                elif isinstance(node, ast.AnnAssign):
+                    note(node.target, node.lineno)
+    return guarded
+
+
+def _with_holds_lock(node: ast.With, lock: str) -> bool:
+    """True if one of the ``with`` items is ``self.<lock>`` or a call on it.
+
+    Covers ``with self._lock:``, ``with self._rw.read():`` and
+    ``with self._rw.write():`` — any context manager rooted at the lock
+    attribute counts as holding it.
+    """
+    for item in node.items:
+        expr = item.context_expr
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Attribute) and is_self_attr(func.value, lock):
+                return True
+        if is_self_attr(expr, lock):
+            return True
+    return False
+
+
+class LockDisciplineRule(Rule):
+    id = "RL001"
+    name = "lock-discipline"
+    description = (
+        "attributes annotated '# guarded-by: <lock>' must be accessed "
+        "inside 'with self.<lock>' blocks"
+    )
+
+    def check(self, ctx: FileContext, project: Project) -> Iterator[Finding]:
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            guarded = _guarded_attrs(cls, ctx)
+            if not guarded:
+                continue
+            parents = parent_map(cls)
+            for method in cls.body:
+                if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if method.name in _EXEMPT_METHODS:
+                    continue
+                for node in ast.walk(method):
+                    if not isinstance(node, ast.Attribute) or node.attr not in guarded:
+                        continue
+                    if not is_self_attr(node):
+                        continue
+                    lock, _decl_line = guarded[node.attr]
+                    held = any(
+                        isinstance(anc, ast.With) and _with_holds_lock(anc, lock)
+                        for anc in ancestors(node, parents)
+                    )
+                    if not held:
+                        yield Finding(
+                            rule=self.id,
+                            path=ctx.relpath,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            message=(
+                                f"'self.{node.attr}' is guarded by 'self.{lock}' "
+                                f"but accessed outside a 'with self.{lock}' block"
+                            ),
+                            symbol=f"{cls.name}.{method.name}",
+                        )

@@ -1,0 +1,283 @@
+"""RL003 — pickle safety for classes crossing the process boundary.
+
+The PR 5 bug class: a class holding a ``threading.Lock`` /
+``Condition`` / ``Event``, an executor, a thread, or an event loop is
+shipped to a process replica and dies inside ``pickle`` with an opaque
+``TypeError``.  The fix convention in this codebase is explicit
+``__getstate__``/``__setstate__`` that drop and re-create the handle
+(see ``RateLimiter`` / ``ServiceStats``).
+
+Which classes cross the boundary is *discovered*, not hard-coded:
+
+* **Phase 1** scans every file for ``submit_to(...)`` / ``broadcast(...)``
+  call sites (the execution engines' process-boundary surface) and
+  resolves the function argument's module alias — e.g.
+  ``engine.submit_to(i, replica_proto.install_replica, ...)`` marks
+  ``repro.serving.replica`` as a worker-protocol module.  A module can
+  also opt in explicitly with a module-level ``__process_boundary__ = True``.
+* The **boundary set** is every class defined in a worker-protocol
+  module plus every project class it imports (including classes of
+  modules it imports wholesale) — by construction, everything the
+  protocol sends or returns is named there.  ``pickle.dumps(Ctor(...))``
+  constructor calls anywhere also join the set.
+
+**Phase 2** flags boundary classes holding a forbidden attribute
+without *both* dunders, and — everywhere, boundary or not — classes
+defining only one of the pair (an asymmetric implementation restores
+state it never saved, or vice versa).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    FileContext,
+    Finding,
+    Project,
+    Rule,
+    import_aliases,
+    qualified_name,
+)
+
+_SUBMIT_FUNCS = {"submit_to", "broadcast"}
+
+#: dotted suffixes whose construction makes an attribute unpicklable
+_FORBIDDEN_CALLS = {
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "threading.Event",
+    "threading.Semaphore",
+    "threading.BoundedSemaphore",
+    "threading.Thread",
+    "Lock",
+    "RLock",
+    "Condition",
+    "Event",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Thread",
+    "ThreadPoolExecutor",
+    "ProcessPoolExecutor",
+    "asyncio.new_event_loop",
+    "asyncio.get_event_loop",
+}
+
+_THREADING_NAMES = {
+    "Lock",
+    "RLock",
+    "Condition",
+    "Event",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Thread",
+}
+
+
+class _ClassInfo:
+    def __init__(self, node: ast.ClassDef, ctx: FileContext) -> None:
+        self.node = node
+        self.ctx = ctx
+        self.has_getstate = False
+        self.has_setstate = False
+        #: (attr name, line) pairs holding forbidden handles
+        self.forbidden: list[tuple[str, int, str]] = []
+
+
+def _forbidden_call_in(value: ast.expr, aliases: dict[str, str]) -> str | None:
+    """Name of a forbidden constructor called anywhere inside ``value``.
+
+    Looks *inside* the expression so list comprehensions of executors
+    (``[ProcessPoolExecutor(1) for _ in shards]``) are caught too.
+    """
+    for node in ast.walk(value):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = qualified_name(node.func)
+        if dotted is None:
+            continue
+        resolved = aliases.get(dotted.split(".")[0], dotted.split(".")[0])
+        tail = dotted.split(".", 1)[1] if "." in dotted else ""
+        candidates = {dotted}
+        if tail:
+            candidates.add(f"{resolved}.{tail}")
+        else:
+            candidates.add(aliases.get(dotted, dotted))
+        for cand in candidates:
+            if cand in _FORBIDDEN_CALLS:
+                # bare Lock() only counts if imported from threading /
+                # multiprocessing, or it IS the resolved dotted form
+                if "." in cand or aliases.get(cand, "").startswith(
+                    ("threading.", "multiprocessing.", "concurrent.futures.")
+                ) or cand in ("ThreadPoolExecutor", "ProcessPoolExecutor"):
+                    return cand
+    return None
+
+
+def _field_factory_forbidden(value: ast.expr, aliases: dict[str, str]) -> str | None:
+    """``field(default_factory=threading.Lock)`` — factory referenced, not called."""
+    if not (isinstance(value, ast.Call) and qualified_name(value.func) in ("field", "dataclasses.field")):
+        return None
+    for kw in value.keywords:
+        if kw.arg != "default_factory":
+            continue
+        dotted = qualified_name(kw.value)
+        if dotted is None:
+            continue
+        root = dotted.split(".")[0]
+        resolved = aliases.get(root, root)
+        full = dotted if "." not in dotted else f"{resolved}.{dotted.split('.', 1)[1]}"
+        if full in _FORBIDDEN_CALLS or (
+            dotted in _THREADING_NAMES
+            and aliases.get(dotted, "").startswith("threading.")
+        ):
+            return dotted
+    return None
+
+
+class PickleSafetyRule(Rule):
+    id = "RL003"
+    name = "pickle-safety"
+    description = (
+        "classes shipped across the process boundary holding locks/executors/"
+        "loops must define __getstate__ and __setstate__"
+    )
+
+    def collect(self, ctx: FileContext, project: Project) -> None:
+        state = project.state.setdefault(
+            self.id,
+            {"boundary_modules": set(), "classes": {}, "pickled_ctors": set()},
+        )
+        aliases = import_aliases(ctx.tree)
+
+        module_rel = ctx.relpath[:-3].replace("/", ".") if ctx.relpath.endswith(".py") else ctx.relpath
+
+        # explicit opt-in marker
+        for node in ctx.tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == "__process_boundary__"
+                    for t in node.targets
+                )
+            ):
+                state["boundary_modules"].add(module_rel)
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                info = _ClassInfo(node, ctx)
+                for stmt in node.body:
+                    if isinstance(stmt, ast.FunctionDef):
+                        if stmt.name == "__getstate__":
+                            info.has_getstate = True
+                        elif stmt.name == "__setstate__":
+                            info.has_setstate = True
+                        if stmt.name in ("__init__", "__post_init__"):
+                            for sub in ast.walk(stmt):
+                                if isinstance(sub, ast.Assign):
+                                    bad = _forbidden_call_in(sub.value, aliases)
+                                    if bad:
+                                        for target in sub.targets:
+                                            if isinstance(target, ast.Attribute):
+                                                info.forbidden.append(
+                                                    (target.attr, sub.lineno, bad)
+                                                )
+                    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                        bad = _field_factory_forbidden(stmt.value, aliases) or (
+                            _forbidden_call_in(stmt.value, aliases)
+                            if not isinstance(stmt.value, ast.Call)
+                            or qualified_name(stmt.value.func) not in ("field", "dataclasses.field")
+                            else None
+                        )
+                        if bad and isinstance(stmt.target, ast.Name):
+                            info.forbidden.append((stmt.target.id, stmt.lineno, bad))
+                state["classes"].setdefault(node.name, []).append(info)
+            elif isinstance(node, ast.Call):
+                dotted = qualified_name(node.func)
+                if dotted is None:
+                    continue
+                attr = dotted.split(".")[-1]
+                if attr in _SUBMIT_FUNCS and node.args:
+                    # fn argument: submit_to(index, fn, ...) or broadcast(fn, ...)
+                    fn_arg = node.args[1] if attr == "submit_to" and len(node.args) > 1 else node.args[0]
+                    fn_name = qualified_name(fn_arg)
+                    if fn_name and "." in fn_name:
+                        alias = fn_name.split(".")[0]
+                        target = aliases.get(alias)
+                        if target:
+                            state["boundary_modules"].add(target)
+                elif dotted.endswith("pickle.dumps") or dotted == "dumps":
+                    for arg in node.args:
+                        if isinstance(arg, ast.Call):
+                            ctor = qualified_name(arg.func)
+                            if ctor:
+                                state["pickled_ctors"].add(ctor.split(".")[-1])
+
+    def _boundary_class_names(self, project: Project) -> set[str]:
+        state = project.state.get(self.id, {})
+        boundary_modules: set[str] = set(state.get("boundary_modules", set()))
+        names: set[str] = set(state.get("pickled_ctors", set()))
+        for ctx in project.files:
+            module_rel = ctx.relpath[:-3].replace("/", ".")
+            if not any(module_rel.endswith(bm) or bm.endswith(module_rel) for bm in boundary_modules):
+                continue
+            aliases = import_aliases(ctx.tree)
+            # classes defined in the protocol module itself
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.ClassDef):
+                    names.add(node.name)
+            # project classes it imports by name
+            for local, target in aliases.items():
+                leaf = target.split(".")[-1]
+                if leaf and leaf[0].isupper():
+                    names.add(leaf)
+                else:
+                    # module imported wholesale: every class defined in it
+                    for other in project.files:
+                        other_mod = other.relpath[:-3].replace("/", ".")
+                        if other_mod.endswith(target) or target.endswith(other_mod):
+                            for node in ast.walk(other.tree):
+                                if isinstance(node, ast.ClassDef):
+                                    names.add(node.name)
+        return names
+
+    def check(self, ctx: FileContext, project: Project) -> Iterator[Finding]:
+        state = project.state.get(self.id, {})
+        boundary = self._boundary_class_names(project)
+        for name, infos in state.get("classes", {}).items():
+            for info in infos:
+                if info.ctx is not ctx:
+                    continue
+                if info.has_getstate != info.has_setstate:
+                    missing = "__setstate__" if info.has_getstate else "__getstate__"
+                    present = "__getstate__" if info.has_getstate else "__setstate__"
+                    yield Finding(
+                        rule=self.id,
+                        path=ctx.relpath,
+                        line=info.node.lineno,
+                        col=info.node.col_offset,
+                        message=(
+                            f"class '{name}' defines {present} but not {missing}; "
+                            "pickle round-trips will silently diverge"
+                        ),
+                        symbol=name,
+                    )
+                if name not in boundary or not info.forbidden:
+                    continue
+                if info.has_getstate and info.has_setstate:
+                    continue
+                for attr, line, kind in info.forbidden:
+                    yield Finding(
+                        rule=self.id,
+                        path=ctx.relpath,
+                        line=line,
+                        col=0,
+                        message=(
+                            f"'{name}.{attr}' holds '{kind}' and '{name}' crosses "
+                            "the process boundary without __getstate__/__setstate__ "
+                            "(PR 5 bug class)"
+                        ),
+                        symbol=name,
+                    )

@@ -1,0 +1,181 @@
+"""RL004 — reset completeness (the PR 8 ``TopKCache._version`` bug class).
+
+The repo's Hypothesis property suite pins ``snapshot -> episode ->
+restore == fresh service``; the recurring way that breaks is a
+``reset()`` / ``flush()`` / ``restore()`` method that re-initializes
+*most* of the mutable counters ``__init__`` starts at a literal value —
+but silently skips one.  PR 8's ``TopKCache.flush`` kept bumping
+``_version`` forever because the flush reset ``_entries`` but not the
+version counter's twin invariants.
+
+Tracked attributes are those initialized to a plain scalar literal
+(``0``, ``0.0``, ``False``, ``-1``), an empty collection literal, or a
+zero-argument ``list()``/``dict()``/``set()``/``deque()``/
+``OrderedDict()``/``Counter()`` call — including dataclass fields with
+such defaults or ``default_factory``.  A reset-family method that
+assigns *some* tracked attributes but not all is flagged once per
+missing attribute.
+
+Attributes that intentionally survive reset are opted out at the
+declaration site::
+
+    self._subscribers = []  # repro-lint: disable=RL004 -- subscriptions persist across resets
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    FileContext,
+    Finding,
+    Project,
+    Rule,
+    is_self_attr,
+    qualified_name,
+)
+
+_RESET_METHODS = {"reset", "flush", "restore"}
+_EMPTY_FACTORIES = {"list", "dict", "set", "tuple", "deque", "OrderedDict", "Counter"}
+#: ``.clear()`` counts as re-initializing an emptied collection
+_RESETTING_CALLS = {"clear"}
+
+
+def _is_tracked_literal(value: ast.expr) -> bool:
+    # Only *zero-like* starting values: counters start at 0/0.0/False/-1
+    # and collections start empty.  Nonzero literals (``max_profiles =
+    # 30``, ``ttl = 5.0``) are configuration, not resettable state.
+    if isinstance(value, (ast.Constant, ast.UnaryOp)):
+        try:
+            literal = ast.literal_eval(value)
+        except ValueError:
+            return False
+        if literal is False:
+            return True
+        return (
+            isinstance(literal, (int, float))
+            and not isinstance(literal, (bool, complex))
+            and literal in (0, 0.0, -1, -1.0)
+        )
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.Tuple)):
+        elts = getattr(value, "elts", None)
+        if elts is not None:
+            return not elts
+        return not value.keys  # empty dict literal
+    if isinstance(value, ast.Call) and not value.args and not value.keywords:
+        name = qualified_name(value.func)
+        if name and name.split(".")[-1] in _EMPTY_FACTORIES:
+            return True
+    return False
+
+
+def _dataclass_default_tracked(value: ast.expr) -> bool:
+    """dataclass ``field(...)`` with a tracked default or empty factory."""
+    if _is_tracked_literal(value):
+        return True
+    if isinstance(value, ast.Call) and qualified_name(value.func) in (
+        "field",
+        "dataclasses.field",
+    ):
+        for kw in value.keywords:
+            if kw.arg == "default" and _is_tracked_literal(kw.value):
+                return True
+            if kw.arg == "default_factory":
+                name = qualified_name(kw.value)
+                if name and name.split(".")[-1] in _EMPTY_FACTORIES:
+                    return True
+    return False
+
+
+def _tracked_attrs(cls: ast.ClassDef) -> dict[str, int]:
+    """attr -> declaring line for literal-initialized mutable state."""
+    tracked: dict[str, int] = {}
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            if isinstance(stmt.target, ast.Name) and _dataclass_default_tracked(stmt.value):
+                tracked[stmt.target.id] = stmt.lineno
+        elif isinstance(stmt, ast.FunctionDef) and stmt.name in ("__init__", "__post_init__"):
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Assign) and _is_tracked_literal(node.value):
+                    for target in node.targets:
+                        if is_self_attr(target):
+                            tracked[target.attr] = node.lineno
+                elif (
+                    isinstance(node, ast.AnnAssign)
+                    and node.value is not None
+                    and _is_tracked_literal(node.value)
+                    and is_self_attr(node.target)
+                ):
+                    tracked[node.target.attr] = node.lineno
+    return tracked
+
+
+def _touched_attrs(method: ast.FunctionDef) -> set[str]:
+    touched: set[str] = set()
+    for node in ast.walk(method):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                for leaf in ast.walk(target):
+                    if is_self_attr(leaf) and isinstance(
+                        leaf.ctx, (ast.Store, ast.Del)
+                    ):
+                        touched.add(leaf.attr)
+        elif isinstance(node, ast.AugAssign) and is_self_attr(node.target):
+            touched.add(node.target.attr)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _RESETTING_CALLS
+                and is_self_attr(func.value)
+            ):
+                touched.add(func.value.attr)
+    return touched
+
+
+class ResetCompletenessRule(Rule):
+    id = "RL004"
+    name = "reset-completeness"
+    description = (
+        "reset()/flush()/restore() must re-initialize every literal-"
+        "initialized counter from __init__, or opt the attribute out"
+    )
+
+    def check(self, ctx: FileContext, project: Project) -> Iterator[Finding]:
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            tracked = _tracked_attrs(cls)
+            if not tracked:
+                continue
+            for method in cls.body:
+                if not isinstance(method, ast.FunctionDef):
+                    continue
+                if method.name not in _RESET_METHODS:
+                    continue
+                touched = _touched_attrs(method)
+                hit = {a for a in tracked if a in touched}
+                if not hit:
+                    # resets nothing tracked: not a state-reset in this
+                    # rule's sense (e.g. restore() that swaps a snapshot)
+                    continue
+                for attr in sorted(set(tracked) - touched):
+                    decl_line = tracked[attr]
+                    # Anchor at the declaration when the opt-out lives
+                    # there, so the suppression (and its justification)
+                    # is matched and reported by the analyzer core.
+                    opt_out = ctx.suppression_for(self.id, decl_line) is not None
+                    yield Finding(
+                        rule=self.id,
+                        path=ctx.relpath,
+                        line=decl_line if opt_out else method.lineno,
+                        col=method.col_offset,
+                        message=(
+                            f"'{cls.name}.{method.name}' resets "
+                            f"{sorted(hit)} but not 'self.{attr}' "
+                            f"(initialized at line {decl_line}; PR 8 bug class) — "
+                            "reset it or opt out at the declaration"
+                        ),
+                        symbol=f"{cls.name}.{method.name}",
+                    )

@@ -1,0 +1,119 @@
+"""RL006 — unseeded RNG: global random state outside ``utils/rng.py``.
+
+Every benchmark number and conformance test in this repo is
+reproducible because randomness flows through ``repro.utils.rng``
+(``make_rng`` / ``spawn``: seeded ``numpy.random.Generator`` trees).
+A stray ``np.random.rand()`` or ``random.choice()`` pulls from process-
+global state, so two runs of the same seed diverge the moment import
+order or thread scheduling changes.
+
+Flagged anywhere outside ``utils/rng.py``:
+
+* ``np.random.<fn>(...)`` for any legacy global-state function
+  (``default_rng``/``Generator``/``SeedSequence``/bit generators are
+  the sanctioned constructors and stay allowed),
+* stdlib ``random.<fn>(...)`` when the module imports ``random``, and
+  bare calls to functions imported *from* ``random``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    FileContext,
+    Finding,
+    Project,
+    Rule,
+    import_aliases,
+    qualified_name,
+)
+
+_ALLOWED_NUMPY = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+_STDLIB_RANDOM_FNS = {
+    "random",
+    "randint",
+    "randrange",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "uniform",
+    "gauss",
+    "normalvariate",
+    "expovariate",
+    "betavariate",
+    "seed",
+    "getrandbits",
+    "triangular",
+}
+
+_EXEMPT_SUFFIX = "utils/rng.py"
+
+
+class UnseededRngRule(Rule):
+    id = "RL006"
+    name = "unseeded-rng"
+    description = (
+        "no global-state RNG (np.random.*, stdlib random.*) outside "
+        "utils/rng.py — use make_rng()/spawn()"
+    )
+
+    def check(self, ctx: FileContext, project: Project) -> Iterator[Finding]:
+        if ctx.relpath.endswith(_EXEMPT_SUFFIX):
+            return
+        aliases = import_aliases(ctx.tree)
+        numpy_aliases = {n for n, t in aliases.items() if t == "numpy"}
+        nprandom_aliases = {n for n, t in aliases.items() if t == "numpy.random"}
+        stdlib_aliases = {n for n, t in aliases.items() if t == "random"}
+        from_random = {
+            n
+            for n, t in aliases.items()
+            if t.startswith("random.") and t.split(".")[-1] in _STDLIB_RANDOM_FNS
+        }
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = qualified_name(node.func)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            fn = parts[-1]
+            if len(parts) >= 3 and parts[0] in numpy_aliases and parts[1] == "random":
+                if fn not in _ALLOWED_NUMPY:
+                    yield self._finding(ctx, node, dotted, "numpy global RNG")
+            elif len(parts) == 2 and parts[0] in nprandom_aliases:
+                if fn not in _ALLOWED_NUMPY:
+                    yield self._finding(ctx, node, dotted, "numpy global RNG")
+            elif len(parts) == 2 and parts[0] in stdlib_aliases:
+                if fn in _STDLIB_RANDOM_FNS:
+                    yield self._finding(ctx, node, dotted, "stdlib global RNG")
+            elif len(parts) == 1 and fn in from_random:
+                yield self._finding(ctx, node, dotted, "stdlib global RNG")
+
+    def _finding(
+        self, ctx: FileContext, node: ast.Call, dotted: str, kind: str
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=ctx.relpath,
+            line=node.lineno,
+            col=node.col_offset,
+            message=(
+                f"'{dotted}(...)' uses {kind} state; route randomness through "
+                "repro.utils.rng.make_rng()/spawn() for reproducible runs"
+            ),
+        )

@@ -1,0 +1,165 @@
+"""RL005 — no writes to shared-memory views in worker-side code.
+
+``AttachedSharedState`` maps ``multiprocessing.shared_memory`` segments
+read-only (``view.setflags(write=False)``) and every process replica of
+a sliced model scores against the *same* physical pages.  A write
+through an attached view would corrupt every shard at once — NumPy's
+own flag check catches it at runtime deep inside scoring; this rule
+catches it at review time.
+
+Taint sources inside a function:
+
+* a parameter named ``views`` (the ``attach_shared_item_state``
+  convention),
+* any call to ``attach(...)`` / ``shared_state.attach(...)``,
+* an attribute read ``X.views`` (the ``AttachedSharedState`` views map),
+* subscripts of already-tainted mappings (``views["item_factors"]``).
+
+Assignments propagate taint to local names and ``self.*`` attributes
+within the same function.  Flagged on tainted values: subscript stores,
+augmented assignments, ``np.copyto(tainted, ...)``, and mutating method
+calls (``fill``, ``sort``, ``resize``, ``partition``, ``itemset``,
+``setflags(write=True)``).  Rebinding (``self._sim = views["sim"]``) is
+fine — that is the whole point of zero-copy attachment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import FileContext, Finding, Project, Rule, qualified_name
+
+_MUTATORS = {"fill", "sort", "resize", "partition", "itemset", "put"}
+
+
+def _taint_key(node: ast.expr) -> str | None:
+    """Canonical key for a taintable target: local name or self attr."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return f"self.{node.attr}"
+    return None
+
+
+class _FunctionTaint(ast.NodeVisitor):
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.tainted: set[str] = set()
+        for arg in list(func.args.args) + list(func.args.kwonlyargs):
+            if arg.arg == "views":
+                self.tainted.add("views")
+
+    def is_tainted(self, node: ast.expr) -> bool:
+        key = _taint_key(node)
+        if key is not None and key in self.tainted:
+            return True
+        if isinstance(node, ast.Subscript):
+            return self.is_tainted(node.value)
+        if isinstance(node, ast.Attribute) and node.attr == "views":
+            return True
+        if isinstance(node, ast.Call):
+            dotted = qualified_name(node.func)
+            if dotted and dotted.split(".")[-1] == "attach":
+                return True
+        return False
+
+    def note_assign(self, node: ast.Assign) -> None:
+        if not self.is_tainted(node.value):
+            return
+        for target in node.targets:
+            key = _taint_key(target)
+            if key is not None:
+                self.tainted.add(key)
+
+
+class SharedMemoryWriteRule(Rule):
+    id = "RL005"
+    name = "shared-memory-write"
+    description = (
+        "no writes through AttachedSharedState views — shared segments "
+        "are read-only in worker-side code"
+    )
+
+    def check(self, ctx: FileContext, project: Project) -> Iterator[Finding]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            # constructors build the views map itself (owner side);
+            # worker-side code only ever consumes an existing map
+            if func.name in ("__init__", "__post_init__"):
+                continue
+            taint = _FunctionTaint(func)
+            if not self._function_touches_views(func):
+                continue
+            # two passes: first propagate taint through assignments in
+            # source order, then flag mutations
+            for node in ast.walk(func):
+                if isinstance(node, ast.Assign):
+                    taint.note_assign(node)
+            yield from self._flag_mutations(func, taint, ctx)
+
+    @staticmethod
+    def _function_touches_views(func: ast.AST) -> bool:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Attribute) and node.attr == "views":
+                return True
+            if isinstance(node, ast.arg) and node.arg == "views":
+                return True
+            if isinstance(node, ast.Call):
+                dotted = qualified_name(node.func)
+                if dotted and dotted.split(".")[-1] == "attach":
+                    return True
+        return False
+
+    def _flag_mutations(
+        self,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        taint: _FunctionTaint,
+        ctx: FileContext,
+    ) -> Iterator[Finding]:
+        def finding(node: ast.AST, what: str) -> Finding:
+            return Finding(
+                rule=self.id,
+                path=ctx.relpath,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"{what} writes through a shared-memory view — attached "
+                    "segments are read-only across every process shard"
+                ),
+                symbol=func.name,
+            )
+
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript) and taint.is_tainted(
+                        target.value
+                    ):
+                        yield finding(node, "subscript assignment")
+            elif isinstance(node, ast.AugAssign):
+                base = node.target
+                if isinstance(base, ast.Subscript):
+                    base = base.value
+                if taint.is_tainted(base):
+                    yield finding(node, "augmented assignment")
+            elif isinstance(node, ast.Call):
+                fn = node.func
+                dotted = qualified_name(fn)
+                if dotted and dotted.split(".")[-1] == "copyto" and node.args:
+                    if taint.is_tainted(node.args[0]):
+                        yield finding(node, "np.copyto into a view")
+                elif isinstance(fn, ast.Attribute) and taint.is_tainted(fn.value):
+                    if fn.attr in _MUTATORS:
+                        yield finding(node, f"'.{fn.attr}()' call")
+                    elif fn.attr == "setflags" and any(
+                        kw.arg == "write"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True
+                        for kw in node.keywords
+                    ):
+                        yield finding(node, "'.setflags(write=True)'")

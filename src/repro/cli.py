@@ -16,6 +16,7 @@ Usage (after ``pip install -e .``)::
     repro-bench profile --config small --shards 4 --engine async
     repro-bench memory  --users 1000000 --items 100000 --shards 7 \
                         --json BENCH_memory.json
+    repro-bench lint    src --format json          # == repro-lint src
 
 or ``python -m repro.cli <subcommand> ...``.  Every run is deterministic
 given ``--seed``.
@@ -209,6 +210,14 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--json", default=None, metavar="PATH",
                          help="write the full profile as JSON")
 
+    # Dispatched before parsing in main() so every repro-lint flag passes
+    # through untouched; registered here so --help lists the tooling.
+    sub.add_parser(
+        "lint",
+        help="static concurrency/determinism analysis (delegates to repro-lint)",
+        add_help=False,
+    )
+
     return parser
 
 
@@ -223,6 +232,13 @@ def _metrics_row(label: str, outcome) -> list:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
+    raw_argv = list(sys.argv[1:] if argv is None else argv)
+    if raw_argv[:1] == ["lint"]:
+        # No experiment setup: the linter is pure stdlib and must stay
+        # runnable before any dataset or model exists.
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(raw_argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "serve":

@@ -49,9 +49,9 @@ class StageTimers:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self.seconds: dict[str, float] = {stage: 0.0 for stage in STAGES}
-        self.calls: dict[str, int] = {stage: 0 for stage in STAGES}
-        self.users: dict[str, int] = {stage: 0 for stage in STAGES}
+        self.seconds: dict[str, float] = {stage: 0.0 for stage in STAGES}  # guarded-by: _lock
+        self.calls: dict[str, int] = {stage: 0 for stage in STAGES}  # guarded-by: _lock
+        self.users: dict[str, int] = {stage: 0 for stage in STAGES}  # guarded-by: _lock
 
     def add(self, stage: str, seconds: float, n_users: int = 0) -> None:
         """Record one timed stage sample covering ``n_users`` users."""

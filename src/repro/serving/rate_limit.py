@@ -93,11 +93,11 @@ class RateLimiter:
         self.per_client = dict(per_client or {})
         self._clock = clock
         self._lock = threading.Lock()
-        self._query_windows: dict[str, deque[float]] = {}
-        self._injection_windows: dict[str, deque[float]] = {}
-        self._injection_totals: dict[str, int] = {}
-        self.n_denied_queries = 0
-        self.n_denied_injections = 0
+        self._query_windows: dict[str, deque[float]] = {}  # guarded-by: _lock
+        self._injection_windows: dict[str, deque[float]] = {}  # guarded-by: _lock
+        self._injection_totals: dict[str, int] = {}  # guarded-by: _lock
+        self.n_denied_queries = 0  # guarded-by: _lock
+        self.n_denied_injections = 0  # guarded-by: _lock
 
     def __getstate__(self) -> dict:
         """Pickle policies, windows, and counters; not the in-process lock.

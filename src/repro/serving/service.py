@@ -112,17 +112,17 @@ class ServiceStats:
     indistinguishable in reports.
     """
 
-    n_requests: int = 0
-    n_users_served: int = 0
-    n_users_scored: int = 0  # users that actually hit the model (cache misses)
+    n_requests: int = 0  # guarded-by: _lock
+    n_users_served: int = 0  # guarded-by: _lock
+    n_users_scored: int = 0  # guarded-by: _lock (users that hit the model: cache misses)
     n_injections: int = 0
     n_flagged_injections: int = 0
     n_blocked_injections: int = 0
-    n_rate_limited: int = 0  # admissions denied by quota (queries + injections)
-    n_shed: int = 0  # requests dropped by an overload policy pre-admission
-    n_timed_out: int = 0  # requests that gave up waiting for queue space
-    wall_times: list[float] = field(default_factory=list)
-    batch_sizes: list[int] = field(default_factory=list)
+    n_rate_limited: int = 0  # guarded-by: _lock (admissions denied by quota)
+    n_shed: int = 0  # guarded-by: _lock (dropped by an overload policy pre-admission)
+    n_timed_out: int = 0  # guarded-by: _lock (gave up waiting for queue space)
+    wall_times: list[float] = field(default_factory=list)  # guarded-by: _lock
+    batch_sizes: list[int] = field(default_factory=list)  # guarded-by: _lock
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -167,18 +167,19 @@ class ServiceStats:
 
     def summary(self) -> dict[str, float]:
         """Uniform query-side cost summary (shared with QueryLog reporting)."""
-        times = np.asarray(self.wall_times, dtype=np.float64)
-        sizes = np.asarray(self.batch_sizes, dtype=np.float64)
-        out: dict[str, float] = {
-            "n_requests": float(self.n_requests),
-            "n_users_served": float(self.n_users_served),
-            "n_users_scored": float(self.n_users_scored),
-            "n_injections": float(self.n_injections),
-        }
-        if self.n_rate_limited or self.n_shed or self.n_timed_out:
-            out["n_rate_limited"] = float(self.n_rate_limited)
-            out["n_shed"] = float(self.n_shed)
-            out["n_timed_out"] = float(self.n_timed_out)
+        with self._lock:
+            times = np.asarray(self.wall_times, dtype=np.float64)
+            sizes = np.asarray(self.batch_sizes, dtype=np.float64)
+            out: dict[str, float] = {
+                "n_requests": float(self.n_requests),
+                "n_users_served": float(self.n_users_served),
+                "n_users_scored": float(self.n_users_scored),
+                "n_injections": float(self.n_injections),
+            }
+            if self.n_rate_limited or self.n_shed or self.n_timed_out:
+                out["n_rate_limited"] = float(self.n_rate_limited)
+                out["n_shed"] = float(self.n_shed)
+                out["n_timed_out"] = float(self.n_timed_out)
         if times.size:
             out["total_wall_s"] = float(times.sum())
             out["mean_wall_ms"] = float(times.mean() * 1e3)
@@ -190,17 +191,18 @@ class ServiceStats:
         return out
 
     def reset(self) -> None:
-        self.n_requests = 0
-        self.n_users_served = 0
-        self.n_users_scored = 0
-        self.n_injections = 0
-        self.n_flagged_injections = 0
-        self.n_blocked_injections = 0
-        self.n_rate_limited = 0
-        self.n_shed = 0
-        self.n_timed_out = 0
-        self.wall_times = []
-        self.batch_sizes = []
+        with self._lock:
+            self.n_requests = 0
+            self.n_users_served = 0
+            self.n_users_scored = 0
+            self.n_injections = 0
+            self.n_flagged_injections = 0
+            self.n_blocked_injections = 0
+            self.n_rate_limited = 0
+            self.n_shed = 0
+            self.n_timed_out = 0
+            self.wall_times = []
+            self.batch_sizes = []
 
 
 def resolve_slice(

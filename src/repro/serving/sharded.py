@@ -318,6 +318,7 @@ class InvalidationBus:
     """
 
     def __init__(self) -> None:
+        # repro-lint: disable=RL004 -- subscriptions persist across episode resets by design
         self._subscribers: list[Callable[[ReplicationEvent], None]] = []
         self.events: list[int] = []  # user ids of published injections
         self.n_deliveries = 0
@@ -379,9 +380,10 @@ class _WorkerShard:
     ) -> None:
         self.index = index
         self.lock = Lock()
+        # repro-lint: disable=RL004 -- deployment topology, not episode state
         self.remote = False
-        self.n_replica_entries = 0  # replica cache size (remote mirrors only)
-        self._snapshot_seq = -1  # newest replica snapshot folded in so far
+        self.n_replica_entries = 0  # guarded-by: lock (replica cache size, remote mirrors only)
+        self._snapshot_seq = -1  # guarded-by: lock (newest replica snapshot folded in)
         self.cache = (
             TopKCache(
                 capacity=config.cache_capacity,
@@ -439,6 +441,10 @@ class _WorkerShard:
             self.limiter.reset()
             self.stats.reset()
             self.n_replica_entries = 0
+            # Without this, a mirror that saw snapshot seq N before the
+            # reset would drop every post-reset snapshot up to seq N —
+            # exactly the PR 8 restore-vs-fresh divergence class.
+            self._snapshot_seq = -1
 
     @property
     def busy_s(self) -> float:
@@ -461,7 +467,8 @@ class _WorkerShard:
     def summary(self) -> dict[str, float]:
         out = {"shard": float(self.index), **self.counters()}
         if self.cache is not None:
-            entries = self.n_replica_entries if self.remote else len(self.cache)
+            with self.lock:
+                entries = self.n_replica_entries if self.remote else len(self.cache)
             out["cache_entries"] = float(entries)
         return out
 

@@ -1,0 +1,233 @@
+"""CLI contract tests for repro-lint: suppressions, JSON schema,
+exit codes, baseline mode — plus the self-check that the committed
+source tree stays lint-clean."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.cli import main
+from repro.analysis.core import Analyzer
+from repro.analysis.rules import default_rules
+
+pytestmark = pytest.mark.lint
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+DIRTY = """
+import numpy as np
+
+def sample():
+    return np.random.rand(3)
+"""
+
+CLEAN = """
+import numpy as np
+
+def sample(rng):
+    return rng.random(3)
+"""
+
+
+def write_tree(tmp_path: Path, body: str, name: str = "mod.py") -> Path:
+    target = tmp_path / name
+    target.write_text(textwrap.dedent(body), encoding="utf-8")
+    return target
+
+
+# ------------------------------------------------------------------ exit codes
+
+
+def test_exit_zero_on_clean_tree(tmp_path, capsys):
+    write_tree(tmp_path, CLEAN)
+    assert main([str(tmp_path), "--root", str(tmp_path)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_exit_one_on_findings(tmp_path, capsys):
+    write_tree(tmp_path, DIRTY)
+    assert main([str(tmp_path), "--root", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "RL006" in out
+    assert "mod.py:5" in out
+
+
+def test_exit_two_on_missing_path(tmp_path):
+    with pytest.raises(SystemExit) as exc:
+        main([str(tmp_path / "nope")])
+    assert exc.value.code == 2
+
+
+def test_list_rules_names_all_six(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+        assert rule_id in out
+
+
+# ---------------------------------------------------------------- suppressions
+
+
+def test_suppression_with_justification_suppresses(tmp_path):
+    write_tree(
+        tmp_path,
+        """
+        import numpy as np
+
+        def sample():
+            return np.random.rand(3)  # repro-lint: disable=RL006 -- fixture exercising legacy API
+        """,
+    )
+    assert main([str(tmp_path), "--root", str(tmp_path)]) == 0
+
+
+def test_standalone_suppression_covers_next_line(tmp_path):
+    write_tree(
+        tmp_path,
+        """
+        import numpy as np
+
+        def sample():
+            # repro-lint: disable=RL006 -- fixture exercising legacy API
+            return np.random.rand(3)
+        """,
+    )
+    assert main([str(tmp_path), "--root", str(tmp_path)]) == 0
+
+
+def test_suppression_without_justification_is_rl000(tmp_path, capsys):
+    write_tree(
+        tmp_path,
+        """
+        import numpy as np
+
+        def sample():
+            return np.random.rand(3)  # repro-lint: disable=RL006
+        """,
+    )
+    assert main([str(tmp_path), "--root", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "RL000" in out  # malformed suppression reported
+    assert "RL006" in out  # and the finding is NOT suppressed
+
+
+def test_suppression_in_string_literal_does_not_suppress(tmp_path):
+    write_tree(
+        tmp_path,
+        """
+        import numpy as np
+
+        NOTE = "# repro-lint: disable=RL006 -- not a comment"
+
+        def sample():
+            return np.random.rand(3)
+        """,
+    )
+    assert main([str(tmp_path), "--root", str(tmp_path)]) == 1
+
+
+def test_syntax_error_reported_not_crash(tmp_path, capsys):
+    write_tree(tmp_path, "def broken(:\n")
+    assert main([str(tmp_path), "--root", str(tmp_path)]) == 1
+    assert "RL000" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------- JSON output
+
+
+def test_json_document_schema(tmp_path, capsys):
+    write_tree(tmp_path, DIRTY)
+    out_file = tmp_path / "findings.json"
+    code = main(
+        [
+            str(tmp_path),
+            "--root",
+            str(tmp_path),
+            "--format",
+            "json",
+            "--output",
+            str(out_file),
+        ]
+    )
+    assert code == 1
+    document = json.loads(capsys.readouterr().out)
+    # --output writes the identical document (the CI artifact)
+    assert json.loads(out_file.read_text()) == document
+
+    assert document["tool"] == "repro-lint"
+    assert document["schema_version"] == 1
+    assert document["files_analyzed"] == 1
+    assert set(document["rules"]) == {
+        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+    }
+    (finding,) = document["findings"]
+    assert {"rule", "path", "line", "col", "message", "fingerprint"} <= set(finding)
+    assert finding["rule"] == "RL006"
+    summary = document["summary"]
+    assert summary["n_findings"] == 1
+    assert summary["by_rule"] == {"RL006": 1}
+    assert summary["n_suppressed"] == 0
+    assert summary["n_baselined"] == 0
+
+
+# -------------------------------------------------------------------- baseline
+
+
+def test_write_then_apply_baseline(tmp_path, capsys):
+    write_tree(tmp_path, DIRTY)
+    baseline = tmp_path / "baseline.json"
+
+    assert main([str(tmp_path), "--root", str(tmp_path), "--write-baseline", str(baseline)]) == 0
+    assert len(load_baseline(baseline)) == 1
+
+    # known findings no longer gate...
+    assert main([str(tmp_path), "--root", str(tmp_path), "--baseline", str(baseline)]) == 0
+    capsys.readouterr()
+
+    # ...but a new finding still does
+    write_tree(
+        tmp_path,
+        """
+        import random
+
+        def pick(items):
+            return random.choice(items)
+        """,
+        name="other.py",
+    )
+    assert main([str(tmp_path), "--root", str(tmp_path), "--baseline", str(baseline)]) == 1
+    out = capsys.readouterr().out
+    assert "other.py" in out
+    assert "1 baselined" in out
+
+
+def test_baseline_fingerprints_survive_line_drift(tmp_path):
+    source = write_tree(tmp_path, DIRTY)
+    analyzer = Analyzer(default_rules(), root=tmp_path)
+    baseline = tmp_path / "baseline.json"
+    write_baseline(baseline, analyzer.run([tmp_path]).findings)
+
+    # push the finding down ten lines; the fingerprint must not change
+    source.write_text("# prologue\n" * 10 + source.read_text(), encoding="utf-8")
+    assert main([str(tmp_path), "--root", str(tmp_path), "--baseline", str(baseline)]) == 0
+
+
+# ------------------------------------------------------------------ self-check
+
+
+def test_committed_src_tree_is_lint_clean(capsys):
+    """The acceptance criterion itself: repro-lint src/ exits 0."""
+    code = main([str(REPO_ROOT / "src"), "--root", str(REPO_ROOT)])
+    out = capsys.readouterr().out
+    assert code == 0, f"repro-lint found new issues in src/:\n{out}"
+
+
+def test_committed_baseline_is_empty():
+    """The committed baseline carries no debt; fail here if a finding is
+    ever baselined instead of fixed without a deliberate decision."""
+    assert load_baseline(REPO_ROOT / "lint-baseline.json") == set()

@@ -325,3 +325,36 @@ def test_acknowledged_epochs_are_never_served_stale(epoch_platform, ops):
                 assert probe["n_users"] == service.n_users
     finally:
         service.restore(base)
+
+
+def test_worker_shard_reset_rewinds_snapshot_sequence():
+    """Found by repro-lint RL004 (reset-completeness, the PR 8 bug class).
+
+    ``_WorkerShard.reset`` zeroed the mirrored counters but kept
+    ``_snapshot_seq`` at its pre-reset high-water mark, so after an
+    episode reset the mirror silently dropped every replica snapshot up
+    to the old sequence number — cache counters froze at zero until the
+    worker's seq overtook the dead episode's.
+    """
+    from repro.serving.replica import CacheSnapshot
+    from repro.serving.sharded import _WorkerShard
+
+    shard = _WorkerShard(
+        index=0,
+        config=ServingConfig(cache_capacity=8),
+        per_client_policies={},
+        limiter_kwargs={},
+        n_items=16,
+    )
+    shard.apply_snapshot(CacheSnapshot(seq=5, hits=3, misses=2, n_entries=4))
+    assert shard.cache.stats.hits == 3
+
+    shard.reset()
+    assert shard.n_replica_entries == 0
+
+    # A fresh episode's first snapshot starts the worker seq low again;
+    # the mirror must fold it in rather than treating it as stale.
+    shard.apply_snapshot(CacheSnapshot(seq=1, hits=1, misses=1, n_entries=1))
+    assert shard.cache.stats.hits == 1
+    assert shard.cache.stats.misses == 1
+    assert shard.n_replica_entries == 1
