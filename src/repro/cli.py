@@ -16,6 +16,8 @@ Usage (after ``pip install -e .``)::
     repro-bench profile --config small --shards 4 --engine async
     repro-bench memory  --users 1000000 --items 100000 --shards 7 \
                         --json BENCH_memory.json
+    repro-bench rollout --users 120 --rounds 6 --engine threaded \
+                        --json BENCH_rollout.json
     repro-bench lint    src --format json          # == repro-lint src
 
 or ``python -m repro.cli <subcommand> ...``.  Every run is deterministic
@@ -46,6 +48,7 @@ from repro.experiments import (
     run_latency_curve,
     run_memory_bench,
     run_method,
+    run_rollout_bench,
     run_popularity_sweep,
     run_serving_benchmark,
     run_table2,
@@ -185,6 +188,33 @@ def build_parser() -> argparse.ArgumentParser:
     memory.add_argument("--json", default=None, metavar="PATH",
                         help="write the full report as JSON (e.g. BENCH_memory.json)")
 
+    rollout = sub.add_parser(
+        "rollout",
+        help="attack-survival under online learning: shilling inject, organic "
+             "retrain rounds through canary/shadow rollouts, guard auto-rollback",
+    )
+    rollout.add_argument("--users", type=int, default=120,
+                         help="genuine user population")
+    rollout.add_argument("--items", type=int, default=60, help="catalog size")
+    rollout.add_argument("--shards", type=int, default=3,
+                         help="shard count (shard 0 hosts the canary)")
+    rollout.add_argument("--fake-users", type=int, default=30,
+                         help="shilling profiles injected before the retrain rounds")
+    rollout.add_argument("--rounds", type=int, default=6,
+                         help="organic retrain rounds (one rollout each)")
+    rollout.add_argument("--clicks", type=int, default=60,
+                         help="organic clicks folded in per round")
+    rollout.add_argument("--k", type=int, default=10, help="top-k list length")
+    rollout.add_argument("--engine", choices=("serial", "threaded", "process", "async"),
+                         default="threaded",
+                         help="execution engine the whole experiment runs on")
+    rollout.add_argument("--replication", choices=("full", "sliced"), default="full",
+                         help="replica state layout under the process engine")
+    rollout.add_argument("--min-agreement", type=float, default=0.9,
+                         help="shadow-agreement floor for the guard-demonstration leg")
+    rollout.add_argument("--json", default=None, metavar="PATH",
+                         help="write the full report as JSON (e.g. BENCH_rollout.json)")
+
     profile = sub.add_parser(
         "profile",
         help="serving hot-path profile (per-stage wall-clock timers + cProfile)",
@@ -271,6 +301,16 @@ def main(argv: Sequence[str] | None = None) -> int:
                 parser.error(f"--{name} must be positive")
         if any(scale <= 0 or scale > 1 for scale in args.scales):
             parser.error("--scales entries must be in (0, 1]")
+        if args.json is not None:
+            parent = os.path.dirname(os.path.abspath(args.json)) or "."
+            if not os.path.isdir(parent):
+                parser.error(f"--json directory does not exist: {parent}")
+    if args.command == "rollout":
+        for name in ("users", "items", "shards", "fake_users", "rounds", "clicks", "k"):
+            if getattr(args, name) <= 0:
+                parser.error(f"--{name.replace('_', '-')} must be positive")
+        if not 0.0 <= args.min_agreement <= 1.0:
+            parser.error("--min-agreement must be in [0, 1]")
         if args.json is not None:
             parent = os.path.dirname(os.path.abspath(args.json)) or "."
             if not os.path.isdir(parent):
@@ -383,6 +423,51 @@ def main(argv: Sequence[str] | None = None) -> int:
             and result["segments"]["clean"]
             and result["resync_payload"]["catalog_independent"]
         ) else 1
+
+    if args.command == "rollout":
+        # Synthetic end to end; no trained paper model needed.
+        result = run_rollout_bench(
+            n_users=args.users, n_items=args.items, n_shards=args.shards,
+            n_fake_users=args.fake_users, n_rounds=args.rounds,
+            clicks_per_round=args.clicks, k=args.k, engine=args.engine,
+            replication=args.replication, min_agreement=args.min_agreement,
+            seed=config.seed if args.seed is None else args.seed,
+        )
+        rows = [
+            ["baseline", "-", result["baseline"]["target_hit_rate"],
+             result["baseline"]["mean_target_rank"]],
+            ["post-attack", "-", result["attack"]["target_hit_rate"],
+             result["attack"]["mean_target_rank"]],
+        ] + [
+            [f"round {point['round']}", point["version"],
+             point["target_hit_rate"], point["mean_target_rank"]]
+            for point in result["survival"]
+        ]
+        print(format_table(
+            ["phase", "version", f"target HR@{args.k}", "mean target rank"], rows,
+            title=f"Attack survival — {args.engine} engine, "
+                  f"{args.shards} shards, {args.fake_users} fake users",
+        ))
+        print()
+        rollback = result["auto_rollback"]
+        print(
+            f"guard leg: staged v{rollback['staged_version']} "
+            + (f"auto-rolled back ({rollback['reason']})" if rollback["fired"]
+               else "was NOT rolled back")
+            + f"; fleet serves v{rollback['active_version_after']}"
+        )
+        print(
+            "gates: "
+            + ", ".join(f"{name}={'ok' if ok else 'FAIL'}"
+                        for name, ok in result["gates"].items() if name != "all_pass")
+        )
+        if args.json:
+            import json
+
+            with open(args.json, "w") as handle:
+                json.dump(result, handle, indent=2, sort_keys=True)
+            print(f"wrote {args.json}")
+        return 0 if result["gates"]["all_pass"] else 1
 
     prep = prepare_experiment(config)
     print(f"target model test HR@10 = {prep.trained.test_metrics['hr@10']:.4f}")

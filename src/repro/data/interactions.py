@@ -183,6 +183,38 @@ class InteractionDataset:
             raise DataError("cannot add a user with an empty profile")
         return self._append_profile(profile)
 
+    def add_interaction(self, user_id: int, item_id: int) -> None:
+        """Append one organic interaction to an *existing* user's profile.
+
+        This is the online-learning primitive: organic traffic ticks
+        extend profiles in place (interaction order preserved — the new
+        item lands at the end of ``P_u``), and incremental retraining
+        (:meth:`~repro.recsys.base.Recommender.partial_fit`) folds the
+        new co-occurrences into the model.  Profiles never repeat items,
+        so re-interacting with a seen item is a :class:`DataError` —
+        callers sampling organic traffic screen with :meth:`has` first.
+
+        The profile tuple and its read-only array view are *replaced*,
+        never mutated: copies made by :meth:`copy` share those immutable
+        objects, so extending a profile here can never reach into a
+        snapshot taken before the interaction.
+        """
+        item = int(item_id)
+        user = int(user_id)
+        if not 0 <= user < len(self._profiles):
+            raise DataError(f"user id {user} outside dataset of {len(self._profiles)} users")
+        if not 0 <= item < self._n_items:
+            raise DataError(f"item id {item} outside catalog of size {self._n_items}")
+        if item in self._profile_sets[user]:
+            raise DataError(f"user {user} already interacted with item {item}")
+        items = self._profiles[user] + (item,)
+        self._profiles[user] = items
+        self._profile_sets[user] = frozenset(items)
+        array = np.asarray(items, dtype=np.int64)
+        array.setflags(write=False)
+        self._profile_arrays[user] = array
+        self._item_users[item].append(user)
+
     def copy(self) -> "InteractionDataset":
         """Deep copy, used to reset the attack environment between episodes."""
         clone = InteractionDataset([], n_items=self._n_items, name=self.name)

@@ -53,6 +53,18 @@ class SnapshotError(ReproError):
     """A snapshot is inconsistent with the state it is being restored onto."""
 
 
+class RolloutError(ReproError):
+    """A versioned-rollout protocol violation.
+
+    Raised when the rollout state machine is driven out of order —
+    staging a second version while one is already in flight, promoting
+    or rolling back with no rollout active, mutating the serving model
+    (inject / restore) during an active canary window, or staging a
+    model whose user base diverges from the fleet's (routing must be
+    identical across versions).
+    """
+
+
 class StaleReplicaError(ReproError):
     """A shard worker's replicated state lags the coordinator's epoch.
 

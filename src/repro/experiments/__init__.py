@@ -18,6 +18,7 @@ from repro.experiments.fig5_budget import (
 )
 from repro.experiments.memory_bench import run_memory_bench, synthetic_mf
 from repro.experiments.reporting import format_metric_rows, format_query_stats, format_table
+from repro.experiments.rollout_bench import run_rollout_bench, synthetic_organic_dataset
 from repro.experiments.serving_bench import (
     measure_cohort_speedup,
     run_hotpath_profile,
@@ -66,6 +67,8 @@ __all__ = [
     "measure_cohort_speedup",
     "run_memory_bench",
     "synthetic_mf",
+    "run_rollout_bench",
+    "synthetic_organic_dataset",
     "run_hotpath_profile",
     "run_latency_curve",
     "run_serving_benchmark",

@@ -38,6 +38,12 @@ class Recommender:
     #: (ItemKNN's similarity matrix, popularity counts) the coordinator
     #: must republish the shared state after every injection.
     shared_static_under_injection: bool = True
+    #: Whether :meth:`partial_fit` is implemented: incremental model
+    #: updates from organic interactions (fold-in for MF/ItemKNN,
+    #: mini-batch continuation for NeuralCF).  Models that leave this
+    #: False (PinSage) are retrained from scratch or not at all — the
+    #: online-learning layer checks the flag before building candidates.
+    supports_partial_fit: bool = False
 
     def __init__(self) -> None:
         self._dataset: InteractionDataset | None = None
@@ -194,6 +200,24 @@ class Recommender:
         override it to install ``user_state`` alongside.
         """
         return self.dataset.add_user(profile)
+
+    # -- online learning -----------------------------------------------------
+    def partial_fit(self, interactions: Sequence[tuple[int, int]]) -> "Recommender":
+        """Fold a batch of organic ``(user_id, item_id)`` interactions in.
+
+        Each interaction extends an *existing* user's profile
+        (:meth:`~repro.data.interactions.InteractionDataset.add_interaction`)
+        and updates the model's representations incrementally — no user
+        is ever added or removed, so routing in a sharded fleet is
+        identical before and after (the rollout protocol relies on
+        this).  What "incrementally" means is model-specific: MF
+        re-derives the affected users' fold-in rows, ItemKNN updates
+        co-occurrence counts, NeuralCF continues SGD on the extended
+        dataset.  Models that cannot update incrementally leave
+        :attr:`supports_partial_fit` False and inherit this
+        ``NotImplementedError``.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support partial_fit")
 
     # -- mutation -----------------------------------------------------------
     def add_user(self, profile: Sequence[int]) -> int:

@@ -156,6 +156,32 @@ class ItemKNN(Recommender):
         self._sim = None
         return user_id
 
+    # -- online learning ---------------------------------------------------------
+    supports_partial_fit = True
+
+    def partial_fit(self, interactions: Sequence[tuple[int, int]]) -> "ItemKNN":
+        """Incremental co-occurrence update for organic interactions.
+
+        A user ``u`` with profile ``P`` gaining item ``v`` adds exactly
+        the co-occurrence mass a from-scratch refit would see: ``C[v, w]``
+        and ``C[w, v]`` for every ``w`` in ``P``, plus the diagonal
+        ``C[v, v]``.  The cached similarity matrix goes stale and is
+        rebuilt lazily (or by ``prewarm``), same as an injection.
+        """
+        if self._cooc is None:
+            raise NotFittedError("ItemKNN.fit has not been called")
+        dataset = self.dataset
+        for user_id, item_id in interactions:
+            prior = np.asarray(dataset.user_profile(int(user_id)), dtype=np.int64)
+            dataset.add_interaction(user_id, item_id)
+            item = int(item_id)
+            self._cooc[item, prior] += 1.0
+            self._cooc[prior, item] += 1.0
+            self._cooc[item, item] += 1.0
+            self._item_counts[item] += 1.0
+        self._sim = None
+        return self
+
     def snapshot(self):
         return (self.dataset.copy(), self._cooc.copy(), self._item_counts.copy())
 

@@ -202,6 +202,32 @@ class MatrixFactorization(Recommender):
         self.user_factors = np.vstack([self.user_factors, user_state])
         return local_id
 
+    # -- online learning ---------------------------------------------------------
+    supports_partial_fit = True
+
+    def partial_fit(self, interactions: Sequence[tuple[int, int]]) -> "MatrixFactorization":
+        """Fold-in update: re-derive affected users' rows, freeze items.
+
+        Each interaction extends an existing profile, then the user's
+        factor row is re-derived as :meth:`embed_profile` of the
+        extended profile — the same fold-in rule injected users get.
+        ``item_factors`` are deliberately untouched: the MF snapshot
+        captures only ``(dataset, user_factors)`` and sliced replicas
+        share one item-factor copy, so an incremental update that moved
+        item factors would silently escape both episode restores and
+        shared-state replication.
+        """
+        if self.user_factors is None:
+            raise NotFittedError("MatrixFactorization.fit has not been called")
+        dataset = self.dataset
+        touched: set[int] = set()
+        for user_id, item_id in interactions:
+            dataset.add_interaction(user_id, item_id)
+            touched.add(int(user_id))
+        for user_id in sorted(touched):
+            self.user_factors[user_id] = self.embed_profile(dataset.user_profile(user_id))
+        return self
+
     # -- mutation ---------------------------------------------------------------
     def add_user(self, profile: Sequence[int]) -> int:
         """Fold in a new user as the mean of their profile's item factors."""

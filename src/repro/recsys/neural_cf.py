@@ -292,6 +292,31 @@ class NeuralCF(Recommender):
         self._pooled = np.vstack([self._pooled, user_state])
         return local_id
 
+    # ------------------------------------------------------------------ online learning
+    supports_partial_fit = True
+
+    def partial_fit(
+        self, interactions: Sequence[tuple[int, int]], n_epochs: int = 1
+    ) -> "NeuralCF":
+        """Mini-batch continuation on the extended dataset.
+
+        The new interactions join their users' profiles, then training
+        continues for ``n_epochs`` passes over the *whole* current
+        dataset (the same machinery as :meth:`refit` — NeuralCF has no
+        closed-form fold-in, so incremental means "a short continuation
+        cycle", which is exactly how such systems retrain in
+        production).  The profile pool cache is rebuilt afterwards so
+        the moved parameters reach scoring.
+        """
+        if self._net is None or self._optimizer is None:
+            raise NotFittedError("NeuralCF.fit has not been called")
+        dataset = self.dataset
+        for user_id, item_id in interactions:
+            dataset.add_interaction(user_id, item_id)
+        self._train_epochs(n_epochs)
+        self._refresh_pool()
+        return self
+
     # ------------------------------------------------------------------ injection
     def add_user(self, profile: Sequence[int]) -> int:
         """Register a new user.  Other users' scores are provably unchanged."""

@@ -129,6 +129,12 @@ class PinSageRecommender(Recommender):
         RNG for init, sampling, and shuffling.
     """
 
+    #: No incremental retraining: user aggregation caches depend on the
+    #: whole bipartite graph, so an interaction-level fold-in would need
+    #: a full neighbourhood recompute — the online-learning layer treats
+    #: PinSage as retrain-from-scratch only (explicit, per the base flag).
+    supports_partial_fit = False
+
     def __init__(
         self,
         n_factors: int = 16,

@@ -77,6 +77,18 @@ class PopularityRecommender(Recommender):
         self._counts[np.asarray(list(profile), dtype=np.int64)] += 1.0
         return user_id
 
+    # -- online learning ---------------------------------------------------------
+    supports_partial_fit = True
+
+    def partial_fit(self, interactions: Sequence[tuple[int, int]]) -> "PopularityRecommender":
+        """Organic interactions bump the global counts they touch."""
+        if self._counts is None:
+            raise NotFittedError("PopularityRecommender.fit has not been called")
+        for user_id, item_id in interactions:
+            self.dataset.add_interaction(user_id, item_id)
+            self._counts[int(item_id)] += 1.0
+        return self
+
     def snapshot(self):
         return (self.dataset.copy(), self._counts.copy())
 

@@ -21,6 +21,12 @@ pre-warm fan-out), :mod:`repro.serving.workload` for composable demand
 models, :mod:`repro.serving.traffic` for the organic-load benchmark
 harness, and :mod:`repro.serving.async_front` for the asyncio admission
 front (bounded queue, overload policies, queueing-latency metrics).
+
+Versioned model rollout lives in :mod:`repro.serving.rollout` (version
+registry, canary/shadow window state, auto-rollback guards), the
+organic-traffic retrain loop in :mod:`repro.serving.online`
+(``RetrainPolicy`` → ``partial_fit`` candidate → ``stage_rollout``), and
+controllable staged-model failures in :mod:`repro.serving.faults`.
 """
 
 from repro.serving.async_front import (
@@ -32,6 +38,7 @@ from repro.serving.async_front import (
     FrontRequest,
 )
 from repro.serving.cache import CacheStats, TopKCache
+from repro.serving.faults import FaultInjector, InjectedFaultError
 from repro.serving.engine import (
     ENGINES,
     AsyncEngine,
@@ -44,8 +51,20 @@ from repro.serving.engine import (
 )
 from repro.serving.metrics import percentile_summary, summarize_latencies
 from repro.serving.profiling import STAGES, StageTimers, profile_callable
+from repro.serving.online import (
+    DriftThreshold,
+    EveryNTicks,
+    OnlineLearner,
+    RetrainPolicy,
+)
 from repro.serving.rate_limit import UNLIMITED, QuotaPolicy, RateLimiter
 from repro.serving.replica import InjectionRecord, ReplicationEvent
+from repro.serving.rollout import (
+    ModelVersion,
+    ModelVersionRegistry,
+    RolloutController,
+    RolloutGuard,
+)
 from repro.serving.service import (
     RecommendationService,
     ServiceStats,
@@ -119,6 +138,16 @@ __all__ = [
     "make_engine",
     "ENGINES",
     "ReadWriteLock",
+    "ModelVersion",
+    "ModelVersionRegistry",
+    "RolloutGuard",
+    "RolloutController",
+    "RetrainPolicy",
+    "EveryNTicks",
+    "DriftThreshold",
+    "OnlineLearner",
+    "FaultInjector",
+    "InjectedFaultError",
     "AsyncServingFront",
     "BoundedAdmissionQueue",
     "FrontConfig",

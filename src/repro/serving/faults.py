@@ -1,0 +1,108 @@
+"""Fault injection for rollout testing: a wrapper model that misbehaves.
+
+The rollout protocol's safety story is "a bad candidate can never take
+the fleet down": a staged model that raises mid-slice or stalls past the
+guard's latency ceiling must trigger an automatic rollback that leaves
+every shard on the old version with no leaked resources.  Pinning that
+requires a *controllably* bad model — this module provides one.
+
+:class:`FaultInjector` wraps any fitted recommender and misbehaves only
+on the serving surface (``top_k_batch``), in one of two modes:
+
+* ``mode="raise"`` — every batched scoring call raises
+  :class:`InjectedFaultError` (a hard canary failure);
+* ``mode="stall"`` — every batched scoring call sleeps ``stall_s``
+  before delegating (a canary stall, tripping
+  :attr:`~repro.serving.rollout.RolloutGuard.canary_timeout_s`).
+
+The wrapper is picklable (it ships to process-engine replicas like any
+staged model) and delegates everything else to the wrapped model, so it
+passes ``stage_rollout``'s fitness and shape validation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ReproError
+from repro.recsys.base import Recommender
+
+__all__ = ["FaultInjector", "InjectedFaultError"]
+
+_MODES = ("raise", "stall")
+
+
+class InjectedFaultError(ReproError):
+    """The deliberate failure a :class:`FaultInjector` raises when scoring."""
+
+
+class FaultInjector(Recommender):
+    """A fitted recommender that fails (or stalls) on the serving path.
+
+    Only the batched serving entry point misbehaves; profile access,
+    snapshots, and mutation delegate to the wrapped model so the wrapper
+    is indistinguishable from a healthy candidate until traffic hits it
+    — exactly how a subtly broken retrained model fails in production.
+    """
+
+    # A staged FaultInjector must ship as a full transient pickle even
+    # under sliced replication (it has no slicing surface of its own).
+    supports_slicing = False
+
+    def __init__(self, inner: Recommender, mode: str = "raise", stall_s: float = 0.25) -> None:
+        super().__init__()
+        if not inner.is_fitted:
+            raise ConfigurationError("FaultInjector wraps a fitted model")
+        if mode not in _MODES:
+            raise ConfigurationError(f"mode must be one of {_MODES}, got {mode!r}")
+        if stall_s < 0:
+            raise ConfigurationError("stall_s must be non-negative")
+        self.inner = inner
+        self.mode = mode
+        self.stall_s = float(stall_s)
+        self._dataset = inner.dataset
+
+    # -- the faulty serving surface -------------------------------------------
+    def top_k_batch(
+        self, user_ids: Sequence[int] | np.ndarray, k: int, exclude_seen: bool = True
+    ) -> list[np.ndarray]:
+        if self.mode == "raise":
+            raise InjectedFaultError(
+                "injected fault: staged model failed while scoring "
+                f"{len(np.asarray(user_ids))} users"
+            )
+        time.sleep(self.stall_s)
+        return self.inner.top_k_batch(user_ids, k, exclude_seen=exclude_seen)
+
+    # -- transparent delegation -----------------------------------------------
+    def scores(self, user_id: int, item_ids: np.ndarray | None = None) -> np.ndarray:
+        return self.inner.scores(user_id, item_ids)
+
+    def scores_batch(
+        self, user_ids: Sequence[int] | np.ndarray, item_ids: np.ndarray | None = None
+    ) -> np.ndarray:
+        return self.inner.scores_batch(user_ids, item_ids)
+
+    def prewarm(self):
+        return self.inner.prewarm()
+
+    def apply_prewarm(self, state) -> None:
+        self.inner.apply_prewarm(state)
+
+    def prewarm_stats(self) -> dict[str, int]:
+        return self.inner.prewarm_stats()
+
+    def add_user(self, profile: Sequence[int]) -> int:
+        user_id = self.inner.add_user(profile)
+        self._dataset = self.inner.dataset
+        return user_id
+
+    def snapshot(self):
+        return self.inner.snapshot()
+
+    def restore(self, snapshot) -> None:
+        self.inner.restore(snapshot)
+        self._dataset = self.inner.dataset

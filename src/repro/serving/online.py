@@ -1,0 +1,148 @@
+"""Online learning: organic-traffic ticks driving retrain-and-rollout.
+
+The serving stack so far treats the model as frozen between explicit
+injections; real platforms fold **organic interactions** (users actually
+clicking recommended items) back into the model continuously.  This
+module closes that loop without ever mutating the serving model in
+place:
+
+1. organic interactions arrive in ticks (:meth:`OnlineLearner.observe`)
+   and accumulate in a pending buffer;
+2. a :class:`RetrainPolicy` decides when enough signal accumulated —
+   every N ticks (:class:`EveryNTicks`) or once interaction volume
+   crosses a drift threshold (:class:`DriftThreshold`);
+3. when the policy fires, the learner builds a **candidate**: a deep
+   copy of the serving model advanced with
+   :meth:`~repro.recsys.base.Recommender.partial_fit` over the buffered
+   interactions — the serving model itself is never touched;
+4. the candidate enters the fleet through the versioned rollout protocol
+   (:meth:`~repro.serving.sharded.ShardedRecommendationService.stage_rollout`):
+   canary on one shard, shadow comparison on the rest, promote or
+   auto-rollback by guard verdict.
+
+Separating "when to retrain" (policy) from "how to retrain"
+(``partial_fit``) from "how to deploy" (rollout) keeps each axis
+independently testable — and means a poisoned retrain can be *caught at
+the rollout boundary* instead of silently replacing the fleet's model,
+which is what the attack-survival experiment measures.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.rollout import RolloutGuard
+    from repro.serving.sharded import ShardedRecommendationService
+
+__all__ = ["RetrainPolicy", "EveryNTicks", "DriftThreshold", "OnlineLearner"]
+
+
+class RetrainPolicy:
+    """Decides when buffered organic traffic justifies a retrain."""
+
+    def note_tick(self, n_interactions: int) -> bool:
+        """Record one traffic tick; return True to trigger a retrain."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget accumulated trigger state (after a retrain fires)."""
+        raise NotImplementedError
+
+
+class EveryNTicks(RetrainPolicy):
+    """Fixed-cadence retraining: fire on every ``n_ticks``-th tick."""
+
+    def __init__(self, n_ticks: int) -> None:
+        if n_ticks <= 0:
+            raise ConfigurationError("n_ticks must be positive")
+        self.n_ticks = n_ticks
+        self.ticks = 0
+
+    def note_tick(self, n_interactions: int) -> bool:
+        self.ticks += 1
+        return self.ticks >= self.n_ticks
+
+    def reset(self) -> None:
+        self.ticks = 0
+
+
+class DriftThreshold(RetrainPolicy):
+    """Volume-driven retraining: fire once enough interactions accumulate.
+
+    Interaction volume is the simplest drift proxy the serving layer can
+    observe without model access — every interaction moves the model's
+    view of the world away from what it was trained on, so "how much
+    unabsorbed signal is buffered" approximates drift magnitude.
+    """
+
+    def __init__(self, min_interactions: int) -> None:
+        if min_interactions <= 0:
+            raise ConfigurationError("min_interactions must be positive")
+        self.min_interactions = min_interactions
+        self.pending = 0
+
+    def note_tick(self, n_interactions: int) -> bool:
+        self.pending += int(n_interactions)
+        return self.pending >= self.min_interactions
+
+    def reset(self) -> None:
+        self.pending = 0
+
+
+class OnlineLearner:
+    """Folds organic traffic into candidate models and stages rollouts.
+
+    One learner fronts one
+    :class:`~repro.serving.sharded.ShardedRecommendationService`.  It
+    never mutates the serving model: candidates are deep copies advanced
+    with ``partial_fit``, entering the fleet only through the rollout
+    protocol, where the guard can still reject them.
+    """
+
+    def __init__(
+        self,
+        service: "ShardedRecommendationService",
+        policy: RetrainPolicy,
+        canary_shard: int = 0,
+        guard: "RolloutGuard | None" = None,
+    ) -> None:
+        if not service.model.supports_partial_fit:
+            raise ConfigurationError(
+                f"{type(service.model).__name__} does not support partial_fit; "
+                "online learning needs an incrementally updatable model"
+            )
+        self.service = service
+        self.policy = policy
+        self.canary_shard = canary_shard
+        self.guard = guard
+        self.pending: list[tuple[int, int]] = []
+        #: Retrains staged so far (version numbers), for reporting.
+        self.staged_versions: list[int] = []
+
+    def observe(self, interactions: Sequence[tuple[int, int]]) -> int | None:
+        """Buffer one tick of organic interactions; maybe stage a retrain.
+
+        Returns the staged version number when this tick triggered a
+        retrain-and-stage, None otherwise.  Ticks arriving while a
+        canary window is already open keep buffering — the fleet decides
+        one version at a time, and the buffered signal rides into the
+        next candidate.
+        """
+        self.pending.extend((int(u), int(v)) for u, v in interactions)
+        if not self.policy.note_tick(len(interactions)):
+            return None
+        if self.service.rollout_active or not self.pending:
+            return None
+        candidate = copy.deepcopy(self.service.model)
+        candidate.partial_fit(self.pending)
+        version = self.service.stage_rollout(
+            candidate, canary_shard=self.canary_shard, guard=self.guard
+        )
+        self.pending = []
+        self.policy.reset()
+        self.staged_versions.append(version)
+        return version

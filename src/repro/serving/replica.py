@@ -63,6 +63,8 @@ __all__ = [
     "query_slice",
     "apply_event",
     "resync_sliced",
+    "stage_rollout_replica",
+    "unstage_rollout_replica",
     "probe_replica",
     "probe_memory",
 ]
@@ -134,7 +136,17 @@ class CacheSnapshot:
 
 @dataclass(frozen=True)
 class SliceResult:
-    """Outcome of one query slice resolved inside a worker replica."""
+    """Outcome of one query slice resolved inside a worker replica.
+
+    The trailing rollout fields are only nonzero while a version is
+    staged on this replica: ``canary_users`` counts users this slice
+    served *from the staged model* (the replica then recorded no stats
+    and touched no cache — the coordinator mirrors nothing either);
+    ``shadow_users``/``shadow_agree`` carry the shadow comparison for a
+    slice that served the active model; ``rollout_error`` reports a
+    staged-model failure (the slice fell back to the active model and
+    the coordinator must roll the window back).
+    """
 
     n_scored: int
     results: list[np.ndarray]
@@ -142,6 +154,10 @@ class SliceResult:
     epoch: int
     model_n_users: int
     cache: CacheSnapshot | None
+    canary_users: int = 0
+    shadow_users: int = 0
+    shadow_agree: int = 0
+    rollout_error: str | None = None
 
 
 @dataclass(frozen=True)
@@ -237,6 +253,13 @@ class _ReplicaState:
         self.global_to_local: dict[int, int] | None = None
         self.n_users_global: int | None = None
         self.attached: shared_state.AttachedSharedState | None = None
+        # Versioned-rollout window state: a staged candidate model (always
+        # a *full* model — global ids score directly, even on a sliced
+        # replica) and this shard's role in the window.  Transient by
+        # design: promote replaces the replica wholesale via resync,
+        # rollback unstages, and any resync clears both.
+        self.staged_model: "Recommender | None" = None
+        self.rollout_role: str | None = None  # "canary" | "shadow" | None
 
     def model_n_users(self) -> int:
         """Global user count (what acks/results/probes report).
@@ -376,11 +399,61 @@ def query_slice(
         )
     if state.shard_latency_s > 0.0:
         time.sleep(state.shard_latency_s)
+    rollout_error: str | None = None
+    if state.staged_model is not None and state.rollout_role == "canary":
+        # Canary: serve the staged model, side-effect-free — no cache,
+        # no stats, no seq bump — so a rollback leaves the shard's
+        # durable state exactly as if the window never opened.  A staged
+        # model that raises degrades the slice to the active model below
+        # and reports the failure for the coordinator to act on.
+        t0 = time.perf_counter()
+        try:
+            n_scored, results = resolve_slice(
+                state.staged_model, None, users, k, exclude_seen, False
+            )
+        except StaleReplicaError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - any staged-model fault rolls back
+            rollout_error = f"{type(exc).__name__}: {exc}"
+        else:
+            elapsed = time.perf_counter() - t0
+            return SliceResult(
+                n_scored=n_scored,
+                results=results,
+                elapsed=elapsed,
+                epoch=state.epoch,
+                model_n_users=state.model_n_users(),
+                cache=state.cache_snapshot(),
+                canary_users=len(users),
+            )
     t0 = time.perf_counter()
     n_scored, results = resolve_slice(
         state.serving_model, state.cache, users, k, exclude_seen, use_cache
     )
     elapsed = time.perf_counter() - t0
+    shadow_users = 0
+    shadow_agree = 0
+    if (
+        rollout_error is None
+        and state.staged_model is not None
+        and state.rollout_role == "shadow"
+    ):
+        # Shadow: the active model's lists were served above; score the
+        # staged model on the side and count exact top-k agreement.
+        try:
+            _, staged_lists = resolve_slice(
+                state.staged_model, None, users, k, exclude_seen, False
+            )
+        except StaleReplicaError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - any staged-model fault rolls back
+            rollout_error = f"{type(exc).__name__}: {exc}"
+        else:
+            shadow_users = len(users)
+            shadow_agree = sum(
+                int(np.array_equal(served, staged))
+                for served, staged in zip(results, staged_lists)
+            )
     state.stats.record_request(len(users), n_scored, elapsed)
     state.seq += 1
     return SliceResult(
@@ -390,6 +463,9 @@ def query_slice(
         epoch=state.epoch,
         model_n_users=state.model_n_users(),
         cache=state.cache_snapshot(),
+        shadow_users=shadow_users,
+        shadow_agree=shadow_agree,
+        rollout_error=rollout_error,
     )
 
 
@@ -463,6 +539,8 @@ def apply_event(event: ReplicationEvent) -> ReplicaAck:
         state.model = pickle.loads(event.model_blob)
         state.mode = "full"
         state.serving_model = state.model
+        state.staged_model = None
+        state.rollout_role = None
         if state.cache is not None:
             # Entries clear and the version counter rewinds with them
             # (flush defines version as injections since construction/
@@ -497,12 +575,46 @@ def resync_sliced(
     model = pickle.loads(slice_blob)
     model.attach_shared_item_state(state.attached.views)
     state.enter_sliced(model, np.asarray(user_ids, dtype=np.int64), n_users_global)
+    state.staged_model = None
+    state.rollout_role = None
     if state.cache is not None:
         state.cache.flush()
         state.cache.stats.reset()
     state.limiter.reset()
     state.stats.reset()
     state.epoch = epoch
+    state.seq += 1
+    return state.ack()
+
+
+def stage_rollout_replica(model_blob: bytes, role: str, expected_epoch: int) -> ReplicaAck:
+    """Stage a candidate model on this replica for a canary window.
+
+    ``model_blob`` is always a *full* pickled model — even sliced
+    replicas hold the complete candidate, because staged state is
+    transient (it never enters shared memory, so rollback can never leak
+    a segment) and global user ids then score directly.  Staging does
+    not advance the epoch: the replica's durable state is untouched.
+    """
+    state = _require_replica()
+    if state.epoch != expected_epoch:
+        raise StaleReplicaError(
+            f"shard {state.shard_index} replica is at epoch {state.epoch}, "
+            f"coordinator staged a rollout at epoch {expected_epoch}"
+        )
+    if role not in ("canary", "shadow"):
+        raise ConfigurationError(f"rollout role must be 'canary' or 'shadow', got {role!r}")
+    state.staged_model = pickle.loads(model_blob)
+    state.rollout_role = role
+    state.seq += 1
+    return state.ack()
+
+
+def unstage_rollout_replica() -> ReplicaAck:
+    """Drop the staged candidate (rollback); durable shard state stands."""
+    state = _require_replica()
+    state.staged_model = None
+    state.rollout_role = None
     state.seq += 1
     return state.ack()
 
@@ -521,6 +633,8 @@ def probe_replica() -> dict:
         "n_requests": state.stats.n_requests,
         "cache_entries": len(state.cache) if state.cache is not None else 0,
         "prewarm": state.model.prewarm_stats(),
+        "staged": state.staged_model is not None,
+        "rollout_role": state.rollout_role,
     }
 
 

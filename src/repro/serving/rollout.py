@@ -1,0 +1,228 @@
+"""Versioned model rollout: registry, guard thresholds, canary window state.
+
+Production fleets never swap a retrained model in atomically-and-blindly:
+a new **version** is staged next to the active one, one shard serves it
+as a **canary** while the others **shadow-score** it (score but keep
+serving the active version, logging agreement), and the fleet either
+**promotes** the version — it becomes the only one, fleet state resets
+as if freshly deployed — or **rolls back**, leaving every shard exactly
+on the old version.  This module holds the deployment-agnostic pieces of
+that protocol; :class:`~repro.serving.sharded.ShardedRecommendationService`
+drives them through the same epoch-stamped replication machinery that
+keeps injections in lockstep:
+
+* :class:`ModelVersionRegistry` — monotonic version bookkeeping.  The
+  fleet starts at version 0; staging allocates the next number; an
+  abandoned (rolled-back) version's number is burned, never reused, so
+  "version N" always denotes one specific candidate model across the
+  fleet's lifetime.  Episode restores rewind the registry wholesale —
+  restore-equals-fresh wins over cross-episode monotonicity, and the
+  property suite pins monotonicity *within* an episode.
+* :class:`RolloutGuard` — the auto-rollback thresholds: minimum shadow
+  sample size before the agreement gate may fire, the agreement floor
+  itself, and a canary-latency ceiling that turns a stalled canary into
+  a rollback instead of a degraded fleet.
+* :class:`RolloutController` — the mutable state of one in-flight
+  rollout window: the staged model, which shard is the canary, and the
+  canary/shadow counters concurrent query threads fold into (its lock is
+  a leaf — taken only around counter updates, never while calling into
+  the model or the engine).
+
+State machine (one rollout at a time; mutations are exclusive with an
+active window)::
+
+            stage_rollout()                promote_rollout()
+    ACTIVE ----------------> CANARY WINDOW ----------------> ACTIVE (v+1)
+    (v)                      (canary serves staged,          fleet state reset:
+     ^                        shadows score + compare)       == fresh fleet on v+1
+     |                            |
+     +----------------------------+
+        rollback_rollout() / auto-rollback
+        (guard regression, canary raise, canary stall)
+        fleet state == pre-rollout fleet
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.recsys.base import Recommender
+
+__all__ = ["ModelVersion", "ModelVersionRegistry", "RolloutGuard", "RolloutController"]
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One entry in the fleet's version history."""
+
+    version: int
+    n_users: int
+    source: str  # "initial" | "promoted" | "abandoned"
+
+
+class ModelVersionRegistry:
+    """Monotonic bookkeeping of the fleet's serving-model versions.
+
+    ``active`` is the version every shard currently serves; ``staged``
+    is the candidate in the canary window (None outside one).  Version
+    numbers only ever grow within an episode — an abandoned candidate
+    burns its number.  ``reset()`` rewinds to the freshly-constructed
+    state: episode restores must leave *no* observable trace, and the
+    registry is fleet state like any other (documented trade-off: a
+    restored fleet reuses version numbers a dead episode allocated).
+    """
+
+    def __init__(self) -> None:
+        self.active = 0
+        self.staged: int | None = None
+        self._next = 1
+        self.history: list[ModelVersion] = []
+
+    @property
+    def rollout_active(self) -> bool:
+        return self.staged is not None
+
+    def stage(self) -> int:
+        """Allocate the next version number for a staged candidate."""
+        version = self._next
+        self._next = version + 1
+        self.staged = version
+        return version
+
+    def promote(self, n_users: int) -> int:
+        """The staged version becomes the active one."""
+        version = self.staged
+        self.staged = None
+        self.active = version
+        self.history.append(ModelVersion(version=version, n_users=n_users, source="promoted"))
+        return version
+
+    def abandon(self, n_users: int) -> int:
+        """Burn the staged version's number; the active version stands."""
+        version = self.staged
+        self.staged = None
+        self.history.append(ModelVersion(version=version, n_users=n_users, source="abandoned"))
+        return version
+
+    def reset(self) -> None:
+        """Episode boundary: back to the freshly-constructed registry."""
+        self.active = 0
+        self.staged = None
+        self._next = 1
+        self.history = []
+
+
+@dataclass(frozen=True)
+class RolloutGuard:
+    """Auto-rollback thresholds for one canary window.
+
+    The agreement gate fires when at least ``min_shadow_users`` shadow
+    comparisons have accumulated and the staged model's top-k lists
+    agree with the served lists on less than ``min_agreement`` of them
+    (agreement is element-wise list equality — the strictest regression
+    signal the serving layer can compute without ground-truth labels).
+    ``min_agreement = 0`` disables the gate.  ``canary_timeout_s`` caps
+    a single canary slice's resolution time; a slower slice is treated
+    as a stalled canary and rolls the window back (None disables).
+    """
+
+    min_shadow_users: int = 1
+    min_agreement: float = 0.0
+    canary_timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.min_shadow_users < 1:
+            raise ValueError("min_shadow_users must be at least 1")
+        if not 0.0 <= self.min_agreement <= 1.0:
+            raise ValueError("min_agreement must be in [0, 1]")
+        if self.canary_timeout_s is not None and self.canary_timeout_s <= 0:
+            raise ValueError("canary_timeout_s must be positive when set")
+
+
+class RolloutController:
+    """Mutable state of one in-flight canary window.
+
+    Created under the coordinator's model *write* lock at stage time and
+    dropped (under the write lock again) at promote/rollback; the
+    counter updates in between arrive from concurrent query threads
+    holding the *read* side, so they serialize on this controller's own
+    lock.  The controller never initiates the rollback itself — it only
+    renders a verdict; the service acts on it outside the read hold
+    (a reader cannot upgrade to the write lock).
+    """
+
+    def __init__(
+        self,
+        version: int,
+        staged_model: "Recommender",
+        canary_shard: int,
+        guard: RolloutGuard,
+    ) -> None:
+        self.version = version
+        self.staged_model = staged_model
+        self.canary_shard = canary_shard
+        self.guard = guard
+        self._lock = threading.Lock()
+        self.n_canary_users = 0  # guarded-by: _lock
+        self.n_shadow_users = 0  # guarded-by: _lock
+        self.n_shadow_agree = 0  # guarded-by: _lock
+        self._failure: str | None = None
+
+    def note_canary(self, n_users: int, elapsed_s: float) -> None:
+        """Fold one canary slice in; a slow slice trips the stall guard."""
+        timeout = self.guard.canary_timeout_s
+        with self._lock:
+            self.n_canary_users += n_users
+            if timeout is not None and elapsed_s > timeout and self._failure is None:
+                self._failure = (
+                    f"canary shard {self.canary_shard} stalled: slice took "
+                    f"{elapsed_s:.3f}s (ceiling {timeout:.3f}s)"
+                )
+
+    def note_shadow(self, n_users: int, n_agree: int) -> None:
+        with self._lock:
+            self.n_shadow_users += n_users
+            self.n_shadow_agree += n_agree
+
+    def fail(self, reason: str) -> None:
+        """Record a hard canary failure (exception mid-slice); first wins."""
+        with self._lock:
+            if self._failure is None:
+                self._failure = reason
+
+    def agreement(self) -> float | None:
+        """Shadow agreement fraction so far (None before any sample)."""
+        with self._lock:
+            if self.n_shadow_users == 0:
+                return None
+            return self.n_shadow_agree / self.n_shadow_users
+
+    def verdict(self) -> str | None:
+        """Why this window must roll back, or None to keep it open."""
+        guard = self.guard
+        with self._lock:
+            if self._failure is not None:
+                return self._failure
+            if (
+                guard.min_agreement > 0.0
+                and self.n_shadow_users >= guard.min_shadow_users
+                and self.n_shadow_agree < guard.min_agreement * self.n_shadow_users
+            ):
+                return (
+                    f"shadow agreement regression: {self.n_shadow_agree}/"
+                    f"{self.n_shadow_users} agree "
+                    f"({self.n_shadow_agree / self.n_shadow_users:.3f} < "
+                    f"{guard.min_agreement:.3f} floor)"
+                )
+        return None
+
+    def counters(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "n_canary_users": self.n_canary_users,
+                "n_shadow_users": self.n_shadow_users,
+                "n_shadow_agree": self.n_shadow_agree,
+            }

@@ -121,6 +121,9 @@ class ServiceStats:
     n_rate_limited: int = 0  # guarded-by: _lock (admissions denied by quota)
     n_shed: int = 0  # guarded-by: _lock (dropped by an overload policy pre-admission)
     n_timed_out: int = 0  # guarded-by: _lock (gave up waiting for queue space)
+    n_canary_users: int = 0  # guarded-by: _lock (users served by a staged canary model)
+    n_shadow_users: int = 0  # guarded-by: _lock (users shadow-scored against a staged model)
+    n_shadow_agree: int = 0  # guarded-by: _lock (shadow users whose staged list matched the served one)
     wall_times: list[float] = field(default_factory=list)  # guarded-by: _lock
     batch_sizes: list[int] = field(default_factory=list)  # guarded-by: _lock
     _lock: threading.Lock = field(
@@ -165,6 +168,31 @@ class ServiceStats:
         with self._lock:
             self.n_timed_out += 1
 
+    def record_canary(self, n_users: int) -> None:
+        """Users whose lists came from the staged model during a rollout."""
+        with self._lock:
+            self.n_canary_users += n_users
+
+    def record_shadow(self, n_users: int, n_agree: int) -> None:
+        """Users shadow-scored against the staged model (served the active one)."""
+        with self._lock:
+            self.n_shadow_users += n_users
+            self.n_shadow_agree += n_agree
+
+    def clear_rollout_counters(self) -> None:
+        """Drop the canary-window counters after a rollback.
+
+        A rolled-back fleet must be indistinguishable from one that never
+        staged the candidate, and these three counters are the only stats
+        a pure canary/shadow window touches (regular request accounting
+        is unchanged by design: shadows serve the active model, canaries
+        degrade to it on failure).
+        """
+        with self._lock:
+            self.n_canary_users = 0
+            self.n_shadow_users = 0
+            self.n_shadow_agree = 0
+
     def summary(self) -> dict[str, float]:
         """Uniform query-side cost summary (shared with QueryLog reporting)."""
         with self._lock:
@@ -180,6 +208,10 @@ class ServiceStats:
                 out["n_rate_limited"] = float(self.n_rate_limited)
                 out["n_shed"] = float(self.n_shed)
                 out["n_timed_out"] = float(self.n_timed_out)
+            if self.n_canary_users or self.n_shadow_users:
+                out["n_canary_users"] = float(self.n_canary_users)
+                out["n_shadow_users"] = float(self.n_shadow_users)
+                out["n_shadow_agree"] = float(self.n_shadow_agree)
         if times.size:
             out["total_wall_s"] = float(times.sum())
             out["mean_wall_ms"] = float(times.mean() * 1e3)
@@ -201,6 +233,9 @@ class ServiceStats:
             self.n_rate_limited = 0
             self.n_shed = 0
             self.n_timed_out = 0
+            self.n_canary_users = 0
+            self.n_shadow_users = 0
+            self.n_shadow_agree = 0
             self.wall_times = []
             self.batch_sizes = []
 

@@ -104,13 +104,19 @@ from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigurationError, RateLimitExceededError, StaleReplicaError
+from repro.errors import (
+    ConfigurationError,
+    RateLimitExceededError,
+    RolloutError,
+    StaleReplicaError,
+)
 from repro.serving import replica as replica_proto
 from repro.serving import shared_state
 from repro.serving.cache import CacheStats, TopKCache
 from repro.serving.engine import ExecutionEngine, ReadWriteLock, make_engine
 from repro.serving.rate_limit import UNLIMITED, RateLimiter
 from repro.serving.replica import CacheSnapshot, InjectionRecord, ReplicationEvent
+from repro.serving.rollout import ModelVersionRegistry, RolloutController, RolloutGuard
 from repro.serving.service import RecommendationService, ServiceStats, ServingConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -580,6 +586,20 @@ class ShardedRecommendationService(RecommendationService):
             # detectable, never silent.
             self._epoch = 0
             self._model_lock = ReadWriteLock()
+            # Versioned rollout: the registry numbers candidate models
+            # (monotonic within an episode) and _rollout holds the state
+            # of the in-flight canary window, None outside one.  The
+            # reference itself is only rebound under the model write
+            # lock; query threads read it under the read side, and the
+            # controller's own lock guards its counters (see
+            # repro.serving.rollout) — so neither field carries a
+            # guarded-by annotation of its own.
+            self.versions = ModelVersionRegistry()
+            self._rollout: RolloutController | None = None
+            #: Most recent rollback of a staged version, as
+            #: ``{"version", "reason", "auto"}`` — None when no rollback
+            #: happened since construction / the last stage / restore.
+            self.last_rollout_rollback: dict | None = None
             limiter_kwargs = {} if limiter_clock is None else {"clock": limiter_clock}
             per_client = dict(self.config.client_policies)
             per_client.setdefault("evaluator", UNLIMITED)
@@ -792,6 +812,9 @@ class ShardedRecommendationService(RecommendationService):
                     latency_s=self.shard_latency_s,
                 )
             results = self._merge_outcomes(order, outcomes, n_users, profiler, start)
+        # Outside the read hold: acting on a rollout verdict needs the
+        # write lock, and a reader can never upgrade to it.
+        self._maybe_auto_rollback()
         return results
 
     async def query_async(
@@ -844,6 +867,13 @@ class ShardedRecommendationService(RecommendationService):
             results = self._merge_outcomes(order, outcomes, n_users, profiler, start)
         finally:
             self._model_lock.release_read()
+        rollout = self._rollout
+        if rollout is not None and rollout.verdict() is not None:
+            # The rollback blocks on the model write lock; never park the
+            # event loop in it while other coroutines hold the read side.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._maybe_auto_rollback
+            )
         return results
 
     def _route_request(self, users: np.ndarray, n_users: int, profiler):
@@ -877,6 +907,20 @@ class ShardedRecommendationService(RecommendationService):
     def _slice_tasks(
         self, slices, k: int, exclude_seen: bool, use_cache: bool
     ) -> list[Callable[[], tuple[int, list[np.ndarray]]]]:
+        rollout = self._rollout  # stable for the read hold (rebinding needs the write lock)
+        if rollout is not None:
+            return [
+                partial(
+                    self._resolve_shard_rollout,
+                    rollout,
+                    shard_index,
+                    slice_users,
+                    k,
+                    exclude_seen,
+                    use_cache,
+                )
+                for shard_index, _, slice_users in slices
+            ]
         return [
             partial(
                 self._resolve_shard,
@@ -939,9 +983,25 @@ class ShardedRecommendationService(RecommendationService):
             for shard_index, _, slice_users in slices
         ]
         outcomes: list[tuple[int, list[np.ndarray]]] = []
+        rollout = self._rollout  # stable for the read hold (rebinding needs the write lock)
         for (shard_index, _, slice_users), result in zip(slices, self._engine.gather(futures)):
             self._verify_replica(result.epoch, result.model_n_users, shard_index)
-            self.shards[shard_index].record_remote_slice(result, len(slice_users))
+            if rollout is not None and result.canary_users:
+                # Clean canary slice: the replica served the staged model
+                # side-effect-free (no stats recorded, no cache touched),
+                # so mirror only its unchanged cache view — recording the
+                # request here would make rollback observable.
+                self.shards[shard_index].apply_snapshot(result.cache)
+                rollout.note_canary(result.canary_users, result.elapsed)
+                self.stats.record_canary(result.canary_users)
+            else:
+                self.shards[shard_index].record_remote_slice(result, len(slice_users))
+                if rollout is not None:
+                    if result.rollout_error is not None:
+                        rollout.fail(f"shard {shard_index}: {result.rollout_error}")
+                    elif result.shadow_users:
+                        rollout.note_shadow(result.shadow_users, result.shadow_agree)
+                        self.stats.record_shadow(result.shadow_users, result.shadow_agree)
             outcomes.append((result.n_scored, result.results))
         return outcomes
 
@@ -979,6 +1039,62 @@ class ShardedRecommendationService(RecommendationService):
             shard.stats.record_request(len(shard_users), n_scored, self._clock() - t0)
         return n_scored, shard_results
 
+    def _resolve_shard_rollout(
+        self,
+        rollout: RolloutController,
+        shard_index: int,
+        shard_users: np.ndarray,
+        k: int,
+        exclude_seen: bool,
+        use_cache: bool,
+    ) -> tuple[int, list[np.ndarray]]:
+        """In-memory slice resolution while a version is staged.
+
+        The canary shard serves the *staged* model side-effect-free — no
+        shard cache, no shard stats — so a rollback leaves the shard's
+        durable state exactly as if the window never opened; a staged
+        model that raises marks the window failed and the slice degrades
+        to the active model through the normal path (that traffic is real
+        served traffic and is accounted as such).  Shadow shards serve
+        the active model normally, then score the staged model on the
+        side and fold exact top-k agreement into the window's counters.
+        """
+        shard = self.shards[shard_index]
+        if shard_index == rollout.canary_shard:
+            t0 = time.perf_counter()
+            try:
+                n_scored, shard_results = replica_proto.resolve_slice(
+                    rollout.staged_model, None, shard_users, k, exclude_seen, False
+                )
+            except Exception as exc:  # noqa: BLE001 - any staged-model fault rolls back
+                rollout.fail(
+                    f"canary shard {shard_index} raised {type(exc).__name__}: {exc}"
+                )
+            else:
+                rollout.note_canary(len(shard_users), time.perf_counter() - t0)
+                self.stats.record_canary(len(shard_users))
+                return n_scored, shard_results
+            return self._resolve_shard(shard, shard_users, k, exclude_seen, use_cache)
+        n_scored, shard_results = self._resolve_shard(
+            shard, shard_users, k, exclude_seen, use_cache
+        )
+        try:
+            _, staged_lists = replica_proto.resolve_slice(
+                rollout.staged_model, None, shard_users, k, exclude_seen, False
+            )
+        except Exception as exc:  # noqa: BLE001 - any staged-model fault rolls back
+            rollout.fail(
+                f"shadow scoring on shard {shard_index} raised {type(exc).__name__}: {exc}"
+            )
+        else:
+            n_agree = sum(
+                int(np.array_equal(served, staged))
+                for served, staged in zip(shard_results, staged_lists)
+            )
+            rollout.note_shadow(len(shard_users), n_agree)
+            self.stats.record_shadow(len(shard_users), n_agree)
+        return n_scored, shard_results
+
     # -- injection pipeline hooks --------------------------------------------
     def inject(self, profile: Sequence[int], client: str = "default") -> int:
         """Register a profile; exclusive with in-flight queries.
@@ -989,6 +1105,7 @@ class ShardedRecommendationService(RecommendationService):
         before the next query can start.
         """
         with self._model_lock.write():
+            self._check_no_rollout("inject")
             return super().inject(profile, client=client)
 
     def inject_batch(self, profiles: Sequence[Sequence[int]], client: str = "default") -> list[int]:
@@ -1010,6 +1127,7 @@ class ShardedRecommendationService(RecommendationService):
         if not self._sliced:
             return super().inject_batch(profiles, client=client)
         with self._model_lock.write():
+            self._check_no_rollout("inject_batch")
             assigned: list[int] = []
             try:
                 for profile in profiles:
@@ -1129,24 +1247,40 @@ class ShardedRecommendationService(RecommendationService):
         trace, exactly like the in-memory reset.
         """
         with self._model_lock.write():
+            self._check_no_rollout("restore")
             super().restore(snapshot)
-            for shard in self.shards:
-                shard.reset()
-            self._epoch += 1
-            if self._sliced:
-                self._resync_sliced()
-            elif self._remote:
-                # Ship the rolled-back model warm (the rollback dropped
-                # its lazy caches), so no replica pays a cold rebuild.
-                self._model.prewarm()
-                self._replicate(
-                    ReplicationEvent(
-                        kind="resync",
-                        epoch=self._epoch,
-                        model_blob=pickle.dumps(self._model),
-                    )
+            self.versions.reset()
+            self.last_rollout_rollback = None
+            self._reset_serving_state()
+
+    def _reset_serving_state(self) -> None:
+        """Reset every shard to a clean slate serving the coordinator's model.
+
+        Shared by episode :meth:`restore` (the model just rolled back)
+        and :meth:`promote_rollout` (the model just moved forward):
+        either way the fleet must be indistinguishable from one freshly
+        constructed around ``self._model`` — shard caches flushed and
+        counters zeroed, limiter windows clear, shard stats zero, the
+        epoch advanced, replicas resynced wholesale, and the bus history
+        forgotten.  Caller holds the model write lock.
+        """
+        for shard in self.shards:
+            shard.reset()
+        self._epoch += 1
+        if self._sliced:
+            self._resync_sliced()
+        elif self._remote:
+            # Ship the model warm (a rollback drops lazy caches, a
+            # promote may stage them cold), so no replica pays a rebuild.
+            self._model.prewarm()
+            self._replicate(
+                ReplicationEvent(
+                    kind="resync",
+                    epoch=self._epoch,
+                    model_blob=pickle.dumps(self._model),
                 )
-            self.bus.reset()
+            )
+        self.bus.reset()
 
     def _resync_sliced(self) -> None:
         """Sliced-mode episode resync: republish items, reship user slices.
@@ -1176,6 +1310,204 @@ class ShardedRecommendationService(RecommendationService):
         for shard, ack in zip(self.shards, self._engine.gather(futures)):
             self._verify_replica(ack.epoch, ack.model_n_users, shard.index)
             shard.apply_snapshot(ack.cache)
+
+    # -- versioned rollout -----------------------------------------------------
+    def _check_no_rollout(self, operation: str) -> None:
+        """Model mutations are exclusive with an active canary window.
+
+        An injection or restore landing mid-window would fork the fleet:
+        the active model moves while the staged candidate (trained
+        against the pre-mutation state) does not, so neither promote nor
+        rollback could restore a consistent fleet.  Callers hold the
+        model write lock.
+        """
+        if self._rollout is not None:
+            raise RolloutError(
+                f"{operation} is not allowed while version "
+                f"{self._rollout.version} is in a canary window; promote or "
+                "roll back the rollout first"
+            )
+
+    @property
+    def rollout_active(self) -> bool:
+        return self._rollout is not None
+
+    @property
+    def active_version(self) -> int:
+        """The fleet-wide serving-model version number."""
+        return self.versions.active
+
+    def rollout_status(self) -> dict | None:
+        """Live view of the in-flight canary window (None outside one)."""
+        rollout = self._rollout
+        if rollout is None:
+            return None
+        return {
+            "version": rollout.version,
+            "canary_shard": rollout.canary_shard,
+            "agreement": rollout.agreement(),
+            "verdict": rollout.verdict(),
+            **rollout.counters(),
+        }
+
+    def stage_rollout(
+        self,
+        model: "Recommender",
+        canary_shard: int = 0,
+        guard: RolloutGuard | None = None,
+    ) -> int:
+        """Open a canary window serving candidate ``model`` on one shard.
+
+        The candidate must be fitted over the *same* user and item
+        universe as the serving model — routing is id-driven and must be
+        identical across versions (online retraining via ``partial_fit``
+        preserves this by construction: it never adds or removes users).
+        Staging leaves every piece of durable fleet state untouched and
+        does not advance the epoch; under the process engine the
+        candidate ships to every replica as a transient full pickle (it
+        never enters shared memory, so an abandoned window can never
+        leak a segment).  Returns the staged version number.
+        """
+        with self._model_lock.write():
+            self._check_no_rollout("stage_rollout")
+            if not model.is_fitted:
+                raise RolloutError("stage_rollout requires a fitted candidate model")
+            if model.dataset.n_users != self._model.dataset.n_users:
+                raise RolloutError(
+                    f"candidate model has {model.dataset.n_users} users, the fleet "
+                    f"serves {self._model.dataset.n_users}; user routing must be "
+                    "identical across versions"
+                )
+            if model.dataset.n_items != self._model.dataset.n_items:
+                raise RolloutError(
+                    f"candidate model has {model.dataset.n_items} items, the fleet "
+                    f"serves {self._model.dataset.n_items}"
+                )
+            if not 0 <= canary_shard < self.n_shards:
+                raise RolloutError(
+                    f"canary shard {canary_shard} outside fleet of {self.n_shards} shards"
+                )
+            guard = guard if guard is not None else RolloutGuard()
+            model.prewarm()
+            version = self.versions.stage()
+            try:
+                if self._remote:
+                    blob = pickle.dumps(model)
+                    futures = [
+                        self._engine.submit_to(
+                            shard.index,
+                            replica_proto.stage_rollout_replica,
+                            blob,
+                            "canary" if shard.index == canary_shard else "shadow",
+                            self._epoch,
+                        )
+                        for shard in self.shards
+                    ]
+                    for shard, ack in zip(self.shards, self._engine.gather(futures)):
+                        self._verify_replica(ack.epoch, ack.model_n_users, shard.index)
+            except Exception:
+                # Leave no half-staged fleet behind: burn the version and
+                # drop whatever replicas did stage before re-raising.
+                self.versions.abandon(self._model.dataset.n_users)
+                if self._remote:
+                    self._engine.broadcast(replica_proto.unstage_rollout_replica)
+                raise
+            self._rollout = RolloutController(
+                version=version,
+                staged_model=model,
+                canary_shard=canary_shard,
+                guard=guard,
+            )
+            self.last_rollout_rollback = None
+            return version
+
+    def promote_rollout(self) -> int:
+        """Close the window in the candidate's favour: it becomes *the* model.
+
+        The staged model replaces the serving model and the whole fleet
+        resets around it exactly as :meth:`restore` resets around a
+        rolled-back model — caches, limiters, stats, bus history, and
+        replica state all return to the freshly-deployed baseline, so a
+        promoted fleet is indistinguishable from one constructed fresh
+        on the candidate (the rollout-conformance suite pins this).
+        Returns the now-active version number.
+        """
+        with self._model_lock.write():
+            rollout = self._rollout
+            if rollout is None:
+                raise RolloutError("promote_rollout with no rollout in flight")
+            if self._sliced and type(rollout.staged_model) is not type(self._model):
+                # Any model may *canary* (it ships as a transient full
+                # pickle), but promotion under sliced replication
+                # republishes item state into the serving model's
+                # existing segments, which a foreign class cannot fill.
+                raise RolloutError(
+                    "sliced replication publishes promoted item state into the "
+                    f"serving model's segments; candidate must be a "
+                    f"{type(self._model).__name__} to promote, got "
+                    f"{type(rollout.staged_model).__name__} — roll back instead"
+                )
+            self._model = rollout.staged_model
+            version = self.versions.promote(self._model.dataset.n_users)
+            self._rollout = None
+            # Base-service serving reset (the coordinator keeps no cache
+            # of its own in the sharded deployment), then the shared
+            # shard/replica reset machinery.
+            self.limiter.reset()
+            self.stats.reset()
+            self.flagged_injections.clear()
+            self._reset_serving_state()
+            return version
+
+    def rollback_rollout(self, reason: str = "manual") -> int:
+        """Close the window against the candidate: the active model stands.
+
+        Durable fleet state was never touched by the window (canary and
+        shadow scoring are side-effect-free), so dropping the staged
+        model and zeroing the window's counters restores the exact
+        pre-stage fleet.  Returns the burned version number.
+        """
+        with self._model_lock.write():
+            return self._rollback_locked(reason, auto=False)
+
+    def _rollback_locked(self, reason: str, auto: bool) -> int:
+        rollout = self._rollout
+        if rollout is None:
+            raise RolloutError("rollback_rollout with no rollout in flight")
+        version = self.versions.abandon(self._model.dataset.n_users)
+        self._rollout = None
+        if self._remote:
+            futures = [
+                self._engine.submit_to(
+                    shard.index, replica_proto.unstage_rollout_replica
+                )
+                for shard in self.shards
+            ]
+            for shard, ack in zip(self.shards, self._engine.gather(futures)):
+                self._verify_replica(ack.epoch, ack.model_n_users, shard.index)
+        self.stats.clear_rollout_counters()
+        self.last_rollout_rollback = {"version": version, "reason": reason, "auto": auto}
+        return version
+
+    def _maybe_auto_rollback(self) -> None:
+        """Act on a window verdict (guard breach or canary fault), if any.
+
+        Runs after every query, *outside* the read hold.  The verdict is
+        read lock-free; the rollback itself re-checks under the write
+        lock that the same window is still open (another thread may have
+        resolved it first), so double rollbacks cannot happen.
+        """
+        rollout = self._rollout
+        if rollout is None:
+            return
+        reason = rollout.verdict()
+        if reason is None:
+            return
+        with self._model_lock.write():
+            current = self._rollout
+            if current is None or current.version != rollout.version:
+                return
+            self._rollback_locked(reason, auto=True)
 
     # -- reporting -------------------------------------------------------------
     def cache_stats(self) -> CacheStats | None:

@@ -272,3 +272,59 @@ class TestMemorySubcommand:
         sliced_payload = result["sliced"][-1]["install_payload_bytes_shard0"]
         full_payload = result["full_baseline"]["install_payload_bytes_shard0"]
         assert sliced_payload < full_payload
+
+
+class TestRolloutSubcommand:
+    def test_rollout_defaults(self):
+        args = build_parser().parse_args(["rollout"])
+        assert args.command == "rollout"
+        assert args.users == 120
+        assert args.items == 60
+        assert args.shards == 3
+        assert args.fake_users == 30
+        assert args.rounds == 6
+        assert args.clicks == 60
+        assert args.k == 10
+        assert args.engine == "threaded"
+        assert args.replication == "full"
+        assert args.min_agreement == 0.9
+        assert args.json is None
+
+    def test_rollout_rejects_nonpositive_counts(self, capsys):
+        for flag in ("--users", "--rounds", "--fake-users", "--clicks"):
+            with pytest.raises(SystemExit):
+                main(["--config", "small", "rollout", flag, "0"])
+
+    def test_rollout_rejects_out_of_range_agreement(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--config", "small", "rollout", "--min-agreement", "1.5"])
+        with pytest.raises(SystemExit):
+            main(["--config", "small", "rollout", "--min-agreement", "-0.1"])
+
+    def test_rollout_rejects_unknown_engine(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--config", "small", "rollout", "--engine", "quantum"])
+
+    def test_rollout_runs_and_writes_json(self, capsys, tmp_path):
+        path = tmp_path / "BENCH_rollout.json"
+        code = main([
+            "--quiet",
+            "rollout", "--users", "60", "--items", "40", "--shards", "2",
+            "--fake-users", "15", "--rounds", "2", "--clicks", "30",
+            "--engine", "serial", "--json", str(path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Attack survival" in out
+        assert "auto-rolled back" in out
+        assert "auto_rollback_fired=ok" in out
+        result = json.loads(path.read_text())
+        assert result["config"]["engine"] == "serial"
+        assert result["baseline"]["target_hit_rate"] <= result["attack"]["target_hit_rate"]
+        assert result["attack"]["hit_rate_lift"] > 0
+        assert len(result["survival"]) == 2
+        assert result["survival"][-1]["version"] >= 1
+        assert result["auto_rollback"]["fired"] is True
+        assert "agreement regression" in result["auto_rollback"]["reason"]
+        assert result["leaked_segments"] == []
+        assert result["gates"]["all_pass"] is True

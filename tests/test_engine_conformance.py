@@ -23,6 +23,10 @@ added to ``repro.serving.ENGINES``.
 
 from __future__ import annotations
 
+import copy
+import pickle
+
+import numpy as np
 import pytest
 
 from repro.data import InteractionDataset
@@ -36,6 +40,7 @@ from repro.recsys import (
 from repro.serving import (
     ENGINES,
     RecommendationService,
+    RolloutGuard,
     ServingConfig,
     ShardedRecommendationService,
 )
@@ -213,3 +218,185 @@ def test_replay_after_restore_conforms(fitted_models, engine):
         assert _replay(sharded, ops) == first
         assert _stats_counters(sharded) == first_stats
         sharded.restore(base)
+
+
+# -- versioned rollout conformance --------------------------------------------
+#
+# The rollout protocol's two exactness contracts, pinned for every engine
+# under both replication modes (replication only changes where replica
+# state physically lives for the process engine; in-memory engines accept
+# and ignore the knob, keeping the matrix uniform):
+#
+# * a **completed** rollout is invisible: the promoted fleet serves
+#   byte-identical lists — with identical stats and cache counters — to a
+#   fresh single service built on the retrained model;
+# * a **rolled-back** rollout is invisible the other way: the fleet's
+#   observable state is exactly the pre-stage state (staging and the
+#   canary window touch no durable shard state).
+
+N_ROLLOUT_SHARDS = 3
+
+
+def _organic_interactions(model, n_users: int = 12) -> list[tuple[int, int]]:
+    """One new (user, item) interaction per user, deterministically."""
+    interactions = []
+    for user in range(n_users):
+        profile = model.dataset.user_profile_set(user)
+        item = next(i for i in range(N_ITEMS) if i not in profile)
+        interactions.append((user, item))
+    return interactions
+
+
+def _retrained_candidate(model):
+    """A deep-copied candidate advanced with partial_fit (serving model untouched)."""
+    candidate = copy.deepcopy(model)
+    candidate.partial_fit(_organic_interactions(model))
+    return candidate
+
+
+def _fleet_observables(service) -> dict:
+    """Durable fleet state a rollback must leave untouched."""
+    return {
+        "stats": _stats_counters(service),
+        "cache": _cache_counters(service),
+        "rollout_counters": (
+            service.stats.n_canary_users,
+            service.stats.n_shadow_users,
+            service.stats.n_shadow_agree,
+        ),
+        "shards": service.shard_summaries(),
+        "active_version": service.active_version,
+        "staged": service.versions.staged,
+        "epoch": service.epoch,
+        "n_users": service.n_users,
+    }
+
+
+@pytest.mark.timeout(600)
+@pytest.mark.parametrize("engine", ENGINES, ids=[f"engine_{e}" for e in ENGINES])
+@pytest.mark.parametrize("replication", ["sliced", "full"])
+class TestRolloutConformance:
+    def _service(self, model, replication, engine):
+        config = ServingConfig(cache_capacity=256, replication=replication)
+        return ShardedRecommendationService(
+            model, n_shards=N_ROLLOUT_SHARDS, config=config, engine=engine
+        )
+
+    def test_promoted_rollout_matches_fresh_single_service(
+        self, fitted_models, replication, engine
+    ):
+        """Window semantics + promote ≡ fresh single service on the candidate."""
+        model = fitted_models["mf"]
+        base = model.snapshot()
+        try:
+            with self._service(model, replication, engine) as sharded:
+                sharded.query(list(range(N_USERS)), k=5)  # pre-window traffic
+                candidate = _retrained_candidate(sharded.model)
+                reference_model = pickle.loads(pickle.dumps(candidate))
+                version = sharded.stage_rollout(
+                    candidate,
+                    canary_shard=1,
+                    guard=RolloutGuard(min_shadow_users=10**6),  # gate can't fire
+                )
+                assert version == 1 and sharded.rollout_active
+
+                # During the window: canary users serve the staged model,
+                # shadow users the active one — element-wise.
+                users = list(range(N_USERS))
+                window = sharded.query(users, k=5)
+                staged_ref = reference_model.top_k_batch(users, 5)
+                active_ref = sharded.model.top_k_batch(users, 5)
+                for position, user in enumerate(users):
+                    expected = (
+                        staged_ref[position]
+                        if sharded.shard_of(user) == 1
+                        else active_ref[position]
+                    )
+                    np.testing.assert_array_equal(window[position], expected)
+                status = sharded.rollout_status()
+                assert status["n_canary_users"] > 0
+                assert status["n_shadow_users"] > 0
+
+                assert sharded.promote_rollout() == 1
+                assert sharded.active_version == 1 and not sharded.rollout_active
+
+                # Post-promote the fleet must behave exactly like a fresh
+                # single service on the retrained model: lists, stats,
+                # and cache counters, for a full query/inject script.
+                ops = _script(seed=37)
+                single = RecommendationService(
+                    reference_model,
+                    config=ServingConfig(cache_capacity=256),
+                )
+                expected_outputs = _replay(single, ops)
+                got_outputs = _replay(sharded, ops)
+                assert got_outputs == expected_outputs, (
+                    f"promoted fleet diverged from fresh single service "
+                    f"under {engine}/{replication}"
+                )
+                assert _stats_counters(sharded) == _stats_counters(single)
+                assert _cache_counters(sharded) == _cache_counters(single)
+        finally:
+            model.restore(base)
+
+    def test_rolled_back_rollout_restores_pre_stage_fleet(
+        self, fitted_models, replication, engine
+    ):
+        """Stage → rollback with no window traffic ≡ the window never opened."""
+        model = fitted_models["mf"]
+        base = model.snapshot()
+        try:
+            with self._service(model, replication, engine) as sharded:
+                _replay(sharded, _script(seed=41, n_ops=10))
+                captured = _fleet_observables(sharded)
+                candidate = _retrained_candidate(sharded.model)
+                sharded.stage_rollout(candidate, canary_shard=0)
+                sharded.rollback_rollout(reason="conformance")
+                assert _fleet_observables(sharded) == captured
+                assert sharded.last_rollout_rollback == {
+                    "version": 1,
+                    "reason": "conformance",
+                    "auto": False,
+                }
+        finally:
+            model.restore(base)
+
+    def test_canary_window_traffic_leaves_no_durable_trace(
+        self, fitted_models, replication, engine
+    ):
+        """Window traffic, then rollback: the canary shard's durable state
+        is exactly pre-stage (canary serving bypasses its cache and stats),
+        rollout counters are zeroed, and served lists return to the active
+        model's ground truth."""
+        model = fitted_models["mf"]
+        base = model.snapshot()
+        try:
+            with self._service(model, replication, engine) as sharded:
+                users = list(range(N_USERS))
+                canary_shard = 1
+                canary_users = [u for u in users if sharded.shard_of(u) == canary_shard]
+                assert canary_users  # the routing must actually exercise the canary
+                before = _fleet_observables(sharded)
+                candidate = _retrained_candidate(sharded.model)
+                sharded.stage_rollout(
+                    candidate,
+                    canary_shard=canary_shard,
+                    guard=RolloutGuard(min_shadow_users=10**6),
+                )
+                sharded.query(users, k=5)
+                sharded.rollback_rollout()
+                after = _fleet_observables(sharded)
+                # The canary shard never recorded the window's traffic.
+                assert (
+                    after["shards"][canary_shard] == before["shards"][canary_shard]
+                )
+                # Window counters are gone with the window.
+                assert after["rollout_counters"] == (0, 0, 0)
+                assert after["active_version"] == 0 and after["staged"] is None
+                # And the fleet serves the active model again, everywhere.
+                served = sharded.query(users, k=5, use_cache=False)
+                expected = sharded.model.top_k_batch(users, 5)
+                for got, want in zip(served, expected):
+                    np.testing.assert_array_equal(got, want)
+        finally:
+            model.restore(base)

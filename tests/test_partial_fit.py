@@ -1,0 +1,206 @@
+"""Incremental-update (``partial_fit``) contracts, model by model.
+
+The rollout protocol builds candidates as ``deepcopy(model).partial_fit(
+interactions)``, so everything above it — online learning, canary
+windows, attack-survival measurements — rests on three contracts pinned
+here:
+
+* ``InteractionDataset.add_interaction`` extends profiles *without*
+  reaching into previously taken copies (tuples are replaced, never
+  mutated), and rejects unknown users, out-of-catalog items, and repeat
+  interactions;
+* each model's incremental update matches its documented semantics —
+  MF's fold-in touches only the affected users' rows and freezes item
+  factors, ItemKNN's co-occurrence increments are exactly what a
+  from-scratch refit would count, popularity bumps the touched counts,
+  NeuralCF continues training deterministically;
+* models that cannot update incrementally say so loudly
+  (``supports_partial_fit`` False + ``NotImplementedError``) instead of
+  silently serving a stale model.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.data import InteractionDataset
+from repro.errors import DataError, NotFittedError
+from repro.recsys import (
+    ItemKNN,
+    MatrixFactorization,
+    NeuralCF,
+    PinSageRecommender,
+    PopularityRecommender,
+    Recommender,
+)
+
+N_ITEMS = 12
+
+PROFILES = [
+    [0, 1, 2],
+    [1, 3, 4],
+    [2, 5],
+    [0, 4, 6, 7],
+    [3, 8],
+]
+
+
+def _dataset() -> InteractionDataset:
+    return InteractionDataset([list(p) for p in PROFILES], n_items=N_ITEMS)
+
+
+# -- dataset primitive ---------------------------------------------------------
+
+
+class TestAddInteraction:
+    def test_extends_profile_preserving_order(self):
+        dataset = _dataset()
+        dataset.add_interaction(0, 9)
+        assert dataset.user_profile(0) == (0, 1, 2, 9)
+        assert 9 in dataset.user_profile_set(0)
+        np.testing.assert_array_equal(dataset.user_profile_array(0), [0, 1, 2, 9])
+        assert 0 in dataset.item_users(9)
+        assert dataset.n_users == len(PROFILES)  # never adds a user
+
+    def test_rejects_unknown_user(self):
+        with pytest.raises(DataError, match="outside dataset"):
+            _dataset().add_interaction(len(PROFILES), 0)
+        with pytest.raises(DataError, match="outside dataset"):
+            _dataset().add_interaction(-1, 0)
+
+    def test_rejects_out_of_catalog_item(self):
+        with pytest.raises(DataError, match="outside catalog"):
+            _dataset().add_interaction(0, N_ITEMS)
+        with pytest.raises(DataError, match="outside catalog"):
+            _dataset().add_interaction(0, -1)
+
+    def test_rejects_repeat_interaction(self):
+        dataset = _dataset()
+        with pytest.raises(DataError, match="already interacted"):
+            dataset.add_interaction(0, 1)
+        dataset.add_interaction(0, 9)
+        with pytest.raises(DataError, match="already interacted"):
+            dataset.add_interaction(0, 9)
+
+    def test_copies_are_isolated_from_later_interactions(self):
+        dataset = _dataset()
+        frozen = dataset.copy()
+        dataset.add_interaction(0, 9)
+        assert frozen.user_profile(0) == (0, 1, 2)
+        assert not frozen.has(0, 9)
+        assert 0 not in frozen.item_users(9)
+        # And the other direction: extending the copy leaves the original alone.
+        frozen.add_interaction(1, 9)
+        assert not dataset.has(1, 9)
+
+
+# -- per-model semantics -------------------------------------------------------
+
+
+def test_base_recommender_defaults_to_unsupported():
+    assert Recommender.supports_partial_fit is False
+    with pytest.raises(NotImplementedError, match="does not support partial_fit"):
+        Recommender.partial_fit(PopularityRecommender(), [(0, 9)])
+
+
+def test_pinsage_declares_no_partial_fit():
+    assert PinSageRecommender.supports_partial_fit is False
+    model = PinSageRecommender(n_factors=4, n_epochs=2, seed=3).fit(_dataset())
+    with pytest.raises(NotImplementedError, match="PinSage"):
+        model.partial_fit([(0, 9)])
+
+
+def test_unfitted_models_raise_not_fitted():
+    for model in (MatrixFactorization(), ItemKNN(), PopularityRecommender(), NeuralCF()):
+        with pytest.raises(NotFittedError):
+            model.partial_fit([(0, 9)])
+
+
+def test_popularity_counts_bump_only_touched_items():
+    model = PopularityRecommender().fit(_dataset())
+    before = model._counts.copy()
+    model.partial_fit([(0, 9), (1, 9), (2, 0)])
+    delta = model._counts - before
+    expected = np.zeros(N_ITEMS)
+    expected[9] = 2.0
+    expected[0] = 1.0
+    np.testing.assert_array_equal(delta, expected)
+    assert model.dataset.has(0, 9) and model.dataset.has(1, 9) and model.dataset.has(2, 0)
+
+
+def test_mf_foldin_touches_only_affected_user_rows():
+    model = MatrixFactorization(n_factors=4, n_epochs=5, seed=7).fit(_dataset())
+    users_before = model.user_factors.copy()
+    items_before = model.item_factors.copy()
+    model.partial_fit([(1, 9), (3, 9)])
+    # Item factors frozen: the MF snapshot omits them and sliced
+    # replicas share one copy, so fold-in must never move them.
+    np.testing.assert_array_equal(model.item_factors, items_before)
+    untouched = [u for u in range(len(PROFILES)) if u not in (1, 3)]
+    np.testing.assert_array_equal(model.user_factors[untouched], users_before[untouched])
+    # Touched rows follow the documented fold-in rule exactly.
+    for user in (1, 3):
+        np.testing.assert_allclose(
+            model.user_factors[user],
+            model.embed_profile(model.dataset.user_profile(user)),
+        )
+        assert not np.array_equal(model.user_factors[user], users_before[user])
+
+
+def test_itemknn_increments_match_from_scratch_refit():
+    model = ItemKNN(shrinkage=2.0).fit(_dataset())
+    model.prewarm()  # make the cached similarity demonstrably stale-able
+    interactions = [(0, 9), (2, 9), (4, 0)]
+    model.partial_fit(interactions)
+    assert model._sim is None, "cached similarity must be invalidated"
+
+    scratch_dataset = _dataset()
+    for user, item in interactions:
+        scratch_dataset.add_interaction(user, item)
+    scratch = ItemKNN(shrinkage=2.0).fit(scratch_dataset)
+    np.testing.assert_array_equal(model._cooc, scratch._cooc)
+    np.testing.assert_array_equal(model._item_counts, scratch._item_counts)
+    users = list(range(len(PROFILES)))
+    np.testing.assert_array_equal(
+        np.vstack(model.top_k_batch(users, k=4)),
+        np.vstack(scratch.top_k_batch(users, k=4)),
+    )
+
+
+def test_neural_cf_continuation_is_deterministic_and_absorbs_signal():
+    def _fit():
+        return NeuralCF(n_factors=4, n_epochs=5, seed=11).fit(_dataset())
+
+    a, b = _fit(), _fit()
+    a.partial_fit([(0, 9), (2, 9)])
+    b.partial_fit([(0, 9), (2, 9)])
+    users = list(range(len(PROFILES)))
+    np.testing.assert_array_equal(
+        np.vstack(a.top_k_batch(users, k=4)), np.vstack(b.top_k_batch(users, k=4))
+    )
+    assert a.dataset.has(0, 9) and a.dataset.has(2, 9)
+    # The continuation actually moved parameters (scores change).
+    untouched = _fit()
+    assert not np.allclose(a.scores(1), untouched.scores(1))
+
+
+def test_partial_fit_on_deepcopy_never_touches_the_original():
+    """The exact construction the OnlineLearner uses for candidates."""
+    for model in (
+        PopularityRecommender().fit(_dataset()),
+        MatrixFactorization(n_factors=4, n_epochs=5, seed=7).fit(_dataset()),
+        ItemKNN().fit(_dataset()),
+    ):
+        reference = copy.deepcopy(model)
+        candidate = copy.deepcopy(model)
+        candidate.partial_fit([(0, 9)])
+        assert candidate.dataset.has(0, 9)
+        assert not model.dataset.has(0, 9)
+        users = list(range(len(PROFILES)))
+        np.testing.assert_array_equal(
+            np.vstack(model.top_k_batch(users, k=4)),
+            np.vstack(reference.top_k_batch(users, k=4)),
+        )

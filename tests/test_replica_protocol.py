@@ -192,4 +192,6 @@ def test_probe_reports_the_full_replica_view():
         "n_requests": 1,
         "cache_entries": 2,
         "prewarm": {},
+        "staged": False,
+        "rollout_role": None,
     }

@@ -1,0 +1,183 @@
+"""Fault injection in the canary window: auto-rollback must be total.
+
+A staged model is untrusted by construction — that is the whole point of
+canarying it.  These tests stage a :class:`~repro.serving.faults.
+FaultInjector` that raises (or stalls) on its first real traffic and pin
+the blast-radius contract:
+
+* the failure trips auto-rollback on the *next* query evaluation — no
+  operator involvement, ``last_rollout_rollback["auto"] is True`` with a
+  reason naming the canary shard and the fault;
+* after rollback every shard serves the old version (probes show no
+  staged model anywhere, served lists equal pre-stage ground truth,
+  epochs unmoved);
+* no shared-memory segments leak: staged models ship as transient
+  pickles, never as segments, so ``live_owned_segments()`` is exactly
+  what it was before the window — and empty once the fleet closes.
+
+The process engine is the load-bearing case (real subprocess replicas,
+real segments under sliced replication) and is covered under both
+replication modes; the in-process engines pin the same protocol cheaply.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import InteractionDataset
+from repro.recsys import PopularityRecommender
+from repro.serving import (
+    ENGINES,
+    FaultInjector,
+    RolloutGuard,
+    ServingConfig,
+    ShardedRecommendationService,
+)
+from repro.serving import shared_state
+from repro.utils.rng import make_rng
+
+N_USERS = 24
+N_ITEMS = 18
+N_SHARDS = 3
+CANARY_SHARD = 0
+ALL_USERS = list(range(N_USERS))
+
+
+def _model():
+    rng = make_rng(61)
+    profiles = [
+        [int(v) for v in rng.choice(N_ITEMS, size=int(rng.integers(3, 7)), replace=False)]
+        for _ in range(N_USERS)
+    ]
+    return PopularityRecommender().fit(InteractionDataset(profiles, n_items=N_ITEMS))
+
+
+def _service(engine: str, replication: str = "full"):
+    return ShardedRecommendationService(
+        _model(),
+        n_shards=N_SHARDS,
+        config=ServingConfig(cache_capacity=64, replication=replication),
+        engine=engine,
+    )
+
+
+def _assert_rolled_back_clean(service, truth, *, version=1, reason_contains=()):
+    """The post-fault fleet is indistinguishable from the pre-stage fleet."""
+    assert not service.rollout_active
+    assert service.active_version == 0
+    assert service.versions.staged is None
+    rollback = service.last_rollout_rollback
+    assert rollback is not None and rollback["auto"] is True
+    assert rollback["version"] == version
+    for needle in reason_contains:
+        assert needle in rollback["reason"], rollback["reason"]
+    assert service.stats.n_canary_users == 0
+    assert service.stats.n_shadow_users == 0
+    assert service.stats.n_shadow_agree == 0
+    served = service.query(ALL_USERS, k=5, use_cache=False)
+    np.testing.assert_array_equal(np.vstack(served), np.vstack(truth))
+
+
+@pytest.mark.timeout(300)
+@pytest.mark.parametrize("engine", ENGINES, ids=[f"engine_{e}" for e in ENGINES])
+def test_raising_canary_triggers_auto_rollback(engine):
+    with _service(engine) as service:
+        truth = service.model.top_k_batch(ALL_USERS, k=5)
+        segments_before = shared_state.live_owned_segments()
+        faulty = FaultInjector(_model(), mode="raise")
+        service.stage_rollout(faulty, canary_shard=CANARY_SHARD)
+        assert service.rollout_active
+
+        # The faulting query itself is degraded to the active model —
+        # clients never see the canary blow up.
+        served = service.query(ALL_USERS, k=5)
+        np.testing.assert_array_equal(np.vstack(served), np.vstack(truth))
+
+        _assert_rolled_back_clean(
+            service,
+            truth,
+            reason_contains=(f"shard {CANARY_SHARD}", "InjectedFaultError"),
+        )
+        assert shared_state.live_owned_segments() == segments_before
+    assert shared_state.live_owned_segments() == ()
+
+
+@pytest.mark.timeout(300)
+@pytest.mark.parametrize("engine", ENGINES, ids=[f"engine_{e}" for e in ENGINES])
+def test_stalling_canary_trips_timeout_guard(engine):
+    with _service(engine) as service:
+        truth = service.model.top_k_batch(ALL_USERS, k=5)
+        stalling = FaultInjector(_model(), mode="stall", stall_s=0.2)
+        service.stage_rollout(
+            stalling,
+            canary_shard=CANARY_SHARD,
+            guard=RolloutGuard(canary_timeout_s=0.05),
+        )
+
+        # The stalled slice still *serves* (slow, not wrong) ...
+        service.query(ALL_USERS, k=5)
+        # ... but the guard's stall verdict has auto-rolled the fleet back.
+        _assert_rolled_back_clean(
+            service,
+            truth,
+            reason_contains=(f"canary shard {CANARY_SHARD} stalled",),
+        )
+    assert shared_state.live_owned_segments() == ()
+
+
+@pytest.mark.timeout(300)
+@pytest.mark.parametrize("replication", ["sliced", "full"])
+@pytest.mark.parametrize("mode", ["raise", "stall"])
+def test_process_engine_fault_rollback_leaves_no_residue(replication, mode):
+    """The load-bearing case: real subprocess replicas, real segments."""
+    with _service("process", replication) as service:
+        truth = service.model.top_k_batch(ALL_USERS, k=5)
+        segments_before = shared_state.live_owned_segments()
+        epochs_before = tuple(
+            sorted((probe["shard"], probe["epoch"]) for probe in service.replica_probe())
+        )
+
+        faulty = FaultInjector(_model(), mode=mode, stall_s=0.2)
+        guard = (
+            RolloutGuard(canary_timeout_s=0.05) if mode == "stall" else RolloutGuard()
+        )
+        service.stage_rollout(faulty, canary_shard=CANARY_SHARD, guard=guard)
+        for probe in service.replica_probe():
+            assert probe["staged"] is True
+
+        service.query(ALL_USERS, k=5)
+        _assert_rolled_back_clean(service, truth)
+
+        # Every replica dropped its staged model; epochs never moved
+        # (staging is not a mutation), and no segment appeared or leaked.
+        probes = service.replica_probe()
+        assert all(probe["staged"] is False for probe in probes)
+        assert all(probe["rollout_role"] is None for probe in probes)
+        assert (
+            tuple(sorted((probe["shard"], probe["epoch"]) for probe in probes))
+            == epochs_before
+        )
+        assert shared_state.live_owned_segments() == segments_before
+    assert shared_state.live_owned_segments() == ()
+
+
+@pytest.mark.timeout(300)
+def test_shadow_fault_also_trips_rollback():
+    """A staged model can blow up on a *shadow* shard too (side-scoring)."""
+    with _service("serial") as service:
+        truth = service.model.top_k_batch(ALL_USERS, k=5)
+        faulty = FaultInjector(_model(), mode="raise")
+        service.stage_rollout(faulty, canary_shard=CANARY_SHARD)
+
+        # Query only users homed on non-canary shards: the canary never
+        # runs, but shadow side-scoring does — and fails.
+        shadow_users = [u for u in ALL_USERS if service.shard_of(u) != CANARY_SHARD]
+        served = service.query(shadow_users, k=5, use_cache=False)
+        np.testing.assert_array_equal(
+            np.vstack(served),
+            np.vstack(service.model.top_k_batch(shadow_users, k=5)),
+        )
+        _assert_rolled_back_clean(
+            service, truth, reason_contains=("shadow scoring", "InjectedFaultError")
+        )

@@ -1,0 +1,284 @@
+"""Property tests for the versioned-rollout protocol.
+
+Generalizes ``tests/test_serving_reset.py``'s episode properties to the
+online-learning loop: for **arbitrary interleavings** of organic-traffic
+ticks, retrain-and-stage, promote, rollback, and queries —
+
+* **never stale**: every served list matches the ground truth of the
+  version the fleet acknowledges for that user — the staged model on the
+  canary shard during a window, the active model everywhere else (a
+  process replica that lagged would either serve a divergent list or
+  raise ``StaleReplicaError``; both fail the property);
+* **version monotonicity**: staged version numbers strictly increase
+  within an episode, the active version only ever moves to a staged
+  number, and an abandoned number is burned, never reused;
+* **counter conservation**: the fleet's canary/shadow counters equal the
+  routing-derived expectation exactly while a window is open, are zeroed
+  by rollback, and quota-denial counters are never perturbed by staging
+  or rollback (promote resets the whole fleet by design);
+* **mutation exclusivity**: ``inject`` during a window raises
+  ``RolloutError`` and leaves no trace — not an injection, not a quota
+  charge, not an epoch bump.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import InteractionDataset
+from repro.errors import RateLimitExceededError, RolloutError
+from repro.recsys import PopularityRecommender
+from repro.serving import (
+    EveryNTicks,
+    ModelVersionRegistry,
+    OnlineLearner,
+    QuotaPolicy,
+    ServingConfig,
+    ShardedRecommendationService,
+)
+from repro.utils.rng import make_rng
+
+N_USERS = 30
+N_ITEMS = 24
+N_SHARDS = 3
+CANARY_SHARD = 1
+
+_CONFIG = ServingConfig(
+    cache_capacity=32,
+    client_policies=(("throttled", QuotaPolicy(max_users_per_query=4)),),
+)
+
+
+def _model():
+    rng = make_rng(53)
+    profiles = [
+        [int(v) for v in rng.choice(N_ITEMS, size=int(rng.integers(3, 8)), replace=False)]
+        for _ in range(N_USERS)
+    ]
+    return PopularityRecommender().fit(InteractionDataset(profiles, n_items=N_ITEMS))
+
+
+# -- registry unit properties -------------------------------------------------
+
+_registry_ops = st.lists(
+    st.sampled_from(["stage", "promote", "abandon", "reset"]), min_size=1, max_size=30
+)
+
+
+@given(ops=_registry_ops)
+@settings(max_examples=200, deadline=None)
+def test_registry_versions_monotonic_within_episode(ops):
+    registry = ModelVersionRegistry()
+    allocated: list[int] = []
+    for op in ops:
+        if op == "stage":
+            if registry.rollout_active:
+                continue
+            version = registry.stage()
+            assert version not in allocated, "version number reused"
+            assert not allocated or version > allocated[-1], "versions must grow"
+            allocated.append(version)
+            assert registry.staged == version
+        elif op == "promote":
+            if not registry.rollout_active:
+                continue
+            staged = registry.staged
+            assert registry.promote(n_users=N_USERS) == staged
+            assert registry.active == staged and registry.staged is None
+        elif op == "abandon":
+            if not registry.rollout_active:
+                continue
+            staged = registry.staged
+            previous_active = registry.active
+            assert registry.abandon(n_users=N_USERS) == staged
+            assert registry.active == previous_active and registry.staged is None
+        else:
+            registry.reset()
+            allocated = []
+            assert registry.active == 0 and registry.staged is None
+            assert registry.history == []
+    # Every allocated number appears at most once across the history.
+    seen = [entry.version for entry in registry.history]
+    assert len(seen) == len(set(seen))
+
+
+# -- fleet interleaving properties --------------------------------------------
+
+_fleet_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("tick"), st.integers(0, N_USERS - 1)),
+        st.tuples(st.just("promote")),
+        st.tuples(st.just("rollback")),
+        st.tuples(
+            st.just("query"),
+            st.lists(st.integers(0, N_USERS - 1), min_size=1, max_size=6),
+            st.integers(1, 5),
+        ),
+        st.tuples(st.just("denied_query")),
+        st.tuples(st.just("inject_during_rollout")),
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+class _Mirror:
+    """Test-side view of what each op must do to the fleet."""
+
+    def __init__(self, service):
+        self.service = service
+        # dataset ∪ buffered interactions, per user: proposals drawn
+        # outside this set can never violate add_interaction's no-dup
+        # rule, whichever subset (pending vs promoted) they land in.
+        self.items_seen = {
+            user: set(service.model.dataset.user_profile(user)) for user in range(N_USERS)
+        }
+        self.active_ref = pickle.loads(pickle.dumps(service.model))
+        self.staged_ref = None
+        self.staged_versions: list[int] = []
+        self.expected_canary = 0
+        self.expected_shadow = 0
+
+    def propose_interaction(self, user: int) -> tuple[int, int] | None:
+        for item in range(N_ITEMS):
+            if item not in self.items_seen[user]:
+                self.items_seen[user].add(item)
+                return (user, item)
+        return None
+
+
+@pytest.mark.timeout(600)
+@settings(max_examples=40, deadline=None)
+@given(ops=_fleet_ops)
+def test_rollout_interleavings_serial(ops):
+    service = ShardedRecommendationService(
+        _model(), n_shards=N_SHARDS, config=_CONFIG, engine="serial"
+    )
+    try:
+        _run_interleaving(service, ops)
+    finally:
+        service.close()
+
+
+@pytest.fixture(scope="module")
+def process_platform():
+    service = ShardedRecommendationService(
+        _model(), n_shards=N_SHARDS, config=_CONFIG, engine="process"
+    )
+    base = service.snapshot()
+    yield service, base
+    service.close()
+
+
+@pytest.mark.timeout(600)
+@settings(max_examples=15, deadline=None)
+@given(ops=_fleet_ops)
+def test_rollout_interleavings_process(process_platform, ops):
+    service, base = process_platform
+    if service.rollout_active:  # a failed previous example may leak a window
+        service.rollback_rollout(reason="example cleanup")
+    service.restore(base)
+    _run_interleaving(service, ops)
+    if service.rollout_active:
+        service.rollback_rollout(reason="example cleanup")
+    service.restore(base)
+
+
+def _run_interleaving(service, ops) -> None:
+    mirror = _Mirror(service)
+    learner = OnlineLearner(
+        service, EveryNTicks(2), canary_shard=CANARY_SHARD
+    )
+    denials = 0
+    for op in ops:
+        if op[0] == "tick":
+            interaction = mirror.propose_interaction(op[1])
+            version = learner.observe([interaction] if interaction else [])
+            if version is not None:
+                assert (
+                    not mirror.staged_versions or version > mirror.staged_versions[-1]
+                ), "staged versions must strictly increase"
+                mirror.staged_versions.append(version)
+                mirror.staged_ref = pickle.loads(
+                    pickle.dumps(service._rollout.staged_model)
+                )
+                assert service.versions.staged == version
+        elif op[0] == "promote":
+            if not service.rollout_active:
+                continue
+            version = service.promote_rollout()
+            assert version == mirror.staged_versions[-1]
+            assert service.active_version == version
+            mirror.active_ref = mirror.staged_ref
+            mirror.staged_ref = None
+            # Promote resets ALL fleet stats (promoted fleet ≡ fresh
+            # fleet), denial accounting included — unlike rollback,
+            # which surgically clears only the rollout counters.
+            mirror.expected_canary = 0
+            mirror.expected_shadow = 0
+            denials = 0
+        elif op[0] == "rollback":
+            if not service.rollout_active:
+                continue
+            version = service.rollback_rollout(reason="property")
+            assert version == mirror.staged_versions[-1]
+            mirror.staged_ref = None
+            mirror.expected_canary = 0
+            mirror.expected_shadow = 0
+            assert service.stats.n_canary_users == 0
+            assert service.stats.n_shadow_users == 0
+            assert service.stats.n_shadow_agree == 0
+        elif op[0] == "denied_query":
+            before = service.stats.n_rate_limited
+            with pytest.raises(RateLimitExceededError):
+                service.query(list(range(6)), k=3, client="throttled")
+            denials += 1
+            assert service.stats.n_rate_limited == before + 1
+        elif op[0] == "inject_during_rollout":
+            if not service.rollout_active:
+                continue
+            n_users = service.n_users
+            epoch = service.epoch
+            n_injections = service.stats.n_injections
+            with pytest.raises(RolloutError):
+                service.inject([0, 1, 2])
+            assert service.n_users == n_users
+            assert service.epoch == epoch
+            assert service.stats.n_injections == n_injections
+        else:  # query
+            _, users, k = op
+            served = service.query(users, k)
+            rollout_open = service.rollout_active
+            for user, items in zip(users, served):
+                if rollout_open and service.shard_of(user) == CANARY_SHARD:
+                    expected = mirror.staged_ref.top_k(user, k)
+                else:
+                    expected = mirror.active_ref.top_k(user, k)
+                np.testing.assert_array_equal(
+                    items,
+                    expected,
+                    err_msg=f"user {user} served a stale/wrong version",
+                )
+            if rollout_open:
+                # Routing groups request *positions*, so a user repeated
+                # in one request is counted once per position.
+                on_canary = sum(
+                    1 for user in users if service.shard_of(user) == CANARY_SHARD
+                )
+                mirror.expected_canary += on_canary
+                mirror.expected_shadow += len(users) - on_canary
+                assert service.stats.n_canary_users == mirror.expected_canary
+                assert service.stats.n_shadow_users == mirror.expected_shadow
+                assert (
+                    service.stats.n_shadow_agree <= service.stats.n_shadow_users
+                ), "shadow agreement exceeds shadow sample"
+        # Invariants that hold after *every* op:
+        assert service.rollout_active == (service.versions.staged is not None)
+        assert service.stats.n_rate_limited == denials, (
+            "rollout control perturbed quota-denial accounting"
+        )
